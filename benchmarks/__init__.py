@@ -1,0 +1,5 @@
+"""Per-figure benchmark targets (see DESIGN.md's experiment index).
+
+Run with ``pytest benchmarks/ --benchmark-only``.  Packaged so the shared
+helpers in :mod:`benchmarks._common` import under plain ``pytest``.
+"""

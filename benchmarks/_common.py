@@ -1,0 +1,226 @@
+"""Shared infrastructure for the per-figure benchmark targets.
+
+Every bench regenerates one figure of the paper's evaluation (Section 5) at
+laptop scale: it prints the figure's rows/series (bypassing pytest capture)
+and persists them under ``benchmarks/results/`` so ``bench_output.txt`` and
+the results directory both carry the evidence.  EXPERIMENTS.md summarizes
+paper-vs-measured for each figure.
+
+Scale note: the paper's graphs have 10^6-10^8 edges and its Java system
+sustains >500k events/s; this pure-Python reproduction runs the *same
+algorithms* on generator-built stand-ins about three orders of magnitude
+smaller (see DESIGN.md's substitution table).  Shapes, not absolute numbers,
+are the deliverable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.reporting import format_table
+from repro.core.aggregates import Max, Sum, TopK, get_aggregate
+from repro.core.engine import EAGrEngine
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.dataflow.frequencies import FrequencyModel
+from repro.graph.bipartite import build_bipartite
+from repro.graph.generators import load_dataset
+from repro.graph.neighborhoods import Neighborhood
+from repro.workload import WorkloadSpec, generate_events, warmup_writes
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The four evaluation graphs (paper -> stand-in), at bench scale.
+BENCH_DATASETS = ("livejournal-small", "gplus-small", "eu2005-small", "uk2002-small")
+
+#: Overlay systems compared end-to-end in Figure 14(a).
+SYSTEMS = (
+    ("all-pull", "identity", "all_pull"),
+    ("all-push", "identity", "all_push"),
+    ("vnm_a", "vnm_a", "mincut"),
+    ("vnm_n", "vnm_n", "mincut"),
+    ("vnm_d", "vnm_d", "mincut"),
+    ("iob", "iob", "mincut"),
+)
+
+
+def emit(name: str, table: str) -> None:
+    """Print a results table past pytest's capture and persist it."""
+    text = f"\n{table}\n"
+    sys.__stdout__.write(text)
+    sys.__stdout__.flush()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(table + "\n")
+
+
+def emit_table(name: str, title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    emit(name, format_table(headers, rows, title=title))
+
+
+def bench_graph(dataset: str, scale: float = 0.35):
+    return load_dataset(dataset, scale=scale)
+
+
+def bench_ag(dataset: str, scale: float = 0.35, hops: int = 1):
+    graph = bench_graph(dataset, scale=scale)
+    return graph, build_bipartite(graph, Neighborhood.in_neighbors(hops=hops))
+
+
+def make_aggregate(name: str):
+    if name == "topk":
+        return TopK(3)
+    return get_aggregate(name)
+
+
+def frequencies_from_events(events) -> FrequencyModel:
+    """The workload's true expected frequencies (the paper assumes the
+    read/write frequencies are known or predictable, Section 2.1)."""
+    from repro.graph.streams import WriteEvent
+
+    trace = [
+        ("write" if isinstance(e, WriteEvent) else "read", e.node) for e in events
+    ]
+    return FrequencyModel.from_trace(trace)
+
+
+def engine_cost_model(graph, aggregate_name: str = "sum", probes: int = 1500) -> "CostModel":
+    """Calibrate H/L against the *engine's* measured per-operation cost.
+
+    Section 4.2: costs are "computed through a calibration process".  A tiny
+    identity-overlay engine is driven all-push (measuring the cost of one
+    incremental update) and all-pull (measuring the per-input cost of one
+    on-demand evaluation); the returned model feeds the decision procedure
+    real per-op constants instead of abstract units.
+    """
+    import time as _time
+
+    from repro.dataflow.costs import CostModel
+
+    nodes = list(graph.nodes())[:60]
+    sample = DynamicGraphSample(graph, nodes)
+    units = {}
+    for mode, counter in (("all_push", "push_ops"), ("all_pull", "pull_ops")):
+        engine = build_engine(
+            sample.graph, aggregate_name=aggregate_name, algorithm="identity",
+            dataflow=mode,
+        )
+        events = workload(sample.graph, probes, write_read_ratio=1.0, seed=997)
+        import gc
+
+        best_unit = float("inf")
+        for _ in range(3):  # best-of-3: calibration noise skews decisions
+            gc.collect()
+            ops_before = getattr(engine.counters, counter)
+            started = _time.perf_counter()
+            for event in events:
+                if hasattr(event, "value"):
+                    engine.write(event.node, event.value, event.timestamp)
+                else:
+                    engine.read(event.node)
+            elapsed = _time.perf_counter() - started
+            ops = getattr(engine.counters, counter) - ops_before
+            best_unit = min(best_unit, elapsed / max(1, ops))
+        units[mode] = best_unit
+    return CostModel(
+        push=lambda k: units["all_push"],
+        pull=lambda k: units["all_pull"] * k,
+        description=f"engine-calibrated({aggregate_name})",
+    )
+
+
+class DynamicGraphSample:
+    """A small induced subgraph for calibration probes."""
+
+    def __init__(self, graph, nodes):
+        from repro.graph.dynamic_graph import DynamicGraph
+
+        keep = set(nodes)
+        sample = DynamicGraph()
+        for node in nodes:
+            sample.add_node(node)
+        for u, v in graph.edges():
+            if u in keep and v in keep:
+                sample.add_edge(u, v)
+        self.graph = sample
+
+
+def build_engine(
+    graph,
+    aggregate_name: str = "sum",
+    algorithm: str = "vnm_a",
+    dataflow: str = "mincut",
+    write_read_ratio: float = 1.0,
+    window: int = 1,
+    hops: int = 1,
+    total_events: float = 10_000.0,
+    events=None,
+    cost_model=None,
+    **kwargs,
+) -> EAGrEngine:
+    """Engine wired the way the evaluation section runs it.
+
+    When ``events`` is supplied, the decision procedure sees the workload's
+    *true* per-node frequencies; otherwise a Zipf model with the requested
+    write:read ratio stands in.
+    """
+    aggregate = make_aggregate(aggregate_name)
+    if algorithm == "vnm_d" and not aggregate.duplicate_insensitive:
+        raise ValueError("vnm_d benches must use a duplicate-insensitive aggregate")
+    query = EgoQuery(
+        aggregate=aggregate,
+        window=TupleWindow(window),
+        neighborhood=Neighborhood.in_neighbors(hops=hops),
+    )
+    if events is not None:
+        frequencies = frequencies_from_events(events)
+    else:
+        frequencies = FrequencyModel.zipf(
+            graph.nodes(),
+            total_events=total_events,
+            write_read_ratio=write_read_ratio,
+            seed=101,
+        )
+    return EAGrEngine(
+        graph, query, overlay_algorithm=algorithm, dataflow=dataflow,
+        frequencies=frequencies, cost_model=cost_model, **kwargs,
+    )
+
+
+def workload(graph, num_events: int, write_read_ratio: float = 1.0, seed: int = 7,
+             warm: bool = True):
+    nodes = list(graph.nodes())
+    events: List = []
+    if warm:
+        events.extend(warmup_writes(nodes, per_node=1, seed=seed))
+    events.extend(
+        generate_events(
+            nodes,
+            WorkloadSpec(
+                num_events=num_events, write_read_ratio=write_read_ratio,
+                seed=seed + 1,
+            ),
+        )
+    )
+    return events
+
+
+def measure_throughput(engine: EAGrEngine, events, passes: int = 3) -> float:
+    """Events/second, best of ``passes`` replays (the paper's metric).
+
+    Replaying the same trace on a warmed engine measures sustained
+    steady-state throughput; taking the best pass suppresses wall-clock
+    noise from GC pauses and scheduler interference, which otherwise
+    dominates the ~20% margins the figures compare.
+    """
+    import gc
+
+    from repro.bench.harness import run_workload
+
+    best = 0.0
+    for _ in range(max(1, passes)):
+        gc.collect()
+        best = max(best, run_workload(engine, events).throughput)
+    return best

@@ -1,0 +1,125 @@
+"""Extension benches: latency-budgeted decisions and partitioned deployment.
+
+Not paper figures — these quantify the two future-work extensions the paper
+sketches (Section 4.3's latency-constrained optimization; the Conclusions'
+partitioned deployment):
+
+* the **latency/throughput tradeoff curve**: as the per-reader latency
+  budget tightens, estimated total cost (throughput proxy) rises while the
+  worst-case read latency falls;
+* the **shard-count sweep**: total overlay edges and write replication
+  factor as readers spread over more shards, for hash vs locality-aware
+  assignment.
+"""
+
+import pytest
+
+from benchmarks._common import bench_graph, emit_table
+from repro.core.aggregates import Sum
+from repro.core.partitioned import PartitionedEngine, community_assignment
+from repro.core.query import EgoQuery
+from repro.dataflow.costs import CostModel
+from repro.dataflow.frequencies import FrequencyModel, compute_push_pull_frequencies
+from repro.dataflow.latency import (
+    decide_dataflow_with_latency_budget,
+    read_latency_profile,
+)
+from repro.dataflow.mincut import assignment_cost
+from repro.graph.bipartite import build_bipartite
+from repro.graph.generators import community_graph
+from repro.graph.neighborhoods import Neighborhood
+from repro.overlay.vnm import build_vnm
+
+
+def test_ext_latency_budget_tradeoff(benchmark):
+    graph = bench_graph("livejournal-small", scale=0.25)
+    ag = build_bipartite(graph, Neighborhood.in_neighbors())
+    frequencies = FrequencyModel.uniform(graph.nodes(), read=1.0, write=30.0)
+    model = CostModel.constant_linear()
+    budgets = (float("inf"), 50.0, 20.0, 8.0, 0.0)
+    rows = []
+    costs = []
+    worsts = []
+    for budget in budgets:
+        overlay = build_vnm(ag, variant="vnm_a", iterations=6).overlay
+        decide_dataflow_with_latency_budget(
+            overlay, frequencies, latency_budget=budget, cost_model=model
+        )
+        profile = read_latency_profile(overlay, model)
+        fh, fl = compute_push_pull_frequencies(overlay, frequencies)
+        cost = assignment_cost(overlay, fh, fl, model)
+        costs.append(cost)
+        worst = max(profile.values(), default=0.0)
+        worsts.append(worst)
+        rows.append(
+            [
+                "inf" if budget == float("inf") else f"{budget:.0f}",
+                f"{cost:,.0f}",
+                f"{worst:.1f}",
+                sum(1 for v in profile.values() if v == 0.0),
+            ]
+        )
+    emit_table(
+        "ext_latency_budget",
+        "Extension: latency budget vs decision cost (write-heavy workload)",
+        ["budget", "total cost", "worst read latency", "O(1) readers"],
+        rows,
+    )
+    # Tightening the budget trades throughput for latency monotonically.
+    assert all(b >= a - 1e-9 for a, b in zip(costs, costs[1:]))
+    assert all(b <= a + 1e-9 for a, b in zip(worsts, worsts[1:]))
+    assert worsts[-1] == 0.0
+
+    benchmark.pedantic(
+        lambda: decide_dataflow_with_latency_budget(
+            build_vnm(ag, variant="vnm_a", iterations=3).overlay,
+            frequencies, latency_budget=20.0, cost_model=model,
+        ),
+        rounds=2, iterations=1,
+    )
+
+
+def test_ext_partitioned_deployment(benchmark):
+    graph = community_graph(
+        num_communities=8, community_size=20, intra_probability=0.4,
+        inter_edges=80, seed=17,
+    )
+    query = EgoQuery(aggregate=Sum())
+    rows = []
+    replication = {}
+    for shards in (1, 2, 4, 8):
+        for label, assign in (
+            ("hash", None),
+            ("locality", community_assignment(graph, shards)),
+        ):
+            engine = PartitionedEngine(
+                graph, query, num_shards=shards, assign=assign,
+                overlay_algorithm="vnm_a",
+            )
+            factor = engine.replication_factor
+            replication[(shards, label)] = factor
+            rows.append(
+                [
+                    shards,
+                    label,
+                    f"{factor:.2f}",
+                    engine.total_overlay_edges(),
+                    "/".join(str(s) for s in engine.shard_sizes()),
+                ]
+            )
+    emit_table(
+        "ext_partitioning",
+        "Extension: shard count vs write replication factor and overlay size",
+        ["shards", "assignment", "replication", "total edges", "readers/shard"],
+        rows,
+    )
+    # Replication grows with shard count and locality-aware placement
+    # always beats hashing.
+    assert replication[(1, "hash")] == pytest.approx(1.0)
+    assert replication[(8, "hash")] > replication[(2, "hash")]
+    for shards in (2, 4, 8):
+        assert replication[(shards, "locality")] <= replication[(shards, "hash")]
+
+    benchmark.pedantic(
+        lambda: PartitionedEngine(graph, query, num_shards=4), rounds=2, iterations=1
+    )

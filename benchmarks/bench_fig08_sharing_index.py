@@ -1,0 +1,58 @@
+"""Figure 8 — sharing index vs iteration per construction algorithm.
+
+Paper's series: average SI per iteration for VNM_A, IOB, VNM_N, VNM_D on
+LiveJournal, gPlus, eu-2005 and uk-2002.  Expected shape: IOB highest and
+converging within a few iterations; VNM_N/VNM_D above VNM_A; web graphs far
+more compressible than social graphs.
+"""
+
+import pytest
+
+from benchmarks._common import BENCH_DATASETS, bench_ag, emit_table
+from repro.overlay import construct_overlay
+
+ALGORITHMS = ("vnm_a", "vnm_n", "vnm_d", "iob")
+ITERATIONS = 12
+
+
+def trace(ag, algorithm):
+    result = construct_overlay(ag, algorithm, iterations=ITERATIONS)
+    values = [s.sharing_index for s in result.stats]
+    # Pad converged runs so every row has ITERATIONS columns.
+    while len(values) < ITERATIONS:
+        values.append(values[-1] if values else 0.0)
+    return values
+
+
+def test_fig08_sharing_index_by_iteration(benchmark):
+    ags = {name: bench_ag(name)[1] for name in BENCH_DATASETS}
+    rows = []
+    final = {}
+    for dataset, ag in ags.items():
+        for algorithm in ALGORITHMS:
+            values = trace(ag, algorithm)
+            final[(dataset, algorithm)] = values[-1]
+            rows.append(
+                [dataset, algorithm]
+                + [f"{v * 100:.1f}" for v in values[:: max(1, ITERATIONS // 6)]]
+                + [f"{values[-1] * 100:.1f}"]
+            )
+    emit_table(
+        "fig08_sharing_index",
+        "Figure 8: average sharing index (%) per iteration",
+        ["dataset", "algorithm", "it1", "it3", "it5", "it7", "it9", "it11", "final"],
+        rows,
+    )
+
+    # Timed kernel: one VNM_A construction on the LiveJournal stand-in.
+    lj = ags["livejournal-small"]
+    benchmark.pedantic(
+        lambda: construct_overlay(lj, "vnm_a", iterations=6), rounds=2, iterations=1
+    )
+
+    # Shape assertions (the paper's qualitative claims).
+    for dataset in BENCH_DATASETS:
+        assert final[(dataset, "iob")] >= final[(dataset, "vnm_a")] - 0.02
+    web_si = final[("uk2002-small", "vnm_a")]
+    social_si = final[("livejournal-small", "vnm_a")]
+    assert web_si > social_si

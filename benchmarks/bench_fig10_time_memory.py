@@ -1,0 +1,61 @@
+"""Figure 10 — construction running time (a) and memory (b) per iteration.
+
+Paper's series on LiveJournal: cumulative construction time per iteration for
+VNM_A, IOB, VNM_N, VNM_D, and peak memory per algorithm.  Expected shape:
+IOB spends more per early iteration but converges far sooner; VNM_N/VNM_D
+cost more per iteration than VNM_A; IOB's global indexes cost roughly 2x the
+memory of the VNM family.
+"""
+
+import pytest
+
+from benchmarks._common import bench_ag, emit_table
+from repro.overlay import construct_overlay
+
+ALGORITHMS = ("vnm_a", "vnm_n", "vnm_d", "iob")
+ITERATIONS = 10
+
+
+def test_fig10_time_and_memory(benchmark):
+    _, ag = bench_ag("livejournal-small")
+    time_rows = []
+    memory_rows = []
+    cumulative_at_end = {}
+    peak_memory = {}
+    for algorithm in ALGORITHMS:
+        result = construct_overlay(ag, algorithm, iterations=ITERATIONS)
+        cumulative = 0.0
+        cells = []
+        for stat in result.stats:
+            cumulative += stat.elapsed_seconds
+            cells.append(f"{cumulative * 1000:.0f}")
+        while len(cells) < ITERATIONS:
+            cells.append(cells[-1])
+        cumulative_at_end[algorithm] = cumulative
+        peak = max(s.memory_estimate for s in result.stats)
+        if algorithm == "iob":
+            state = getattr(result, "iob_state", None)
+            if state is not None:
+                peak += 120 * sum(len(c) for c in state.coverage.values())
+        peak_memory[algorithm] = peak
+        time_rows.append([algorithm] + cells)
+        memory_rows.append([algorithm, f"{peak / 1024:.0f}", len(result.stats)])
+    emit_table(
+        "fig10a_running_time",
+        "Figure 10(a): cumulative construction time (ms) per iteration, LiveJournal stand-in",
+        ["algorithm"] + [f"it{i}" for i in range(1, ITERATIONS + 1)],
+        time_rows,
+    )
+    emit_table(
+        "fig10b_memory",
+        "Figure 10(b): peak construction memory estimate",
+        ["algorithm", "peak KiB", "iterations run"],
+        memory_rows,
+    )
+
+    benchmark.pedantic(
+        lambda: construct_overlay(ag, "iob", iterations=2), rounds=2, iterations=1
+    )
+
+    # Shape: IOB converges in fewer iterations yet holds bigger indexes.
+    assert peak_memory["iob"] > peak_memory["vnm_a"]

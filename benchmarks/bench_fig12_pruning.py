@@ -1,0 +1,94 @@
+"""Figure 12 — effectiveness of P1/P2 pruning before max-flow.
+
+Paper's series: (a) decision-graph composition (graph nodes vs virtual
+nodes) before and after pruning plus the number of connected components, per
+dataset at write:read 1:1; (b) the same on the uk-2002 stand-in across
+write:read ratios.  Expected shape: pruning removes the large majority of
+nodes (papers' residual <= 14%), the residue shatters into many small
+components, and pruning is least effective at ratio 1 (conflicts peak).
+"""
+
+import pytest
+
+from benchmarks._common import BENCH_DATASETS, bench_ag, emit_table
+from repro.dataflow.frequencies import FrequencyModel
+from repro.dataflow.mincut import decide_dataflow
+from repro.overlay import construct_overlay
+
+
+def stats_for(graph, ag, ratio):
+    overlay = construct_overlay(ag, "vnm_a", iterations=8).overlay
+    frequencies = FrequencyModel.zipf(
+        graph.nodes(), total_events=10_000, write_read_ratio=ratio, seed=31
+    )
+    return decide_dataflow(overlay, frequencies)
+
+
+def test_fig12a_pruning_across_graphs(benchmark):
+    rows = []
+    residuals = {}
+    keep = None
+    for dataset in BENCH_DATASETS:
+        graph, ag = bench_ag(dataset)
+        stats = stats_for(graph, ag, ratio=1.0)
+        residuals[dataset] = 1.0 - stats.pruned_fraction
+        rows.append(
+            [
+                dataset,
+                stats.graph_nodes_before,
+                stats.virtual_nodes_before,
+                stats.graph_nodes_after,
+                stats.virtual_nodes_after,
+                stats.num_components,
+                stats.largest_component,
+                f"{(1.0 - stats.pruned_fraction) * 100:.1f}%",
+            ]
+        )
+        keep = (graph, ag)
+    emit_table(
+        "fig12a_pruning_graphs",
+        "Figure 12(a): decision-graph size before/after P1+P2 pruning (write:read = 1)",
+        [
+            "dataset", "graph nodes", "virtual nodes", "graph after",
+            "virtual after", "components", "largest comp", "residual",
+        ],
+        rows,
+    )
+
+    graph, ag = keep
+    benchmark.pedantic(lambda: stats_for(graph, ag, 1.0), rounds=2, iterations=1)
+
+    # Shape: most of the decision graph is pruned away on every dataset.
+    assert all(residual < 0.5 for residual in residuals.values())
+
+
+def test_fig12b_pruning_across_ratios(benchmark):
+    graph, ag = bench_ag("uk2002-small")
+    ratios = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0)
+    rows = []
+    residual_by_ratio = {}
+    for ratio in ratios:
+        stats = stats_for(graph, ag, ratio)
+        residual = 1.0 - stats.pruned_fraction
+        residual_by_ratio[ratio] = residual
+        rows.append(
+            [
+                ratio,
+                stats.nodes_total,
+                stats.nodes_after_pruning,
+                stats.num_components,
+                f"{residual * 100:.1f}%",
+            ]
+        )
+    emit_table(
+        "fig12b_pruning_ratios",
+        "Figure 12(b): pruning on the uk-2002 stand-in across write:read ratios",
+        ["write:read", "nodes before", "nodes after", "components", "residual"],
+        rows,
+    )
+
+    benchmark.pedantic(lambda: stats_for(graph, ag, 1.0), rounds=2, iterations=1)
+
+    # Shape: conflicts (residual) peak near ratio 1.
+    peak = max(residual_by_ratio, key=residual_by_ratio.get)
+    assert 0.2 <= peak <= 5.0

@@ -1,0 +1,98 @@
+"""Figure 13(a) — adapting dataflow decisions under workload drift.
+
+Paper's series: processing time per segment of 25,000 queries on a packet
+trace whose read frequencies shift halfway, for all-pull, all-push, static
+dataflow, and adaptive dataflow.  Expected shape: static decisions go stale
+after the shift while the adaptive scheme recovers to near its pre-shift
+cost; both beat the all-push/all-pull extremes overall.
+
+Work is reported in aggregate operations per segment (machine-independent)
+— the paper's per-segment milliseconds are proportional to it.
+"""
+
+import pytest
+
+from benchmarks._common import bench_graph, emit_table
+from repro.core.adaptive import AdaptiveConfig
+from repro.core.aggregates import Sum
+from repro.core.engine import EAGrEngine
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.dataflow.frequencies import FrequencyModel
+from repro.graph.neighborhoods import Neighborhood
+from repro.graph.streams import WriteEvent
+from repro.workload import DriftSpec, drifting_trace, phase_frequencies
+
+NUM_EVENTS = 12_000
+SEGMENTS = 8
+
+
+def build(graph, phase1_freqs, dataflow="mincut", adaptive=False):
+    query = EgoQuery(
+        aggregate=Sum(), window=TupleWindow(1),
+        neighborhood=Neighborhood.in_neighbors(),
+    )
+    reads, writes = phase1_freqs
+    return EAGrEngine(
+        graph, query, overlay_algorithm="vnm_a", dataflow=dataflow,
+        frequencies=FrequencyModel(read=dict(reads), write=dict(writes)),
+        adaptive=adaptive,
+        adaptive_config=AdaptiveConfig(check_interval=300, min_observations=5),
+    )
+
+
+def segment_work(engine, events, segments=SEGMENTS):
+    size = max(1, len(events) // segments)
+    work = []
+    for start in range(0, len(events), size):
+        before = engine.counters.work
+        for event in events[start : start + size]:
+            if isinstance(event, WriteEvent):
+                engine.write(event.node, event.value, event.timestamp)
+            else:
+                engine.read(event.node)
+        work.append(engine.counters.work - before)
+    return work[:segments]
+
+
+def test_fig13a_adaptive_dataflow(benchmark):
+    graph = bench_graph("livejournal-small", scale=0.25)
+    nodes = list(graph.nodes())
+    spec = DriftSpec(
+        num_events=NUM_EVENTS, switch_point=0.5, drifting_fraction=0.3,
+        base_write_read_ratio=5.0, drifted_write_read_ratio=0.1, seed=77,
+    )
+    events, _ = drifting_trace(nodes, spec)
+    phase1 = phase_frequencies(events, num_phases=2)[0]
+
+    variants = {
+        "all-pull": build(graph, phase1, dataflow="all_pull"),
+        "all-push": build(graph, phase1, dataflow="all_push"),
+        "static": build(graph, phase1, dataflow="mincut"),
+        "adaptive": build(graph, phase1, dataflow="mincut", adaptive=True),
+    }
+    work = {name: segment_work(engine, events) for name, engine in variants.items()}
+    rows = [
+        [name] + [f"{w:,}" for w in values] + [f"{sum(values):,}"]
+        for name, values in work.items()
+    ]
+    emit_table(
+        "fig13a_adaptive",
+        "Figure 13(a): aggregate ops per trace segment (drift at segment 5)",
+        ["variant"] + [f"seg{i}" for i in range(1, SEGMENTS + 1)] + ["total"],
+        rows,
+    )
+
+    # Shape assertions: after the drift (second half), adaptive does less
+    # work than static, and adaptive beats both extremes in total.
+    half = SEGMENTS // 2
+    static_tail = sum(work["static"][half:])
+    adaptive_tail = sum(work["adaptive"][half:])
+    assert adaptive_tail < static_tail
+    assert sum(work["adaptive"]) < sum(work["all-pull"])
+    assert sum(work["adaptive"]) < sum(work["all-push"])
+
+    fresh = build(graph, phase1, dataflow="mincut", adaptive=True)
+    benchmark.pedantic(
+        lambda: segment_work(fresh, events[:2000], segments=2), rounds=1, iterations=1
+    )

@@ -1,0 +1,59 @@
+"""Figure 13(b) — decided dataflow vs overlay-all-push / overlay-all-pull.
+
+Paper's series: throughput of the same (VNM_A) overlay under all-push
+decisions, optimal dataflow decisions, and all-pull decisions, for SUM, MAX
+and TOP-K at write:read 1:1.  Expected shape: decided dataflow wins for
+every aggregate.
+"""
+
+import pytest
+
+from benchmarks._common import (
+    bench_graph,
+    build_engine,
+    emit_table,
+    engine_cost_model,
+    measure_throughput,
+    workload,
+)
+
+AGGREGATES = ("sum", "max", "topk")
+MODES = ("all_push", "mincut", "all_pull")
+NUM_EVENTS = 5_000
+
+
+def test_fig13b_dataflow_baselines(benchmark):
+    graph = bench_graph("livejournal-small", scale=0.25)
+    events = workload(graph, NUM_EVENTS, write_read_ratio=1.0, seed=13)
+    rows = []
+    throughput = {}
+    for aggregate in AGGREGATES:
+        cost_model = engine_cost_model(graph, aggregate)
+        cells = []
+        for mode in MODES:
+            engine = build_engine(
+                graph, aggregate_name=aggregate, algorithm="vnm_a", dataflow=mode,
+                events=events, cost_model=cost_model,
+            )
+            value = measure_throughput(engine, events)
+            throughput[(aggregate, mode)] = value
+            cells.append(f"{value:,.0f}")
+        rows.append([aggregate.upper()] + cells)
+    emit_table(
+        "fig13b_dataflow_baseline",
+        "Figure 13(b): throughput (events/s) of one overlay under forced vs optimal decisions",
+        ["aggregate", "overlay all-push", "overlay dataflow", "overlay all-pull"],
+        rows,
+    )
+
+    # Shape: the decided dataflow beats both forced extremes per aggregate.
+    for aggregate in AGGREGATES:
+        decided = throughput[(aggregate, "mincut")]
+        assert decided >= 0.95 * throughput[(aggregate, "all_push")]
+        assert decided >= 0.95 * throughput[(aggregate, "all_pull")]
+
+    engine = build_engine(graph, aggregate_name="sum", dataflow="mincut")
+    subset = events[:1500]
+    benchmark.pedantic(
+        lambda: measure_throughput(engine, subset), rounds=2, iterations=1
+    )

@@ -1,0 +1,84 @@
+"""Figure 13(d) — throughput vs number of threads.
+
+Paper's series: TOP-K throughput at write:read 1:1 on LiveJournal as the
+serving threads sweep 1..48 for all-pull, all-push, and the decided overlay
+— rising until ~24 (their core count) then plateauing.
+
+Substitution (documented in DESIGN.md): CPython's GIL makes real-thread CPU
+scaling impossible, so the sweep runs on the discrete-event
+:class:`SimulatedExecutor`, which schedules the engine's *actual* micro-op
+trace across M virtual workers with per-node locks and a serial dispatcher —
+the same contention sources as the paper's implementation.  The real
+threaded engine exists too (``repro.core.concurrency.ThreadedEngine``) and
+is exercised by the unit tests for correctness.
+"""
+
+import pytest
+
+from benchmarks._common import bench_graph, build_engine, emit_table, workload
+from repro.core.concurrency import SimulatedExecutor, collect_tasks
+
+THREADS = (1, 2, 4, 8, 16, 24, 32, 48)
+NUM_EVENTS = 4_000
+
+
+def trace_tasks(graph, dataflow):
+    engine = build_engine(
+        graph, aggregate_name="topk", algorithm="vnm_a", dataflow=dataflow,
+        window=2, collect_trace=True,
+    )
+    events = workload(graph, NUM_EVENTS, write_read_ratio=1.0, seed=47)
+    return collect_tasks(engine, events)
+
+
+def test_fig13d_parallel_scaling(benchmark):
+    graph = bench_graph("livejournal-small", scale=0.25)
+    executor = SimulatedExecutor(dispatch_overhead=0.08)
+    rows = []
+    series = {}
+    main_tasks = None
+    for name, dataflow in (
+        ("vnm_a-topk", "mincut"),
+        ("all-push-topk", "all_push"),
+        ("all-pull-topk", "all_pull"),
+    ):
+        tasks = trace_tasks(graph, dataflow)
+        if name == "vnm_a-topk":
+            main_tasks = tasks
+        results = executor.sweep(tasks, THREADS)
+        throughputs = [r.throughput for r in results]
+        series[name] = throughputs
+        rows.append([name] + [f"{t:,.2f}" for t in throughputs])
+    # The paper's "VNMA-topK-Ideal" reference: perfect work-conserving
+    # scaling of the decided overlay's task trace (no locks, no dispatcher).
+    total_work = sum(
+        sum(
+            executor.cost_model.push_cost(op.fan_in) if op.kind == "push"
+            else executor.cost_model.pull_cost(op.fan_in) if op.kind == "pull"
+            else 1.0 if op.kind == "write" else 0.5
+            for op in task
+        )
+        for task in main_tasks
+    )
+    ideal = [len(main_tasks) * workers / total_work for workers in THREADS]
+    rows.insert(0, ["vnm_a-topk-ideal"] + [f"{t:,.2f}" for t in ideal])
+    emit_table(
+        "fig13d_parallelism",
+        "Figure 13(d): simulated throughput (tasks/time-unit) vs worker threads",
+        ["system"] + [f"{t}thr" for t in THREADS],
+        rows,
+    )
+
+    # Shape (paper): every system rises near-linearly at first, then
+    # plateaus from synchronization overheads, falling away from the ideal
+    # line; absolute ordering between systems at saturation is workload
+    # dependent (the paper, too, plots the actual VNMA line below others).
+    for name, values in series.items():
+        assert values[1] > values[0] * 1.3, name  # early near-linear scaling
+        knee = THREADS.index(24)
+        assert values[-1] < values[knee] * 1.6, name  # saturation after knee
+    main = series["vnm_a-topk"]
+    assert main[-1] < ideal[-1]  # contention keeps reality under ideal
+
+    subset = main_tasks[:1500]
+    benchmark.pedantic(lambda: executor.sweep(subset, (1, 8, 24)), rounds=2, iterations=1)

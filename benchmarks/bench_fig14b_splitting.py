@@ -1,0 +1,78 @@
+"""Figure 14(b) — throughput benefit of partial pre-computation (splitting).
+
+Paper's series: the ratio of throughput with node splitting enabled to
+without, per aggregate, across write:read ratios.  Expected shape: benefit
+peaks around ratio ≈ 1 (the paper reports > 2x there) and shrinks toward
+both extremes, where decisions degenerate to all-push/all-pull and there is
+nothing for a hybrid to exploit.
+
+Work is counted in aggregate operations (machine-independent); throughput
+benefit = work(unsplit) / work(split).
+"""
+
+import pytest
+
+from benchmarks._common import (
+    bench_graph,
+    build_engine,
+    emit_table,
+    workload,
+)
+from repro.graph.streams import WriteEvent
+
+RATIOS = (0.05, 0.2, 1.0, 5.0, 20.0)
+AGGREGATES = ("sum", "topk")
+NUM_EVENTS = 4_000
+
+
+def run_work(engine, events):
+    for event in events:
+        if isinstance(event, WriteEvent):
+            engine.write(event.node, event.value, event.timestamp)
+        else:
+            engine.read(event.node)
+    return engine.counters.work
+
+
+def test_fig14b_splitting_benefit(benchmark):
+    graph = bench_graph("livejournal-small", scale=0.25)
+    rows = []
+    benefits = {}
+    for aggregate in AGGREGATES:
+        cells = []
+        for ratio in RATIOS:
+            events = workload(
+                graph, NUM_EVENTS, write_read_ratio=ratio, seed=int(ratio * 100) + 1
+            )
+            base = build_engine(
+                graph, aggregate_name=aggregate, algorithm="vnm_a",
+                events=events, enable_splitting=False,
+            )
+            split = build_engine(
+                graph, aggregate_name=aggregate, algorithm="vnm_a",
+                events=events, enable_splitting=True,
+            )
+            benefit = run_work(base, events) / max(1, run_work(split, events))
+            benefits[(aggregate, ratio)] = benefit
+            cells.append(f"{benefit:.2f}x")
+        rows.append([aggregate.upper()] + cells)
+    emit_table(
+        "fig14b_splitting",
+        "Figure 14(b): work ratio unsplit/split (higher = splitting helps more)",
+        ["aggregate"] + [f"w:r={r}" for r in RATIOS],
+        rows,
+    )
+
+    # Shape: splitting never hurts much, and helps most near ratio 1.
+    for aggregate in AGGREGATES:
+        middle = benefits[(aggregate, 1.0)]
+        assert middle >= 0.95
+        assert middle >= benefits[(aggregate, RATIOS[0])] - 0.35
+        assert middle >= benefits[(aggregate, RATIOS[-1])] - 0.35
+
+    events = workload(graph, 1200, write_read_ratio=1.0, seed=77)
+    engine = build_engine(
+        graph, aggregate_name="sum", algorithm="vnm_a", events=events,
+        enable_splitting=True,
+    )
+    benchmark.pedantic(lambda: run_work(engine, events), rounds=2, iterations=1)

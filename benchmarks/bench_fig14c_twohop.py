@@ -1,0 +1,67 @@
+"""Figure 14(c) — throughput on 2-hop ego-centric aggregates.
+
+Paper's series: throughput of all-push / overlay-dataflow / all-pull for
+SUM, MAX, TOP-K specified over 2-hop neighborhoods at write:read 1 on
+LiveJournal.  Expected shape: overlay wins again, with *larger* relative
+gains than the 1-hop case — 2-hop input lists overlap far more, so sharing
+has more to remove.
+"""
+
+import pytest
+
+from benchmarks._common import (
+    bench_graph,
+    build_engine,
+    emit_table,
+    measure_throughput,
+    workload,
+)
+
+AGGREGATES = ("sum", "max", "topk")
+NUM_EVENTS = 2_500
+SYSTEMS = (
+    ("all-push", "identity", "all_push"),
+    ("overlay", "vnm_a", "mincut"),
+    ("all-pull", "identity", "all_pull"),
+)
+
+
+def test_fig14c_two_hop_aggregates(benchmark):
+    graph = bench_graph("livejournal-small", scale=0.15)
+    events = workload(graph, NUM_EVENTS, write_read_ratio=1.0, seed=91)
+    rows = []
+    throughput = {}
+    sharing = {}
+    for aggregate in AGGREGATES:
+        cells = []
+        for name, algorithm, dataflow in SYSTEMS:
+            engine = build_engine(
+                graph, aggregate_name=aggregate, algorithm=algorithm,
+                dataflow=dataflow, events=events, hops=2,
+            )
+            if name == "overlay":
+                sharing[aggregate] = engine.sharing_index()
+            value = measure_throughput(engine, events)
+            throughput[(aggregate, name)] = value
+            cells.append(f"{value:,.0f}")
+        rows.append([aggregate.upper()] + cells)
+    emit_table(
+        "fig14c_twohop",
+        "Figure 14(c): 2-hop aggregate throughput (events/s), write:read = 1",
+        ["aggregate", "all-push", "overlay dataflow", "all-pull"],
+        rows,
+    )
+
+    # Shape: overlay beats both baselines for every aggregate, and 2-hop
+    # sharing is substantial (richer overlap than 1-hop).
+    for aggregate in AGGREGATES:
+        overlay = throughput[(aggregate, "overlay")]
+        assert overlay >= 0.95 * throughput[(aggregate, "all-push")]
+        assert overlay >= 0.95 * throughput[(aggregate, "all-pull")]
+    assert sharing["sum"] > 0.3
+
+    engine = build_engine(
+        graph, aggregate_name="sum", algorithm="vnm_a", events=events, hops=2
+    )
+    subset = events[:800]
+    benchmark.pedantic(lambda: measure_throughput(engine, subset), rounds=2, iterations=1)

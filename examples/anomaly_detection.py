@@ -1,0 +1,81 @@
+"""Continuous anomaly detection in a communication network (paper Section 1).
+
+A phone-call/messaging network where each node continuously monitors the
+call volume in its 2-hop neighborhood over a sliding time window; an alert
+fires when the volume exceeds a threshold (e.g. fraud rings or outages
+produce synchronized bursts).
+
+This is a *continuous* query — results must stay current as calls arrive,
+so the engine forces push decisions onto every reader (QueryMode.CONTINUOUS)
+and alerts are evaluated inline on each write, with O(1) state lookups.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import random
+
+from repro import Count, EAGrEngine, EgoQuery, Neighborhood, QueryMode, TimeWindow
+from repro.graph.generators import community_graph
+from repro.workload import ZipfSampler
+
+WINDOW_SECONDS = 30.0
+ALERT_THRESHOLD = 150  # calls within one neighborhood and window
+
+
+def main(calls: int = 15_000, seed: int = 7) -> None:
+    rng = random.Random(seed)
+    network = community_graph(
+        num_communities=12, community_size=18, intra_probability=0.35,
+        inter_edges=60, seed=seed,
+    )
+    print(
+        f"communication network: {network.num_nodes} subscribers, "
+        f"{network.num_edges} call relationships"
+    )
+
+    query = EgoQuery(
+        aggregate=Count(),
+        window=TimeWindow(WINDOW_SECONDS),
+        neighborhood=Neighborhood.undirected(),
+        mode=QueryMode.CONTINUOUS,  # alerts need always-fresh results
+    )
+    engine = EAGrEngine(network, query, overlay_algorithm="vnm_a")
+    print(f"compiled: {engine.describe()}\n")
+
+    # Normal background traffic, then a coordinated burst inside one
+    # community (an exfiltration ring lighting up at once).
+    sampler = ZipfSampler(list(network.nodes()), alpha=0.8, seed=seed)
+    burst_community = list(range(5 * 18, 6 * 18))  # community #5
+    alerts = []
+    clock = 0.0
+    for call in range(calls):
+        in_burst = calls // 2 <= call < calls // 2 + 900
+        # Background runs at ~30 calls/s; the ring bursts 10x faster.
+        clock += rng.expovariate(300.0 if in_burst else 30.0)
+        caller = rng.choice(burst_community) if in_burst else sampler.sample()
+        engine.write(caller, 1, timestamp=clock)
+        # Continuous mode: the monitor checks the caller's neighborhood
+        # reading the already-materialized count (no recomputation).
+        volume = engine.read(caller)
+        if volume > ALERT_THRESHOLD:
+            alerts.append((clock, caller, volume))
+
+    print(f"calls processed : {calls:,}")
+    print(f"alerts fired    : {len(alerts):,}")
+    if alerts:
+        first = alerts[0]
+        inside = sum(1 for _, node, _ in alerts if node in set(burst_community))
+        print(
+            f"first alert     : t={first[0]:.1f}s at node {first[1]} "
+            f"(neighborhood volume {first[2]} > {ALERT_THRESHOLD})"
+        )
+        print(f"alerts in burst community: {inside / len(alerts):.0%}")
+    ops = engine.counters
+    print(
+        f"\nwork: {ops.push_ops:,} incremental updates, "
+        f"{ops.pull_ops:,} on-demand steps (continuous mode keeps reads O(1))"
+    )
+
+
+if __name__ == "__main__":
+    main()

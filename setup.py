@@ -1,0 +1,17 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so PEP 660
+editable installs fail; this file enables pip's legacy `setup.py develop`
+editable path. All metadata lives in pyproject.toml / here."""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "EAGr: continuous ego-centric aggregate queries over large dynamic "
+        "graphs (SIGMOD 2014 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

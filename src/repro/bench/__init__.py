@@ -1,0 +1,13 @@
+"""Benchmark harness: workload runners and plain-text reporting."""
+
+from repro.bench.harness import WorkloadResult, run_segmented, run_workload
+from repro.bench.reporting import format_table, print_series, print_table
+
+__all__ = [
+    "WorkloadResult",
+    "run_segmented",
+    "run_workload",
+    "format_table",
+    "print_series",
+    "print_table",
+]

@@ -1,0 +1,120 @@
+"""Measurement harness for the paper's evaluation (Section 5.1).
+
+The paper's main metric is **end-to-end throughput**: total reads+writes
+served per second, which "accounts for the side effects of all potentially
+unknown system parameters".  :func:`run_workload` plays an event list
+against an engine and reports throughput plus per-read latency percentiles
+(Figure 13(c) reports worst-case / 95th / average read latency).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.core.engine import EAGrEngine
+from repro.graph.streams import ReadEvent, WriteEvent
+
+
+@dataclass
+class WorkloadResult:
+    """Throughput and latency measurements from one run."""
+
+    events: int
+    elapsed_seconds: float
+    reads: int
+    writes: int
+    read_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Events per second (the paper's headline metric)."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.events / self.elapsed_seconds
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Read latency at ``percentile`` (0-100), in seconds."""
+        if not self.read_latencies:
+            return 0.0
+        ordered = sorted(self.read_latencies)
+        rank = min(
+            len(ordered) - 1, max(0, int(round(percentile / 100.0 * (len(ordered) - 1))))
+        )
+        return ordered[rank]
+
+    @property
+    def average_read_latency(self) -> float:
+        if not self.read_latencies:
+            return 0.0
+        return sum(self.read_latencies) / len(self.read_latencies)
+
+    @property
+    def worst_read_latency(self) -> float:
+        return max(self.read_latencies) if self.read_latencies else 0.0
+
+
+def run_workload(
+    engine: EAGrEngine,
+    events: Sequence,
+    measure_latency: bool = False,
+) -> WorkloadResult:
+    """Play ``events`` against ``engine``, timing the whole run.
+
+    With ``measure_latency`` each read is timed individually (per-query
+    isolation, as in the paper's latency experiment); this adds per-event
+    clock overhead, so throughput comparisons should leave it off.
+    """
+    reads = 0
+    writes = 0
+    latencies: List[float] = []
+    started = time.perf_counter()
+    if measure_latency:
+        for event in events:
+            if isinstance(event, WriteEvent):
+                engine.write(event.node, event.value, event.timestamp)
+                writes += 1
+            else:
+                t0 = time.perf_counter()
+                engine.read(event.node)
+                latencies.append(time.perf_counter() - t0)
+                reads += 1
+    else:
+        for event in events:
+            if isinstance(event, WriteEvent):
+                engine.write(event.node, event.value, event.timestamp)
+                writes += 1
+            else:
+                engine.read(event.node)
+                reads += 1
+    elapsed = time.perf_counter() - started
+    return WorkloadResult(
+        events=reads + writes,
+        elapsed_seconds=elapsed,
+        reads=reads,
+        writes=writes,
+        read_latencies=latencies,
+    )
+
+
+def run_segmented(
+    engine: EAGrEngine, events: Sequence, segment_size: int
+) -> List[float]:
+    """Per-segment processing times (Figure 13(a): "time per 25,000 queries").
+
+    Returns elapsed seconds for each consecutive ``segment_size`` events.
+    """
+    durations: List[float] = []
+    position = 0
+    while position < len(events):
+        segment = events[position : position + segment_size]
+        started = time.perf_counter()
+        for event in segment:
+            if isinstance(event, WriteEvent):
+                engine.write(event.node, event.value, event.timestamp)
+            elif isinstance(event, ReadEvent):
+                engine.read(event.node)
+        durations.append(time.perf_counter() - started)
+        position += segment_size
+    return durations

@@ -1,0 +1,53 @@
+"""Plain-text reporting of benchmark series.
+
+Every bench target prints the rows/series its paper figure plots, in a
+uniform fixed-width format that survives pytest capture (`-s`) and log
+files.  No plotting dependencies — the *shape* is the deliverable, and
+shapes are legible in aligned columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def format_cell(value) -> str:
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 10_000 or abs(value) < 0.01):
+            return f"{value:.3e}"
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: Optional[str] = None
+) -> str:
+    """Render an aligned fixed-width table."""
+    rendered: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: Optional[str] = None
+) -> None:
+    print()
+    print(format_table(headers, rows, title=title))
+
+
+def print_series(name: str, xs: Sequence, ys: Sequence, x_label: str = "x") -> None:
+    """Print one figure series as two aligned columns."""
+    print_table([x_label, name], list(zip(xs, ys)))

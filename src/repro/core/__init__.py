@@ -1,0 +1,69 @@
+"""EAGr core: aggregates, windows, queries, overlay, execution, adaptivity."""
+
+from repro.core.adaptive import AdaptiveConfig, AdaptiveController
+from repro.core.aggregates import (
+    NEED_RECOMPUTE,
+    AggregateError,
+    AggregateFunction,
+    Count,
+    CountDistinct,
+    DistinctSet,
+    Max,
+    Mean,
+    Min,
+    Sum,
+    TopK,
+    UserDefinedAggregate,
+    get_aggregate,
+)
+from repro.core.concurrency import (
+    SimulatedExecutor,
+    SimulationResult,
+    ThreadedEngine,
+    collect_tasks,
+)
+from repro.core.engine import DATAFLOW_MODES, EAGrEngine
+from repro.core.execution import Runtime, RuntimeCounters, TraceOp
+from repro.core.overlay import Decision, NodeKind, Overlay, OverlayError
+from repro.core.partitioned import PartitionedEngine, community_assignment
+from repro.core.query import EgoQuery, QueryMode
+from repro.core.windows import TimeWindow, TupleWindow, Window, WindowBuffer
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "NEED_RECOMPUTE",
+    "AggregateError",
+    "AggregateFunction",
+    "Count",
+    "CountDistinct",
+    "DistinctSet",
+    "Max",
+    "Mean",
+    "Min",
+    "Sum",
+    "TopK",
+    "UserDefinedAggregate",
+    "get_aggregate",
+    "SimulatedExecutor",
+    "SimulationResult",
+    "ThreadedEngine",
+    "collect_tasks",
+    "DATAFLOW_MODES",
+    "EAGrEngine",
+    "Runtime",
+    "RuntimeCounters",
+    "TraceOp",
+    "Decision",
+    "NodeKind",
+    "Overlay",
+    "OverlayError",
+    "PartitionedEngine",
+    "community_assignment",
+    "EgoQuery",
+    "QueryMode",
+    "TimeWindow",
+    "TupleWindow",
+    "Window",
+    "WindowBuffer",
+]

@@ -1,0 +1,135 @@
+"""Adaptive dataflow decisions (paper Section 4.8).
+
+Static push/pull decisions are computed from *expected* read/write
+frequencies; real workloads drift.  The paper's adaptive scheme monitors the
+**push/pull frontier** — the only nodes whose decision can be flipped
+unilaterally without breaking consistency:
+
+* pull nodes all of whose inputs are push (may flip to push), and
+* push nodes all of whose consumers are pull, including consumer-less push
+  readers (may flip to pull).
+
+For each frontier node, the controller compares the observed push traffic
+(``f_h`` estimates; the runtime counts would-be pushes even when they stop
+at the frontier) against the observed pull traffic over a sliding window of
+events, and flips the decision when the other side would have been cheaper
+by a hysteresis factor.  Flipping to push materializes the node's PAO from
+its (push) inputs; flipping to pull discards state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.execution import Runtime
+from repro.core.overlay import Decision, NodeKind
+from repro.dataflow.costs import CostModel
+
+
+@dataclass
+class AdaptiveConfig:
+    """Tuning knobs for the adaptive controller."""
+
+    #: Re-evaluate the frontier every this many processed events.
+    check_interval: int = 500
+    #: Required cost advantage before flipping (guards against flapping).
+    hysteresis: float = 1.3
+    #: Minimum observations in the window before a flip is considered.
+    min_observations: int = 8
+
+
+class AdaptiveController:
+    """Monitors a runtime and re-decides frontier nodes as traffic drifts."""
+
+    def __init__(
+        self,
+        runtime: Runtime,
+        cost_model: Optional[CostModel] = None,
+        config: Optional[AdaptiveConfig] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.cost_model = cost_model or CostModel.constant_linear()
+        self.config = config or AdaptiveConfig()
+        self._events_since_check = 0
+        self.flips = 0
+        self._snapshot()
+
+    def _snapshot(self) -> None:
+        self._push_base: List[int] = list(self.runtime.observed_push)
+        self._pull_base: List[int] = list(self.runtime.observed_pull)
+
+    # ------------------------------------------------------------------
+
+    def tick(self, events: int = 1) -> None:
+        """Notify the controller that events were processed."""
+        self._events_since_check += events
+        if self._events_since_check >= self.config.check_interval:
+            self.evaluate()
+
+    def frontier(self) -> List[int]:
+        """Handles whose decision may be flipped unilaterally."""
+        overlay = self.runtime.overlay
+        result: List[int] = []
+        for handle in range(overlay.num_nodes):
+            if overlay.kinds[handle] is NodeKind.WRITER:
+                continue
+            decision = overlay.decisions[handle]
+            if decision is Decision.PULL:
+                if all(
+                    overlay.decisions[src] is Decision.PUSH
+                    for src in overlay.inputs[handle]
+                ):
+                    result.append(handle)
+            else:
+                if all(
+                    overlay.decisions[dst] is Decision.PULL
+                    for dst in overlay.outputs[handle]
+                ):
+                    result.append(handle)
+        return result
+
+    def evaluate(self) -> int:
+        """Re-decide every frontier node from windowed observations.
+
+        Returns the number of flips performed.  The frontier is recomputed
+        as flips occur (a flip may expose new frontier nodes only in the
+        next evaluation round, matching the paper's incremental scheme).
+        """
+        self._events_since_check = 0
+        runtime = self.runtime
+        overlay = runtime.overlay
+        config = self.config
+        flipped = 0
+        # Grow baselines if the overlay gained nodes since the last check.
+        while len(self._push_base) < overlay.num_nodes:
+            self._push_base.append(0)
+            self._pull_base.append(0)
+        for handle in self.frontier():
+            pushes = runtime.observed_push[handle] - self._push_base[handle]
+            pulls = runtime.observed_pull[handle] - self._pull_base[handle]
+            if pushes + pulls < config.min_observations:
+                continue
+            fan_in = max(1, overlay.fan_in(handle))
+            push_cost = pushes * self.cost_model.push_cost(fan_in)
+            pull_cost = pulls * self.cost_model.pull_cost(fan_in)
+            decision = overlay.decisions[handle]
+            # An earlier flip in this sweep may have moved this node off the
+            # frontier; re-check the structural condition before flipping.
+            if decision is Decision.PULL and push_cost * config.hysteresis < pull_cost:
+                if all(
+                    overlay.decisions[src] is Decision.PUSH
+                    for src in overlay.inputs[handle]
+                ):
+                    runtime.set_decision(handle, Decision.PUSH)
+                    flipped += 1
+            elif decision is Decision.PUSH and pull_cost * config.hysteresis < push_cost:
+                if all(
+                    overlay.decisions[dst] is Decision.PULL
+                    for dst in overlay.outputs[handle]
+                ):
+                    runtime.set_decision(handle, Decision.PULL)
+                    flipped += 1
+        self.flips += flipped
+        self._snapshot()
+        return flipped

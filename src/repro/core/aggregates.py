@@ -1,0 +1,521 @@
+"""Aggregate functions and the partial-aggregate-object (PAO) API.
+
+EAGr treats the aggregate function ``F`` as a black box implementing the
+standard user-defined-aggregate API (paper Section 2.2.3):
+
+* ``INITIALIZE`` — create an empty PAO (:meth:`AggregateFunction.identity`),
+* ``UPDATE`` — incorporate the change of one input from an old PAO to a new
+  one (realized here through the delta / fast-update protocols below),
+* ``FINALIZE`` — produce the user-facing answer from a PAO,
+* ``MERGE`` — combine two PAOs (required by EAGr to share partial
+  aggregates across overlay nodes; optional in most UDA APIs).
+
+Two optional properties drive overlay optimizations (Section 3.1):
+
+* ``duplicate_insensitive`` (MAX, MIN, set-UNIQUE): the overlay may contain
+  multiple writer→reader paths (:class:`~repro.overlay.vnm` ``VNM_D``);
+* ``subtractable`` (SUM, COUNT, AVG, TOP-K): a PAO's contribution can be
+  removed efficiently, enabling *negative edges* (``VNM_N``) and O(1)
+  sliding-window eviction.
+
+Implementation note — incremental execution families
+-----------------------------------------------------
+The execution engine (:mod:`repro.core.execution`) uses two propagation
+strategies, chosen by ``subtractable``:
+
+* **group aggregates** (subtractable): updates travel through the overlay as
+  small *delta* PAOs (e.g. ``+3.0`` for SUM, ``{"x": +1, "y": -1}`` for
+  TOP-K).  Applying a delta costs O(|delta|) regardless of fan-in, which is
+  the paper's ``H(k) ∝ 1`` regime.
+* **lattice aggregates** (MAX/MIN/set-UNIQUE): no deltas exist; updates
+  travel as ``(old, new)`` value pairs and each push node keeps its inputs'
+  last values, using :meth:`AggregateFunction.fast_update` when possible and
+  recomputing otherwise (the paper's priority-queue ``H(k) ∝ log k``
+  treatment, realized here as amortized fast-path + occasional O(k) rebuild).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Sentinel returned by :meth:`AggregateFunction.fast_update` when an O(1)
+#: update is impossible and the caller must recompute from all inputs.
+NEED_RECOMPUTE = object()
+
+PAO = Any
+Raw = Any
+
+
+class AggregateError(Exception):
+    """Raised on misuse of the aggregate API (e.g. subtracting a MAX)."""
+
+
+class AggregateFunction(ABC):
+    """Base class for EAGr aggregate functions.
+
+    Subclasses must provide :meth:`identity`, :meth:`lift`, :meth:`merge`
+    and :meth:`finalize`; ``subtractable`` subclasses must also provide
+    :meth:`subtract`.  PAOs are treated as immutable values by the engine —
+    ``merge``/``subtract`` must not mutate their arguments.
+    """
+
+    #: Human-readable name, also the registry key.
+    name: str = "abstract"
+    #: MAX-like: tolerant of the same writer contributing via multiple paths.
+    duplicate_insensitive: bool = False
+    #: SUM-like: supports efficient removal of a contribution.
+    subtractable: bool = False
+
+    # -- core PAO algebra ------------------------------------------------
+
+    @abstractmethod
+    def identity(self) -> PAO:
+        """The PAO of an empty input set (paper: INITIALIZE)."""
+
+    @abstractmethod
+    def lift(self, raw: Raw) -> PAO:
+        """The PAO of a single raw stream value."""
+
+    @abstractmethod
+    def merge(self, a: PAO, b: PAO) -> PAO:
+        """Combine two PAOs (pure; associative and commutative)."""
+
+    @abstractmethod
+    def finalize(self, pao: PAO) -> Any:
+        """Produce the user-facing result from a PAO (paper: FINALIZE)."""
+
+    def subtract(self, a: PAO, b: PAO) -> PAO:
+        """Remove ``b``'s contribution from ``a`` (subtractable only)."""
+        raise AggregateError(f"{self.name} does not support subtraction")
+
+    # -- derived helpers ---------------------------------------------------
+
+    def combine(self, paos: Iterable[PAO]) -> PAO:
+        """Fold :meth:`merge` over ``paos`` starting from :meth:`identity`."""
+        acc = self.identity()
+        for pao in paos:
+            acc = self.merge(acc, pao)
+        return acc
+
+    def combine_raw(self, raws: Iterable[Raw]) -> PAO:
+        """Aggregate raw values directly (brute-force evaluation path)."""
+        return self.combine(self.lift(raw) for raw in raws)
+
+    def negate(self, pao: PAO) -> PAO:
+        """The inverse element: ``merge(x, negate(x)) == identity``."""
+        return self.subtract(self.identity(), pao)
+
+    def delta(self, old: PAO, new: PAO) -> PAO:
+        """The delta PAO ``d`` with ``merge(old, d) == new`` (group only)."""
+        return self.subtract(new, old)
+
+    def fast_update(self, current: PAO, old: PAO, new: PAO) -> PAO:
+        """O(1) update of ``current`` when input changes ``old`` → ``new``.
+
+        Lattice aggregates override this; returning :data:`NEED_RECOMPUTE`
+        tells the engine to rebuild the PAO from all stored inputs.
+        """
+        return NEED_RECOMPUTE
+
+    # -- cost model hints (Section 4.2) -----------------------------------
+
+    def default_push_cost(self, k: int) -> float:
+        """``H(k)``: average cost of one incremental (push) update."""
+        return 1.0
+
+    def default_pull_cost(self, k: int) -> float:
+        """``L(k)``: average cost of one on-demand (pull) evaluation."""
+        return float(max(k, 1))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ---------------------------------------------------------------------------
+# Group (subtractable) aggregates
+# ---------------------------------------------------------------------------
+
+
+class Sum(AggregateFunction):
+    """SUM over the window contents of the neighborhood's writers."""
+
+    name = "sum"
+    subtractable = True
+
+    def identity(self) -> float:
+        return 0.0
+
+    def lift(self, raw: Raw) -> float:
+        return float(raw)
+
+    def merge(self, a: float, b: float) -> float:
+        return a + b
+
+    def subtract(self, a: float, b: float) -> float:
+        return a - b
+
+    def finalize(self, pao: float) -> float:
+        return pao
+
+
+class Count(AggregateFunction):
+    """COUNT of window entries across the neighborhood (event volume)."""
+
+    name = "count"
+    subtractable = True
+
+    def identity(self) -> int:
+        return 0
+
+    def lift(self, raw: Raw) -> int:
+        return 1
+
+    def merge(self, a: int, b: int) -> int:
+        return a + b
+
+    def subtract(self, a: int, b: int) -> int:
+        return a - b
+
+    def finalize(self, pao: int) -> int:
+        return pao
+
+
+class Mean(AggregateFunction):
+    """Arithmetic mean; PAO is the algebraic pair ``(sum, count)``."""
+
+    name = "mean"
+    subtractable = True
+
+    def identity(self) -> Tuple[float, int]:
+        return (0.0, 0)
+
+    def lift(self, raw: Raw) -> Tuple[float, int]:
+        return (float(raw), 1)
+
+    def merge(self, a: Tuple[float, int], b: Tuple[float, int]) -> Tuple[float, int]:
+        return (a[0] + b[0], a[1] + b[1])
+
+    def subtract(self, a: Tuple[float, int], b: Tuple[float, int]) -> Tuple[float, int]:
+        return (a[0] - b[0], a[1] - b[1])
+
+    def finalize(self, pao: Tuple[float, int]) -> Optional[float]:
+        total, count = pao
+        return total / count if count else None
+
+
+class TopK(AggregateFunction):
+    """TOP-K: the ``k`` most frequent values in the neighborhood's windows.
+
+    The paper's holistic aggregate (a generalization of *mode*, not of max).
+    The PAO is a value→count table; counts may be transiently negative inside
+    pull accumulation (a negative edge applied before its matching positive
+    contribution) and cancel by the time a result is finalized.
+    """
+
+    name = "topk"
+    subtractable = True
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+
+    def identity(self) -> Dict[Any, int]:
+        return {}
+
+    def lift(self, raw: Raw) -> Dict[Any, int]:
+        return {raw: 1}
+
+    def merge(self, a: Dict[Any, int], b: Dict[Any, int]) -> Dict[Any, int]:
+        if len(a) < len(b):
+            a, b = b, a
+        out = dict(a)
+        for value, count in b.items():
+            total = out.get(value, 0) + count
+            if total:
+                out[value] = total
+            else:
+                out.pop(value, None)
+        return out
+
+    def subtract(self, a: Dict[Any, int], b: Dict[Any, int]) -> Dict[Any, int]:
+        out = dict(a)
+        for value, count in b.items():
+            total = out.get(value, 0) - count
+            if total:
+                out[value] = total
+            else:
+                out.pop(value, None)
+        return out
+
+    def finalize(self, pao: Dict[Any, int]) -> List[Tuple[Any, int]]:
+        positive = [(v, c) for v, c in pao.items() if c > 0]
+        positive.sort(key=lambda item: (-item[1], repr(item[0])))
+        return positive[: self.k]
+
+    def default_push_cost(self, k: int) -> float:
+        return 2.0  # hash-table delta application, independent of fan-in
+
+    def default_pull_cost(self, k: int) -> float:
+        return 4.0 * max(k, 1)  # merging k counter tables
+
+    def __repr__(self) -> str:
+        return f"TopK(k={self.k})"
+
+
+class CountDistinct(AggregateFunction):
+    """Exact distinct-value count, counter-backed so windows subtract cleanly."""
+
+    name = "count_distinct"
+    subtractable = True
+
+    def identity(self) -> Dict[Any, int]:
+        return {}
+
+    def lift(self, raw: Raw) -> Dict[Any, int]:
+        return {raw: 1}
+
+    def merge(self, a: Dict[Any, int], b: Dict[Any, int]) -> Dict[Any, int]:
+        if len(a) < len(b):
+            a, b = b, a
+        out = dict(a)
+        for value, count in b.items():
+            total = out.get(value, 0) + count
+            if total:
+                out[value] = total
+            else:
+                out.pop(value, None)
+        return out
+
+    def subtract(self, a: Dict[Any, int], b: Dict[Any, int]) -> Dict[Any, int]:
+        out = dict(a)
+        for value, count in b.items():
+            total = out.get(value, 0) - count
+            if total:
+                out[value] = total
+            else:
+                out.pop(value, None)
+        return out
+
+    def finalize(self, pao: Dict[Any, int]) -> int:
+        return sum(1 for count in pao.values() if count > 0)
+
+    def default_push_cost(self, k: int) -> float:
+        return 2.0
+
+    def default_pull_cost(self, k: int) -> float:
+        return 3.0 * max(k, 1)
+
+
+# ---------------------------------------------------------------------------
+# Lattice (duplicate-insensitive, non-subtractable) aggregates
+# ---------------------------------------------------------------------------
+
+
+class Max(AggregateFunction):
+    """MAX; PAO is the extremum (``None`` for an empty window)."""
+
+    name = "max"
+    duplicate_insensitive = True
+
+    def identity(self) -> Optional[float]:
+        return None
+
+    def lift(self, raw: Raw) -> float:
+        return float(raw)
+
+    def merge(self, a: Optional[float], b: Optional[float]) -> Optional[float]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if a >= b else b
+
+    def finalize(self, pao: Optional[float]) -> Optional[float]:
+        return pao
+
+    def fast_update(self, current: PAO, old: PAO, new: PAO) -> PAO:
+        grown = self.merge(current, new)
+        if new is not None and (current is None or new >= current):
+            return grown  # new value (weakly) dominates: it is the max
+        if old is None or (current is not None and old < current):
+            return current  # a non-maximal input changed: max unaffected
+        return NEED_RECOMPUTE  # the maximal input shrank or vanished
+
+    def default_push_cost(self, k: int) -> float:
+        return math.log2(k) + 1.0 if k > 1 else 1.0
+
+    def default_pull_cost(self, k: int) -> float:
+        return float(max(k, 1))
+
+
+class Min(AggregateFunction):
+    """MIN; mirror image of :class:`Max`."""
+
+    name = "min"
+    duplicate_insensitive = True
+
+    def identity(self) -> Optional[float]:
+        return None
+
+    def lift(self, raw: Raw) -> float:
+        return float(raw)
+
+    def merge(self, a: Optional[float], b: Optional[float]) -> Optional[float]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        return a if a <= b else b
+
+    def finalize(self, pao: Optional[float]) -> Optional[float]:
+        return pao
+
+    def fast_update(self, current: PAO, old: PAO, new: PAO) -> PAO:
+        grown = self.merge(current, new)
+        if new is not None and (current is None or new <= current):
+            return grown
+        if old is None or (current is not None and old > current):
+            return current
+        return NEED_RECOMPUTE
+
+    def default_push_cost(self, k: int) -> float:
+        return math.log2(k) + 1.0 if k > 1 else 1.0
+
+
+class DistinctSet(AggregateFunction):
+    """UNIQUE as a *set union* — duplicate-insensitive but not subtractable.
+
+    The PAO is a frozenset of values seen in the neighborhood's windows.
+    This is the variant the paper lists with MAX/MIN as duplicate-insensitive
+    (the counter-backed :class:`CountDistinct` is the subtractable twin).
+    """
+
+    name = "distinct_set"
+    duplicate_insensitive = True
+
+    def identity(self) -> frozenset:
+        return frozenset()
+
+    def lift(self, raw: Raw) -> frozenset:
+        return frozenset((raw,))
+
+    def merge(self, a: frozenset, b: frozenset) -> frozenset:
+        return a | b
+
+    def finalize(self, pao: frozenset) -> frozenset:
+        return pao
+
+    def fast_update(self, current: PAO, old: PAO, new: PAO) -> PAO:
+        if old <= new:  # inputs only grew: union grows monotonically
+            return current | new
+        return NEED_RECOMPUTE
+
+    def default_push_cost(self, k: int) -> float:
+        return 2.0
+
+    def default_pull_cost(self, k: int) -> float:
+        return 3.0 * max(k, 1)
+
+
+# ---------------------------------------------------------------------------
+# User-defined aggregates (paper Section 2.2.3)
+# ---------------------------------------------------------------------------
+
+
+class UserDefinedAggregate(AggregateFunction):
+    """Adapter wrapping plain functions into the EAGr aggregate API.
+
+    Mirrors the paper's API: the user supplies ``initialize`` (INITIALIZE),
+    ``merge`` (the PAO-merge EAGr requires for sharing), ``finalize``
+    (FINALIZE), and optionally ``lift``, ``subtract`` and cost functions.
+    ``UPDATE(PAO, PAO_old, PAO_new)`` is derived: for subtractable
+    aggregates as ``merge(subtract(PAO, PAO_old), PAO_new)``, otherwise by
+    recomputation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initialize: Callable[[], PAO],
+        merge: Callable[[PAO, PAO], PAO],
+        finalize: Callable[[PAO], Any],
+        lift: Optional[Callable[[Raw], PAO]] = None,
+        subtract: Optional[Callable[[PAO, PAO], PAO]] = None,
+        duplicate_insensitive: bool = False,
+        push_cost: Optional[Callable[[int], float]] = None,
+        pull_cost: Optional[Callable[[int], float]] = None,
+    ) -> None:
+        self.name = name
+        self._initialize = initialize
+        self._merge = merge
+        self._finalize = finalize
+        self._lift = lift
+        self._subtract = subtract
+        self.duplicate_insensitive = duplicate_insensitive
+        self.subtractable = subtract is not None
+        self._push_cost = push_cost
+        self._pull_cost = pull_cost
+
+    def identity(self) -> PAO:
+        return self._initialize()
+
+    def lift(self, raw: Raw) -> PAO:
+        if self._lift is not None:
+            return self._lift(raw)
+        return self.merge(self.identity(), raw)
+
+    def merge(self, a: PAO, b: PAO) -> PAO:
+        return self._merge(a, b)
+
+    def subtract(self, a: PAO, b: PAO) -> PAO:
+        if self._subtract is None:
+            raise AggregateError(f"{self.name} does not support subtraction")
+        return self._subtract(a, b)
+
+    def finalize(self, pao: PAO) -> Any:
+        return self._finalize(pao)
+
+    def default_push_cost(self, k: int) -> float:
+        if self._push_cost is not None:
+            return self._push_cost(k)
+        return super().default_push_cost(k)
+
+    def default_pull_cost(self, k: int) -> float:
+        if self._pull_cost is not None:
+            return self._pull_cost(k)
+        return super().default_pull_cost(k)
+
+    def __repr__(self) -> str:
+        return f"UserDefinedAggregate({self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_BUILTINS: Dict[str, Callable[[], AggregateFunction]] = {
+    "sum": Sum,
+    "count": Count,
+    "mean": Mean,
+    "avg": Mean,
+    "max": Max,
+    "min": Min,
+    "topk": TopK,
+    "top-k": TopK,
+    "count_distinct": CountDistinct,
+    "distinct_set": DistinctSet,
+}
+
+
+def get_aggregate(name: str, **kwargs) -> AggregateFunction:
+    """Instantiate a built-in aggregate by name (``sum``, ``max``, ``topk``…)."""
+    try:
+        factory = _BUILTINS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown aggregate {name!r}; options: {sorted(set(_BUILTINS))}"
+        ) from None
+    return factory(**kwargs)

@@ -1,0 +1,377 @@
+"""Overlay execution: processing writes and reads (paper Section 2.2.2).
+
+The runtime holds a partial aggregate object (PAO) for every node annotated
+*push* and nothing for *pull* nodes.  A write enters at its writer node,
+updates the writer's sliding window and PAO, and propagates through
+consecutive push nodes; propagation stops at the push/pull frontier.  A read
+at a push reader returns its PAO immediately; at a pull reader it recursively
+pulls PAOs from upstream, merging (or subtracting, across negative edges) as
+it goes.
+
+Two propagation strategies, selected by the aggregate's family
+(see :mod:`repro.core.aggregates`):
+
+* **group** (subtractable) — updates travel as small *delta* PAOs; applying
+  one is O(|delta|), the ``H(k) ∝ 1`` regime;
+* **lattice** (MAX-like) — updates travel as ``(old, new)`` pairs; each push
+  node keeps its inputs' last values, applies an O(1) fast path when the
+  change cannot lower the extremum, and recomputes otherwise.
+
+The runtime also counts *observed* push and pull frequencies per node —
+including would-be pushes blocked at the frontier — which the adaptive
+controller (Section 4.8) consumes, and can record a micro-operation trace
+for the simulated multi-core executor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.aggregates import NEED_RECOMPUTE
+from repro.core.overlay import Decision, NodeKind, Overlay, OverlayError
+from repro.core.query import EgoQuery
+from repro.core.windows import TimeWindow, WindowBuffer
+
+NodeId = Hashable
+PAO = Any
+
+
+@dataclass
+class RuntimeCounters:
+    """Operation counters for throughput accounting."""
+
+    writes: int = 0
+    reads: int = 0
+    push_ops: int = 0
+    pull_ops: int = 0
+
+    @property
+    def events(self) -> int:
+        return self.writes + self.reads
+
+    @property
+    def work(self) -> int:
+        return self.push_ops + self.pull_ops
+
+
+@dataclass
+class TraceOp:
+    """One micro-operation for the simulated executor (Figure 13(d))."""
+
+    handle: int
+    kind: str  # "write" | "push" | "pull" | "read"
+    fan_in: int
+
+
+class Runtime:
+    """Executes one compiled query over an annotated overlay."""
+
+    def __init__(
+        self,
+        overlay: Overlay,
+        query: EgoQuery,
+        buffers: Optional[Dict[NodeId, WindowBuffer]] = None,
+        collect_trace: bool = False,
+    ) -> None:
+        self.overlay = overlay
+        self.query = query
+        self.aggregate = query.aggregate
+        self.group = self.aggregate.subtractable
+        if not self.group and overlay.num_negative_edges:
+            raise OverlayError(
+                f"overlay has negative edges but {self.aggregate.name} "
+                "does not support subtraction"
+            )
+        if not overlay.decisions_consistent():
+            raise OverlayError("overlay decisions are inconsistent (pull feeds push)")
+        self._time_window = isinstance(query.window, TimeWindow)
+        # Per-writer sliding windows, keyed by *graph node id* so they can
+        # survive overlay rebuilds.
+        self.buffers: Dict[NodeId, WindowBuffer] = buffers if buffers is not None else {}
+        self.values: List[Optional[PAO]] = []
+        self.snapshots: List[Optional[Dict[int, PAO]]] = []
+        self.observed_push: List[int] = []
+        self.observed_pull: List[int] = []
+        self.counters = RuntimeCounters()
+        self.clock = 0.0
+        self._expiry_heap: List[Tuple[float, int]] = []
+        self.trace: Optional[List[TraceOp]] = [] if collect_trace else None
+        self._materialize()
+
+    # ------------------------------------------------------------------
+    # state materialization
+    # ------------------------------------------------------------------
+
+    def _materialize(self) -> None:
+        overlay = self.overlay
+        agg = self.aggregate
+        n = overlay.num_nodes
+        self.values = [None] * n
+        self.snapshots = [None] * n
+        self.observed_push = [0] * n
+        self.observed_pull = [0] * n
+        for node, handle in overlay.writer_of.items():
+            if node not in self.buffers:
+                self.buffers[node] = self.query.window.make_buffer()
+        # Drop buffers of writers no longer present (after node removals).
+        live = set(overlay.writer_of)
+        for node in [n_ for n_ in self.buffers if n_ not in live]:
+            del self.buffers[node]
+        for handle in overlay.topological_order():
+            kind = overlay.kinds[handle]
+            if kind is NodeKind.WRITER:
+                buffer = self.buffers.get(overlay.labels[handle])
+                if buffer is None:
+                    # Tombstoned writer (its graph node was removed): it has
+                    # no edges and never receives writes; keep it inert.
+                    self.values[handle] = agg.identity()
+                    continue
+                self.values[handle] = agg.combine_raw(buffer.values())
+                if self._time_window:
+                    expiry = buffer.next_expiry()
+                    if expiry is not None:
+                        heapq.heappush(self._expiry_heap, (expiry, handle))
+                continue
+            if overlay.decisions[handle] is Decision.PUSH:
+                self._initialize_push_node(handle)
+
+    def _initialize_push_node(self, handle: int) -> None:
+        """Compute a push node's PAO from its (push, by consistency) inputs."""
+        agg = self.aggregate
+        acc = agg.identity()
+        snaps: Dict[int, PAO] = {}
+        for src, sign in self.overlay.inputs[handle].items():
+            value = self.values[src]
+            snaps[src] = value
+            acc = agg.merge(acc, value) if sign > 0 else agg.subtract(acc, value)
+        self.values[handle] = acc
+        if not self.group:
+            self.snapshots[handle] = snaps
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def write(self, node: NodeId, value: Any, timestamp: Optional[float] = None) -> None:
+        """Process one content update ("write on v")."""
+        self.counters.writes += 1
+        if timestamp is None:
+            timestamp = self.clock + 1.0
+        self.clock = max(self.clock, timestamp)
+        if self._time_window:
+            self._advance_time(self.clock)
+        handle = self.overlay.writer_of.get(node)
+        if handle is None:
+            return  # no reader observes this node; the write is dropped
+        buffer = self.buffers[node]
+        evicted = buffer.append(value, timestamp)
+        if self._time_window:
+            heapq.heappush(
+                self._expiry_heap, (timestamp + self.query.window.duration, handle)
+            )
+        if self.trace is not None:
+            self.trace.append(TraceOp(handle, "write", 1))
+        message = self.writer_step(handle, [value], evicted)
+        if message is not None:
+            self.propagate_from(handle, message)
+
+    def writer_step(
+        self, handle: int, added: List[Any], evicted: List[Any]
+    ) -> Optional[PAO]:
+        """Writer-local part of a write: update the window PAO.
+
+        Returns the propagation message for the writer's consumers (a delta
+        PAO for group aggregates, an ``(old, new)`` pair for lattice ones)
+        or ``None`` when nothing downstream can change.  Exposed as a
+        micro-task so the multi-threaded *queueing model* can run it under
+        a single node lock.
+        """
+        agg = self.aggregate
+        old = self.values[handle]
+        if self.group:
+            delta = agg.identity()
+            for raw in added:
+                delta = agg.merge(delta, agg.lift(raw))
+            for raw in evicted:
+                delta = agg.subtract(delta, agg.lift(raw))
+            if delta == agg.identity():
+                return None
+            self.values[handle] = agg.merge(old, delta)
+            return delta
+        if evicted:
+            buffer = self.buffers[self.overlay.labels[handle]]
+            new = agg.combine_raw(buffer.values())
+        else:
+            new = old
+            for raw in added:
+                new = agg.merge(new, agg.lift(raw))
+        if new == old:
+            return None
+        self.values[handle] = new
+        return (old, new)
+
+    def apply_push(self, src: int, dst: int, message: PAO) -> Optional[PAO]:
+        """One micro-task of the queueing model: apply ``src``'s change at
+        ``dst``; returns ``dst``'s own outgoing message (or ``None`` when
+        propagation stops — at the frontier or on a no-op update)."""
+        agg = self.aggregate
+        overlay = self.overlay
+        self.observed_push[dst] += 1
+        if overlay.decisions[dst] is Decision.PULL:
+            return None
+        if self.group:
+            sign = overlay.inputs[dst][src]
+            outgoing = message if sign > 0 else agg.negate(message)
+            self.values[dst] = agg.merge(self.values[dst], outgoing)
+            self.counters.push_ops += 1
+            if self.trace is not None:
+                self.trace.append(TraceOp(dst, "push", overlay.fan_in(dst)))
+            return outgoing
+        old, new = message
+        snaps = self.snapshots[dst]
+        previous = snaps.get(src, old)
+        snaps[src] = new
+        current = self.values[dst]
+        updated = agg.fast_update(current, previous, new)
+        if updated is NEED_RECOMPUTE:
+            updated = agg.combine(snaps.values())
+        self.counters.push_ops += 1
+        if self.trace is not None:
+            self.trace.append(TraceOp(dst, "push", overlay.fan_in(dst)))
+        if updated == current:
+            return None
+        self.values[dst] = updated
+        return (current, updated)
+
+    def propagate_from(self, source: int, message: PAO) -> None:
+        """Depth-first single-threaded propagation using the micro-steps."""
+        stack: List[Tuple[int, PAO]] = [(source, message)]
+        while stack:
+            node, msg = stack.pop()
+            for dst in self.overlay.outputs[node]:
+                outgoing = self.apply_push(node, dst, msg)
+                if outgoing is not None:
+                    stack.append((dst, outgoing))
+
+    def _writer_updated(
+        self, handle: int, added: List[Any], evicted: List[Any]
+    ) -> None:
+        message = self.writer_step(handle, added, evicted)
+        if message is not None:
+            self.propagate_from(handle, message)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def read(self, node: NodeId) -> Any:
+        """Process one read: the current value of ``F(N(node))``."""
+        self.counters.reads += 1
+        if self._time_window:
+            self._advance_time(self.clock)
+        agg = self.aggregate
+        handle = self.overlay.reader_of.get(node)
+        if handle is None:
+            return agg.finalize(agg.identity())
+        if self.overlay.decisions[handle] is Decision.PUSH:
+            self.observed_pull[handle] += 1
+            if self.trace is not None:
+                self.trace.append(TraceOp(handle, "read", 1))
+            return agg.finalize(self.values[handle])
+        return agg.finalize(self._pull(handle))
+
+    def _pull(self, handle: int) -> PAO:
+        agg = self.aggregate
+        overlay = self.overlay
+        self.observed_pull[handle] += 1
+        if self.trace is not None:
+            self.trace.append(TraceOp(handle, "pull", overlay.fan_in(handle)))
+        acc = agg.identity()
+        for src, sign in overlay.inputs[handle].items():
+            if overlay.decisions[src] is Decision.PUSH:
+                self.observed_pull[src] += 1
+                value = self.values[src]
+            else:
+                value = self._pull(src)
+            acc = agg.merge(acc, value) if sign > 0 else agg.subtract(acc, value)
+            self.counters.pull_ops += 1
+        return acc
+
+    # ------------------------------------------------------------------
+    # sliding-window expiry
+    # ------------------------------------------------------------------
+
+    def _advance_time(self, now: float) -> None:
+        while self._expiry_heap and self._expiry_heap[0][0] <= now:
+            _, handle = heapq.heappop(self._expiry_heap)
+            node = self.overlay.labels[handle]
+            buffer = self.buffers.get(node)
+            if buffer is None:
+                continue
+            evicted = buffer.evict_until(now)
+            if evicted:
+                self._writer_updated(handle, [], evicted)
+
+    # ------------------------------------------------------------------
+    # decision changes (adaptive execution, Section 4.8)
+    # ------------------------------------------------------------------
+
+    def set_decision(self, handle: int, decision: Decision) -> None:
+        """Flip one node's dataflow decision, materializing state as needed.
+
+        The caller must preserve consistency (the adaptive controller only
+        flips push/pull *frontier* nodes, which is always safe).
+        """
+        if self.overlay.decisions[handle] is decision:
+            return
+        if decision is Decision.PUSH:
+            for src in self.overlay.inputs[handle]:
+                if self.overlay.decisions[src] is not Decision.PUSH:
+                    raise OverlayError(
+                        "cannot flip to push: an input is not push (not a frontier node)"
+                    )
+            self.overlay.set_decision(handle, decision)
+            self._initialize_push_node(handle)
+        else:
+            for dst in self.overlay.outputs[handle]:
+                if self.overlay.decisions[dst] is Decision.PUSH:
+                    raise OverlayError(
+                        "cannot flip to pull: a consumer is push (not a frontier node)"
+                    )
+            self.overlay.set_decision(handle, decision)
+            self.values[handle] = None
+            self.snapshots[handle] = None
+
+    # ------------------------------------------------------------------
+    # validation helpers
+    # ------------------------------------------------------------------
+
+    def reference_read(self, input_nodes) -> Any:
+        """Brute-force evaluation straight from the window buffers.
+
+        This bypasses the overlay entirely and is the oracle the test suite
+        compares engine reads against.
+        """
+        agg = self.aggregate
+        acc = agg.identity()
+        for node in input_nodes:
+            buffer = self.buffers.get(node)
+            if buffer is None:
+                continue
+            if self._time_window:
+                buffer.evict_until(self.clock)
+            for raw in buffer.values():
+                acc = agg.merge(acc, agg.lift(raw))
+        return agg.finalize(acc)
+
+    def rebuild(self) -> "Runtime":
+        """Re-derive all runtime state from the (possibly mutated) overlay.
+
+        Window buffers are preserved by graph-node id; everything else is
+        recomputed.  Returns ``self`` for chaining.
+        """
+        self._expiry_heap.clear()
+        self._materialize()
+        return self

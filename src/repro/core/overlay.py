@@ -1,0 +1,401 @@
+"""The aggregation overlay graph (paper Section 2.2.1).
+
+An overlay ``OG(V'', E'')`` is a DAG with three node kinds:
+
+* **writer** nodes — one per data-graph node producing content,
+* **reader** nodes — one per query node (``pred``-selected),
+* **partial aggregation** nodes — introduced by the construction algorithms
+  to share partial aggregates across readers.
+
+Edges carry a *sign*: ``+1`` for ordinary contribution, ``-1`` for the
+*negative edges* of Section 3.1 that subtract a duplicate contribution
+("quasi-biclique" overlays, ``VNM_N``).  Correctness requires the **net
+signed path count** from any writer to any reader to be exactly 1 for
+``N(r)`` members and 0 otherwise — except for duplicate-insensitive
+aggregates, where any positive path count is acceptable and negative edges
+are forbidden.  :meth:`Overlay.validate` checks exactly this invariant and is
+used throughout the test suite.
+
+Every node additionally carries a dataflow *decision* (push or pull,
+Section 2.2.1): push nodes keep their PAO up to date on every update; pull
+nodes compute on demand.  Decisions must be *consistent*: no edge may run
+from a pull node into a push node.  Decisions default to pull (writers to
+push) until :mod:`repro.dataflow` assigns them.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.bipartite import BipartiteGraph
+
+NodeId = Hashable
+
+
+class NodeKind(enum.Enum):
+    WRITER = "writer"
+    READER = "reader"
+    PARTIAL = "partial"
+
+
+class Decision(enum.Enum):
+    PUSH = "push"
+    PULL = "pull"
+
+
+class OverlayError(Exception):
+    """Raised on structurally invalid overlay mutations."""
+
+
+class Overlay:
+    """Mutable aggregation overlay graph.
+
+    Node handles are dense integers.  ``inputs[v]`` maps source handle →
+    sign; ``outputs[v]`` is the (insertion-ordered) set of destinations.
+    A data-graph node that both writes and reads appears as *two* overlay
+    nodes (the bipartite split of Section 3.1).
+    """
+
+    def __init__(self) -> None:
+        self.kinds: List[NodeKind] = []
+        self.labels: List[Optional[NodeId]] = []
+        self.inputs: List[Dict[int, int]] = []
+        self.outputs: List[Dict[int, None]] = []
+        self.decisions: List[Decision] = []
+        self.writer_of: Dict[NodeId, int] = {}
+        self.reader_of: Dict[NodeId, int] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # node management
+    # ------------------------------------------------------------------
+
+    def _new_node(self, kind: NodeKind, label: Optional[NodeId]) -> int:
+        handle = len(self.kinds)
+        self.kinds.append(kind)
+        self.labels.append(label)
+        self.inputs.append({})
+        self.outputs.append({})
+        # Writers are always annotated push (Section 2.2.1); everything else
+        # starts pull (safe: nothing is precomputed until decisions run).
+        self.decisions.append(Decision.PUSH if kind is NodeKind.WRITER else Decision.PULL)
+        return handle
+
+    def add_writer(self, node: NodeId) -> int:
+        """Add (or fetch) the writer node for data-graph node ``node``."""
+        existing = self.writer_of.get(node)
+        if existing is not None:
+            return existing
+        handle = self._new_node(NodeKind.WRITER, node)
+        self.writer_of[node] = handle
+        return handle
+
+    def add_reader(self, node: NodeId) -> int:
+        """Add (or fetch) the reader node for data-graph node ``node``."""
+        existing = self.reader_of.get(node)
+        if existing is not None:
+            return existing
+        handle = self._new_node(NodeKind.READER, node)
+        self.reader_of[node] = handle
+        return handle
+
+    def add_partial(self) -> int:
+        """Add a fresh partial-aggregation (intermediate) node."""
+        return self._new_node(NodeKind.PARTIAL, None)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.kinds)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def writer_handles(self) -> Iterator[int]:
+        return iter(self.writer_of.values())
+
+    def reader_handles(self) -> Iterator[int]:
+        return iter(self.reader_of.values())
+
+    def partial_handles(self) -> Iterator[int]:
+        for handle, kind in enumerate(self.kinds):
+            if kind is NodeKind.PARTIAL:
+                yield handle
+
+    @property
+    def num_partials(self) -> int:
+        return sum(1 for kind in self.kinds if kind is NodeKind.PARTIAL)
+
+    def is_writer(self, handle: int) -> bool:
+        return self.kinds[handle] is NodeKind.WRITER
+
+    def is_reader(self, handle: int) -> bool:
+        return self.kinds[handle] is NodeKind.READER
+
+    def fan_in(self, handle: int) -> int:
+        return len(self.inputs[handle])
+
+    # ------------------------------------------------------------------
+    # edge management
+    # ------------------------------------------------------------------
+
+    def add_edge(self, src: int, dst: int, sign: int = 1) -> None:
+        """Add the edge ``src -> dst`` with the given sign.
+
+        Guards the paper's structural rules: readers never feed other nodes
+        ("we do not allow a reader node to directly form an input to an
+        aggregator node"), writers never receive input, and at most one edge
+        exists per (src, dst) pair — multiple writer→reader *paths* (for
+        duplicate-insensitive aggregates) always run through distinct
+        intermediate nodes.
+        """
+        if sign not in (1, -1):
+            raise OverlayError("edge sign must be +1 or -1")
+        if self.kinds[src] is NodeKind.READER:
+            raise OverlayError("reader nodes cannot feed other overlay nodes")
+        if self.kinds[dst] is NodeKind.WRITER:
+            raise OverlayError("writer nodes cannot receive overlay edges")
+        if src == dst:
+            raise OverlayError("self loops are not allowed")
+        if dst in self.outputs[src]:
+            raise OverlayError(f"duplicate edge {src}->{dst}")
+        self.inputs[dst][src] = sign
+        self.outputs[src][dst] = None
+        self._num_edges += 1
+
+    def remove_edge(self, src: int, dst: int) -> int:
+        """Remove ``src -> dst``; returns the sign it carried."""
+        try:
+            sign = self.inputs[dst].pop(src)
+        except KeyError:
+            raise OverlayError(f"edge {src}->{dst} not present") from None
+        del self.outputs[src][dst]
+        self._num_edges -= 1
+        return sign
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return dst in self.outputs[src]
+
+    def edge_sign(self, src: int, dst: int) -> int:
+        return self.inputs[dst][src]
+
+    def edges(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(src, dst, sign)`` for every edge."""
+        for dst, srcs in enumerate(self.inputs):
+            for src, sign in srcs.items():
+                yield (src, dst, sign)
+
+    @property
+    def num_negative_edges(self) -> int:
+        return sum(1 for _, _, sign in self.edges() if sign < 0)
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+
+    def set_decision(self, handle: int, decision: Decision) -> None:
+        if self.kinds[handle] is NodeKind.WRITER and decision is not Decision.PUSH:
+            raise OverlayError("writer nodes are always push")
+        self.decisions[handle] = decision
+
+    def set_all_decisions(self, decision: Decision) -> None:
+        """Annotate every non-writer node (all-push / all-pull baselines)."""
+        for handle in range(self.num_nodes):
+            if self.kinds[handle] is not NodeKind.WRITER:
+                self.decisions[handle] = decision
+
+    def decisions_consistent(self) -> bool:
+        """True iff no edge runs from a pull node into a push node."""
+        for src, dst, _ in self.edges():
+            if (
+                self.decisions[src] is Decision.PULL
+                and self.decisions[dst] is Decision.PUSH
+            ):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[int]:
+        """Writers-first topological order; raises if the overlay has a cycle."""
+        indegree = [len(self.inputs[h]) for h in range(self.num_nodes)]
+        frontier = [h for h in range(self.num_nodes) if indegree[h] == 0]
+        order: List[int] = []
+        while frontier:
+            handle = frontier.pop()
+            order.append(handle)
+            for dst in self.outputs[handle]:
+                indegree[dst] -= 1
+                if indegree[dst] == 0:
+                    frontier.append(dst)
+        if len(order) != self.num_nodes:
+            raise OverlayError("overlay contains a cycle")
+        return order
+
+    def upstream(self, handle: int) -> Set[int]:
+        """All nodes with a directed path to ``handle`` (exclusive)."""
+        seen: Set[int] = set()
+        stack = list(self.inputs[handle])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.inputs[node])
+        return seen
+
+    def downstream(self, handle: int) -> Set[int]:
+        """All nodes reachable from ``handle`` (exclusive)."""
+        seen: Set[int] = set()
+        stack = list(self.outputs[handle])
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.outputs[node])
+        return seen
+
+    # ------------------------------------------------------------------
+    # semantics: coverage and validation
+    # ------------------------------------------------------------------
+
+    def coverage(self, handle: int) -> Dict[int, int]:
+        """Net signed multiplicity of each writer reaching ``handle``.
+
+        ``coverage(r)[w] == 2`` means writer ``w`` reaches reader ``r`` along
+        two (net) positive paths; a correct duplicate-sensitive overlay has
+        every multiplicity equal to 1.
+        """
+        memo: Dict[int, Dict[int, int]] = {}
+
+        def rec(node: int) -> Dict[int, int]:
+            cached = memo.get(node)
+            if cached is not None:
+                return cached
+            if self.kinds[node] is NodeKind.WRITER:
+                result = {node: 1}
+            else:
+                result = {}
+                for src, sign in self.inputs[node].items():
+                    for writer, mult in rec(src).items():
+                        total = result.get(writer, 0) + sign * mult
+                        if total:
+                            result[writer] = total
+                        else:
+                            result.pop(writer, None)
+            memo[node] = result
+            return result
+
+        return dict(rec(handle))
+
+    def validate(
+        self,
+        ag: BipartiteGraph,
+        duplicate_insensitive: bool = False,
+    ) -> None:
+        """Check the overlay computes exactly the query encoded by ``ag``.
+
+        Raises :class:`OverlayError` on the first violated invariant.  For
+        duplicate-sensitive aggregates every writer in ``N(r)`` must reach
+        ``r`` with net multiplicity exactly 1 (negative edges may be used to
+        cancel extra paths); for duplicate-insensitive aggregates any
+        multiplicity >= 1 is fine but negative edges are forbidden.
+        """
+        self.topological_order()  # raises on cycles
+        if duplicate_insensitive and self.num_negative_edges:
+            raise OverlayError(
+                "duplicate-insensitive overlays must not contain negative edges"
+            )
+        for reader_node, expected in ag.reader_inputs.items():
+            handle = self.reader_of.get(reader_node)
+            if handle is None:
+                raise OverlayError(f"reader {reader_node!r} missing from overlay")
+            cover = self.coverage(handle)
+            covered_nodes = {self.labels[w]: mult for w, mult in cover.items()}
+            expected_set = set(expected)
+            for writer_node in expected_set:
+                mult = covered_nodes.pop(writer_node, 0)
+                if duplicate_insensitive:
+                    if mult < 1:
+                        raise OverlayError(
+                            f"reader {reader_node!r} misses writer {writer_node!r}"
+                        )
+                elif mult != 1:
+                    raise OverlayError(
+                        f"reader {reader_node!r} receives writer {writer_node!r} "
+                        f"with net multiplicity {mult} (expected 1)"
+                    )
+            if covered_nodes:
+                extra = sorted(map(repr, covered_nodes))
+                raise OverlayError(
+                    f"reader {reader_node!r} receives spurious writers: {extra}"
+                )
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+
+    def sharing_index(self, ag: BipartiteGraph) -> float:
+        """``1 - |E''| / |E'|`` (Section 3.1); positive when sharing helps."""
+        ag_edges = ag.num_edges
+        if ag_edges == 0:
+            return 0.0
+        return 1.0 - self.num_edges / ag_edges
+
+    def reader_depths(self) -> Dict[int, int]:
+        """Longest writer→reader path length per reader (Section 5.2)."""
+        depth = [0] * self.num_nodes
+        for handle in self.topological_order():
+            for src in self.inputs[handle]:
+                if depth[src] + 1 > depth[handle]:
+                    depth[handle] = depth[src] + 1
+        return {h: depth[h] for h in self.reader_of.values()}
+
+    def memory_estimate(self) -> int:
+        """Rough resident-size estimate in bytes (Figure 10(b) metric)."""
+        per_node = 120  # kind + label + dict headers
+        per_edge = 100  # two dict entries
+        return self.num_nodes * per_node + self.num_edges * per_edge
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, ag: BipartiteGraph) -> "Overlay":
+        """The trivial no-sharing overlay: direct writer→reader edges.
+
+        This is the structure both industry baselines of Section 5.1 run on
+        (all-pull: social-network style on-demand; all-push: CEP style
+        materialization); they differ only in dataflow decisions.
+        """
+        overlay = cls()
+        for writer in sorted(ag.writers, key=lambda n: (type(n).__name__, repr(n))):
+            overlay.add_writer(writer)
+        for reader, writers in ag.reader_inputs.items():
+            r = overlay.add_reader(reader)
+            for writer in writers:
+                overlay.add_edge(overlay.writer_of[writer], r)
+        return overlay
+
+    def copy(self) -> "Overlay":
+        clone = Overlay()
+        clone.kinds = list(self.kinds)
+        clone.labels = list(self.labels)
+        clone.inputs = [dict(d) for d in self.inputs]
+        clone.outputs = [dict(d) for d in self.outputs]
+        clone.decisions = list(self.decisions)
+        clone.writer_of = dict(self.writer_of)
+        clone.reader_of = dict(self.reader_of)
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Overlay(writers={len(self.writer_of)}, readers={len(self.reader_of)}, "
+            f"partials={self.num_partials}, edges={self.num_edges})"
+        )

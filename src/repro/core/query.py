@@ -1,0 +1,76 @@
+"""Ego-centric aggregate query specification (paper Section 2.1).
+
+A query is the 4-tuple ``⟨F, w, N, pred⟩``: the aggregate function, the
+sliding window, the neighborhood selection function, and the predicate
+selecting which graph nodes have a materialized query.  The query also
+carries its *mode*:
+
+* ``CONTINUOUS`` — results must be kept up to date as writes arrive
+  (anomaly/event detection).  The engine forces push decisions on readers.
+* ``QUASI_CONTINUOUS`` — results are only needed on a read (trend feeds);
+  the dataflow optimizer freely mixes push and pull.
+
+The distinction is one of the paper's framing contributions; everything else
+in the system is shared between the two modes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Optional
+
+from repro.core.aggregates import AggregateFunction
+from repro.core.windows import TupleWindow, Window
+from repro.graph.neighborhoods import Neighborhood
+
+NodeId = Hashable
+
+
+class QueryMode(enum.Enum):
+    CONTINUOUS = "continuous"
+    QUASI_CONTINUOUS = "quasi_continuous"
+
+
+@dataclass(frozen=True)
+class EgoQuery:
+    """``⟨F, w, N, pred⟩`` plus the continuous / quasi-continuous mode flag.
+
+    Examples
+    --------
+    The paper's running example (Figure 1) — most recent value of each
+    in-neighbor, summed, for every node::
+
+        EgoQuery(aggregate=Sum(), window=TupleWindow(1),
+                 neighborhood=Neighborhood.in_neighbors())
+
+    Ego-centric trending topics over friends' last 20 posts::
+
+        EgoQuery(aggregate=TopK(5), window=TupleWindow(20),
+                 neighborhood=Neighborhood.undirected())
+    """
+
+    aggregate: AggregateFunction
+    window: Window = field(default_factory=lambda: TupleWindow(1))
+    neighborhood: Neighborhood = field(default_factory=Neighborhood.in_neighbors)
+    predicate: Optional[Callable[[NodeId], bool]] = None
+    mode: QueryMode = QueryMode.QUASI_CONTINUOUS
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.aggregate, AggregateFunction):
+            raise TypeError("aggregate must be an AggregateFunction instance")
+        if not isinstance(self.window, Window):
+            raise TypeError("window must be a Window instance")
+        if not isinstance(self.neighborhood, Neighborhood):
+            raise TypeError("neighborhood must be a Neighborhood instance")
+
+    @property
+    def continuous(self) -> bool:
+        return self.mode is QueryMode.CONTINUOUS
+
+    def describe(self) -> str:
+        pred = "all nodes" if self.predicate is None else "pred-selected nodes"
+        return (
+            f"⟨{self.aggregate!r}, {self.window}, {self.neighborhood!r}, {pred}⟩"
+            f" [{self.mode.value}]"
+        )

@@ -1,0 +1,149 @@
+"""Sliding windows over content streams (paper Section 2.1).
+
+A query's window parameter ``w`` is either *tuple-based* (the last ``c``
+writes of each writer are live) or *time-based* (writes within the last ``T``
+time units are live).  Window semantics are per-writer: each writer node in
+the overlay owns a :class:`WindowBuffer` holding its live values; evicted
+values generate "removal" updates that flow through the overlay exactly like
+insertions (Section 2.2.2: "...or if the sliding windows shift and values
+drop out of the window").
+"""
+
+from __future__ import annotations
+
+import collections
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Deque, List, Optional, Tuple
+
+
+class Window(ABC):
+    """Specification of a sliding window (shared by all writers of a query)."""
+
+    @abstractmethod
+    def make_buffer(self) -> "WindowBuffer":
+        """Create a fresh per-writer buffer implementing this policy."""
+
+    @abstractmethod
+    def expected_size(self, write_rate: float = 1.0) -> float:
+        """Average number of live values per writer, used by the cost model
+        (Section 4.2 assigns writer nodes ``H(w)``/``L(w)`` for window size
+        ``w``)."""
+
+
+@dataclass(frozen=True)
+class TupleWindow(Window):
+    """Keep the last ``size`` values of each writer (``ROWS c``)."""
+
+    size: int = 1
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("window size must be >= 1")
+
+    def make_buffer(self) -> "WindowBuffer":
+        return _TupleBuffer(self.size)
+
+    def expected_size(self, write_rate: float = 1.0) -> float:
+        return float(self.size)
+
+
+@dataclass(frozen=True)
+class TimeWindow(Window):
+    """Keep values written within the trailing ``duration`` time units."""
+
+    duration: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("window duration must be positive")
+
+    def make_buffer(self) -> "WindowBuffer":
+        return _TimeBuffer(self.duration)
+
+    def expected_size(self, write_rate: float = 1.0) -> float:
+        return max(1.0, self.duration * write_rate)
+
+
+class WindowBuffer(ABC):
+    """Per-writer live-value store.
+
+    ``append`` returns the values evicted *by this insertion*;
+    ``evict_until`` returns values whose lifetime ended at or before the
+    given timestamp (time-based windows only — tuple windows never expire on
+    the clock).
+    """
+
+    @abstractmethod
+    def append(self, value: Any, timestamp: float) -> List[Any]:
+        ...
+
+    @abstractmethod
+    def evict_until(self, timestamp: float) -> List[Any]:
+        ...
+
+    @abstractmethod
+    def values(self) -> List[Any]:
+        """Current live values, oldest first."""
+
+    @abstractmethod
+    def next_expiry(self) -> Optional[float]:
+        """Timestamp at which the oldest live value expires, if any."""
+
+    def __len__(self) -> int:
+        return len(self.values())
+
+
+class _TupleBuffer(WindowBuffer):
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._items: Deque[Any] = collections.deque()
+
+    def append(self, value: Any, timestamp: float) -> List[Any]:
+        evicted: List[Any] = []
+        self._items.append(value)
+        while len(self._items) > self._size:
+            evicted.append(self._items.popleft())
+        return evicted
+
+    def evict_until(self, timestamp: float) -> List[Any]:
+        return []
+
+    def values(self) -> List[Any]:
+        return list(self._items)
+
+    def next_expiry(self) -> Optional[float]:
+        return None
+
+
+class _TimeBuffer(WindowBuffer):
+    def __init__(self, duration: float) -> None:
+        self._duration = duration
+        self._items: Deque[Tuple[float, Any]] = collections.deque()
+
+    def append(self, value: Any, timestamp: float) -> List[Any]:
+        if self._items and timestamp < self._items[-1][0]:
+            raise ValueError(
+                "timestamps must be non-decreasing within a writer's stream"
+            )
+        evicted = self.evict_until(timestamp)
+        self._items.append((timestamp, value))
+        return evicted
+
+    def evict_until(self, timestamp: float) -> List[Any]:
+        cutoff = timestamp - self._duration
+        evicted: List[Any] = []
+        while self._items and self._items[0][0] <= cutoff:
+            evicted.append(self._items.popleft()[1])
+        return evicted
+
+    def values(self) -> List[Any]:
+        return [value for _, value in self._items]
+
+    def next_expiry(self) -> Optional[float]:
+        if not self._items:
+            return None
+        return self._items[0][0] + self._duration
+
+    def __len__(self) -> int:
+        return len(self._items)

@@ -1,0 +1,46 @@
+"""Dataflow (push/pull) decisions: costs, frequencies, min-cut, greedy, splitting."""
+
+from repro.dataflow.costs import CostModel, calibrate
+from repro.dataflow.frequencies import FrequencyModel, compute_push_pull_frequencies
+from repro.dataflow.greedy import greedy_dataflow
+from repro.dataflow.latency import (
+    decide_dataflow_with_latency_budget,
+    estimated_read_latency,
+    read_latency_profile,
+)
+from repro.dataflow.maxflow import INF, FlowNetwork, edmonds_karp
+from repro.dataflow.mincut import (
+    DataflowStats,
+    assignment_cost,
+    decide_dataflow,
+    node_weights,
+    partition_value,
+    solve_dmp,
+)
+from repro.dataflow.pruning import PruneResult, connected_components, prune
+from repro.dataflow.splitting import best_split, split_nodes
+
+__all__ = [
+    "CostModel",
+    "calibrate",
+    "FrequencyModel",
+    "compute_push_pull_frequencies",
+    "greedy_dataflow",
+    "decide_dataflow_with_latency_budget",
+    "estimated_read_latency",
+    "read_latency_profile",
+    "INF",
+    "FlowNetwork",
+    "edmonds_karp",
+    "DataflowStats",
+    "assignment_cost",
+    "decide_dataflow",
+    "node_weights",
+    "partition_value",
+    "solve_dmp",
+    "PruneResult",
+    "connected_components",
+    "prune",
+    "best_split",
+    "split_nodes",
+]

@@ -1,0 +1,142 @@
+"""Push/pull cost models ``H(k)`` and ``L(k)`` (paper Section 4.2).
+
+``H(k)`` is the average cost of one incremental (push) update at an
+aggregation node with ``k`` inputs; ``L(k)`` the average cost of one
+on-demand (pull) evaluation.  For SUM-like aggregates ``H(k) ∝ 1`` and
+``L(k) ∝ k``; for MAX with a priority queue ``H(k) ∝ log k``.  The paper
+either takes these as given or *calibrates* them by invoking the aggregate
+over a range of input sizes and fitting; both paths are provided here.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.aggregates import AggregateFunction
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A pair of cost functions ``(H, L)``.
+
+    ``push(k)`` and ``pull(k)`` must be positive for ``k >= 1``.  The
+    ``push_scale``/``pull_scale`` constructors let experiments sweep the
+    push:pull cost *ratio* (Figure 13(c)) without touching the shape.
+    """
+
+    push: Callable[[int], float]
+    pull: Callable[[int], float]
+    description: str = "custom"
+
+    def push_cost(self, k: int) -> float:
+        return self.push(max(1, k))
+
+    def pull_cost(self, k: int) -> float:
+        return self.pull(max(1, k))
+
+    @classmethod
+    def constant_linear(
+        cls, push_unit: float = 1.0, pull_unit: float = 1.0
+    ) -> "CostModel":
+        """``H(k) = push_unit``, ``L(k) = pull_unit · k`` (the SUM regime)."""
+        return cls(
+            push=lambda k: push_unit,
+            pull=lambda k: pull_unit * k,
+            description=f"H(k)={push_unit}, L(k)={pull_unit}*k",
+        )
+
+    @classmethod
+    def log_linear(cls, push_unit: float = 1.0, pull_unit: float = 1.0) -> "CostModel":
+        """``H(k) = push_unit · (1 + log2 k)``, ``L(k) = pull_unit · k``
+        (the MAX-with-priority-queue regime)."""
+        return cls(
+            push=lambda k: push_unit * (1.0 + math.log2(k) if k > 1 else 1.0),
+            pull=lambda k: pull_unit * k,
+            description=f"H(k)={push_unit}*(1+log2 k), L(k)={pull_unit}*k",
+        )
+
+    @classmethod
+    def for_aggregate(
+        cls,
+        aggregate: AggregateFunction,
+        push_scale: float = 1.0,
+        pull_scale: float = 1.0,
+    ) -> "CostModel":
+        """Use the aggregate's own default cost hints, optionally rescaled."""
+        return cls(
+            push=lambda k: push_scale * aggregate.default_push_cost(k),
+            pull=lambda k: pull_scale * aggregate.default_pull_cost(k),
+            description=f"defaults({aggregate.name}) x(push={push_scale}, pull={pull_scale})",
+        )
+
+    def scaled(self, push_scale: float = 1.0, pull_scale: float = 1.0) -> "CostModel":
+        """A copy with H and L multiplied by the given factors."""
+        return CostModel(
+            push=lambda k: push_scale * self.push(k),
+            pull=lambda k: pull_scale * self.pull(k),
+            description=f"{self.description} x({push_scale},{pull_scale})",
+        )
+
+
+def _fit_affine(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Least-squares fit ``y ≈ a·x + b`` without requiring numpy."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var = sum((x - mean_x) ** 2 for x in xs)
+    if var == 0:
+        return 0.0, mean_y
+    slope = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys)) / var
+    return slope, mean_y - slope * mean_x
+
+
+def calibrate(
+    aggregate: AggregateFunction,
+    ks: Optional[Sequence[int]] = None,
+    repetitions: int = 200,
+    value_factory: Callable[[int], object] = lambda i: float(i % 97),
+) -> CostModel:
+    """Measure ``H``/``L`` for an aggregate by timing its PAO operations.
+
+    ``L(k)`` is fit as an affine function of ``k`` from timed ``combine``
+    calls over ``k`` PAOs; ``H`` is the measured cost of one incremental
+    ``merge`` (independent of ``k`` for group aggregates; charged a
+    logarithmic surcharge for lattice aggregates, matching their engine
+    implementation).  This is the calibration process Section 4.2 mentions.
+    """
+    if ks is None:
+        ks = (1, 2, 4, 8, 16, 32)
+    paos_by_k = {
+        k: [aggregate.lift(value_factory(i)) for i in range(k)] for k in ks
+    }
+
+    pull_times: List[float] = []
+    for k in ks:
+        paos = paos_by_k[k]
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            aggregate.combine(paos)
+        pull_times.append((time.perf_counter() - start) / repetitions)
+    slope, intercept = _fit_affine([float(k) for k in ks], pull_times)
+    slope = max(slope, 1e-9)
+    intercept = max(intercept, 0.0)
+
+    sample = aggregate.lift(value_factory(1))
+    acc = aggregate.identity()
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        acc = aggregate.merge(acc, sample)
+    push_unit = max((time.perf_counter() - start) / repetitions, 1e-9)
+
+    if aggregate.subtractable:
+        push_fn = lambda k: push_unit  # noqa: E731 - tiny closures
+    else:
+        push_fn = lambda k: push_unit * (1.0 + (math.log2(k) if k > 1 else 0.0))  # noqa: E731
+    return CostModel(
+        push=push_fn,
+        pull=lambda k: intercept + slope * k,
+        description=f"calibrated({aggregate.name})",
+    )

@@ -1,0 +1,132 @@
+"""Linear-time greedy alternative to the max-flow decisions (Section 4.6).
+
+The paper sketches this fallback for the (never observed in their
+experiments) case where pruning leaves a huge connected component.  Nodes
+are visited in topological (writers-first) order and assigned one of
+*push*, *pull*, or *tentative pull*; tentative decisions resolve when a
+downstream node forces them.  The two invariants maintained:
+
+1. a tentative-pull node is never downstream of a (tentative-)pull node,
+2. a push node is never downstream of a (tentative-)pull node,
+
+guarantee the final assignment is consistent.  Each edge is examined at
+most twice, so the algorithm is linear in the overlay size.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Set
+
+from repro.core.overlay import Decision, NodeKind, Overlay
+from repro.dataflow.costs import CostModel
+from repro.dataflow.frequencies import FrequencyModel, compute_push_pull_frequencies
+from repro.dataflow.mincut import DataflowStats, assignment_cost, node_weights
+
+
+class _State(enum.Enum):
+    PUSH = "push"
+    PULL = "pull"
+    TENTATIVE = "tentative_pull"
+
+
+def greedy_dataflow(
+    overlay: Overlay,
+    frequencies: FrequencyModel,
+    cost_model: Optional[CostModel] = None,
+    window_size: float = 1.0,
+    force_push_readers: bool = False,
+) -> DataflowStats:
+    """Assign decisions with the Section 4.6 greedy pass.
+
+    Same signature/contract as :func:`repro.dataflow.mincut.decide_dataflow`
+    but heuristic: fast and consistent, not necessarily optimal.
+    """
+    if cost_model is None:
+        cost_model = CostModel.constant_linear()
+    fh, fl = compute_push_pull_frequencies(overlay, frequencies)
+    force: Optional[Set[int]] = None
+    if force_push_readers:
+        # Continuous mode: a push reader needs its whole upstream closure
+        # push.  The min-cut gets this from its ∞ edges; the greedy must
+        # force the closure explicitly or rule 1 (pull input ⇒ pull) would
+        # override the reader's forced preference.
+        force = set(overlay.reader_of.values())
+        stack = list(force)
+        while stack:
+            handle = stack.pop()
+            for src in overlay.inputs[handle]:
+                if src not in force:
+                    force.add(src)
+                    stack.append(src)
+    weights = node_weights(
+        overlay, fh, fl, cost_model, window_size=window_size, force_push=force
+    )
+
+    state: Dict[int, _State] = {}
+    for handle in overlay.topological_order():
+        if overlay.kinds[handle] is NodeKind.WRITER:
+            state[handle] = _State.PUSH
+            continue
+        inputs = list(overlay.inputs[handle])
+        input_states = [state[src] for src in inputs]
+        wants_pull = weights[handle] < 0  # PULL cheaper than PUSH
+
+        if any(s is _State.PULL for s in input_states):
+            state[handle] = _State.PULL
+            continue
+        tentative_inputs = [
+            src for src in inputs if state[src] is _State.TENTATIVE
+        ]
+        if wants_pull:
+            if tentative_inputs:
+                # Pulling here strands the tentative inputs on the pull side.
+                for src in tentative_inputs:
+                    state[src] = _State.PULL
+                state[handle] = _State.PULL
+            else:
+                state[handle] = _State.TENTATIVE
+            continue
+        # Node prefers push.
+        if not tentative_inputs:
+            state[handle] = _State.PUSH
+            continue
+        # Greedy local resolution: flip the tentative inputs together with
+        # this node to whichever side is cheaper in aggregate.
+        # weights = PULL − PUSH: choosing push "loses" max(0, w) per node,
+        # choosing pull "loses" max(0, −w); compare total regret.
+        push_regret = sum(max(0.0, weights[src]) for src in tentative_inputs) + max(
+            0.0, weights[handle]
+        )
+        pull_regret = sum(max(0.0, -weights[src]) for src in tentative_inputs) + max(
+            0.0, -weights[handle]
+        )
+        if push_regret <= pull_regret:
+            for src in tentative_inputs:
+                state[src] = _State.PUSH
+            state[handle] = _State.PUSH
+        else:
+            for src in tentative_inputs:
+                state[src] = _State.PULL
+            state[handle] = _State.PULL
+
+    stats = DataflowStats(nodes_total=len(weights))
+    push_count = 0
+    pull_count = 0
+    for handle, node_state in state.items():
+        if overlay.kinds[handle] is NodeKind.WRITER:
+            continue
+        if node_state is _State.PUSH:
+            overlay.set_decision(handle, Decision.PUSH)
+            push_count += 1
+        else:  # leftover tentative decisions become pull (paper's epilogue)
+            overlay.set_decision(handle, Decision.PULL)
+            pull_count += 1
+    stats.push_nodes = push_count
+    stats.pull_nodes = pull_count
+    stats.total_cost = assignment_cost(
+        overlay, fh, fl, cost_model, window_size=window_size
+    )
+    if not overlay.decisions_consistent():
+        raise AssertionError("greedy produced inconsistent decisions (bug)")
+    return stats

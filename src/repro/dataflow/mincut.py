@@ -1,0 +1,222 @@
+"""Optimal dataflow decisions via the DMP → s-t min-cut reduction (§4.3–4.5).
+
+The *difference-maximizing partition* (DMP) problem: given a DAG with node
+weights ``w(v)`` (possibly negative), find a partition ``(X, Y)`` with no
+edge from ``Y`` to ``X`` maximizing ``Σ_X w − Σ_Y w``.  The dataflow problem
+reduces to DMP with ``w(v) = PULL(v) − PUSH(v)``: ``X`` becomes the push
+set, ``Y`` the pull set, and the partition constraint is exactly decision
+consistency (everything upstream of a push node is push).
+
+The reduction to min-cut (Theorem 4.1): augment with source ``s`` and sink
+``t``; ``s → v`` with capacity ``−w(v)`` for pull-leaning nodes, ``v → t``
+with capacity ``w(v)`` for push-leaning nodes, and ``∞`` on the original
+edges.  After max-flow, nodes residual-reachable from ``s`` form ``Y``.
+
+:func:`decide_dataflow` wires the whole Section-4 pipeline together:
+frequencies → weights → P1/P2 pruning → per-component max-flow →
+decision annotation, returning the statistics Figure 12 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+from repro.core.overlay import Decision, NodeKind, Overlay
+from repro.dataflow.costs import CostModel
+from repro.dataflow.frequencies import FrequencyModel, compute_push_pull_frequencies
+from repro.dataflow.maxflow import INF, FlowNetwork
+from repro.dataflow.pruning import connected_components, prune
+
+Node = Hashable
+
+
+def solve_dmp(
+    weights: Dict[Node, float], edges: Iterable[Tuple[Node, Node]]
+) -> Tuple[Set[Node], Set[Node]]:
+    """Solve one DMP instance exactly; returns ``(X, Y)`` = (push, pull).
+
+    Implements the Theorem 4.1 construction directly (no pruning) — callers
+    wanting scale should go through :func:`decide_dataflow`, which prunes
+    first and calls this per component.
+    """
+    nodes = list(weights)
+    index = {node: i for i, node in enumerate(nodes)}
+    edge_list = [(u, v) for u, v in edges]
+    network = FlowNetwork(len(nodes) + 2)
+    source = len(nodes)
+    sink = len(nodes) + 1
+    for node, weight in weights.items():
+        if weight < 0:
+            network.add_edge(source, index[node], -weight)
+        elif weight > 0:
+            network.add_edge(index[node], sink, weight)
+    for u, v in edge_list:
+        network.add_edge(index[u], index[v], INF)
+    network.max_flow(source, sink)
+    reachable = network.residual_reachable(source)
+    pull = {node for node in nodes if index[node] in reachable}
+    push = {node for node in nodes if node not in pull}
+    return push, pull
+
+
+def partition_value(
+    weights: Dict[Node, float], push: Set[Node], pull: Set[Node]
+) -> float:
+    """The DMP objective ``Σ_X w − Σ_Y w`` of a partition (for tests)."""
+    return sum(weights[n] for n in push) - sum(weights[n] for n in pull)
+
+
+@dataclass
+class DataflowStats:
+    """Telemetry from one decision run (Figure 12's series)."""
+
+    nodes_total: int = 0
+    graph_nodes_before: int = 0
+    virtual_nodes_before: int = 0
+    nodes_after_pruning: int = 0
+    graph_nodes_after: int = 0
+    virtual_nodes_after: int = 0
+    num_components: int = 0
+    largest_component: int = 0
+    push_nodes: int = 0
+    pull_nodes: int = 0
+    total_cost: float = 0.0
+
+    @property
+    def pruned_fraction(self) -> float:
+        """Fraction of decision nodes resolved by P1/P2 (Figure 12)."""
+        if self.nodes_total == 0:
+            return 0.0
+        return 1.0 - self.nodes_after_pruning / self.nodes_total
+
+
+def node_weights(
+    overlay: Overlay,
+    fh: List[float],
+    fl: List[float],
+    cost_model: CostModel,
+    window_size: float = 1.0,
+    force_push: Optional[Set[int]] = None,
+) -> Dict[int, float]:
+    """``w(v) = PULL(v) − PUSH(v)`` for every *decidable* (non-writer) node.
+
+    Writers are excluded: they are always push (Section 2.2.1).  ``force_push``
+    handles continuous-mode readers, which get an effectively infinite
+    push benefit so the cut can never place them in the pull side.
+    """
+    weights: Dict[int, float] = {}
+    for handle in range(overlay.num_nodes):
+        kind = overlay.kinds[handle]
+        if kind is NodeKind.WRITER:
+            continue
+        fan_in = max(1, overlay.fan_in(handle))
+        degree = fan_in if kind is not NodeKind.WRITER else max(1, int(window_size))
+        push_cost = fh[handle] * cost_model.push_cost(degree)
+        pull_cost = fl[handle] * cost_model.pull_cost(degree)
+        weights[handle] = pull_cost - push_cost
+    if force_push:
+        bound = sum(abs(w) for w in weights.values()) + 1.0
+        for handle in force_push:
+            if handle in weights:
+                weights[handle] = bound
+    return weights
+
+
+def assignment_cost(
+    overlay: Overlay,
+    fh: List[float],
+    fl: List[float],
+    cost_model: CostModel,
+    window_size: float = 1.0,
+) -> float:
+    """Total expected cost ``Σ_X PUSH + Σ_Y PULL`` of the current decisions.
+
+    Writers contribute their (mandatory) push cost with the window size as
+    their effective fan-in, following Section 4.2.
+    """
+    total = 0.0
+    for handle in range(overlay.num_nodes):
+        kind = overlay.kinds[handle]
+        if kind is NodeKind.WRITER:
+            total += fh[handle] * cost_model.push_cost(max(1, int(window_size)))
+            continue
+        degree = max(1, overlay.fan_in(handle))
+        if overlay.decisions[handle] is Decision.PUSH:
+            total += fh[handle] * cost_model.push_cost(degree)
+        else:
+            total += fl[handle] * cost_model.pull_cost(degree)
+    return total
+
+
+def decide_dataflow(
+    overlay: Overlay,
+    frequencies: FrequencyModel,
+    cost_model: Optional[CostModel] = None,
+    window_size: float = 1.0,
+    use_pruning: bool = True,
+    force_push_readers: bool = False,
+) -> DataflowStats:
+    """Annotate the overlay with optimal push/pull decisions (Section 4).
+
+    Returns the run's statistics.  ``force_push_readers`` implements
+    continuous-query mode.  Setting ``use_pruning=False`` runs max-flow on
+    the full decision graph (tests verify pruning changes nothing).
+    """
+    if cost_model is None:
+        cost_model = CostModel.constant_linear()
+    fh, fl = compute_push_pull_frequencies(overlay, frequencies)
+    force = set(overlay.reader_of.values()) if force_push_readers else None
+    weights = node_weights(
+        overlay, fh, fl, cost_model, window_size=window_size, force_push=force
+    )
+    decision_edges = [
+        (src, dst)
+        for src, dst, _ in overlay.edges()
+        if src in weights and dst in weights
+    ]
+
+    stats = DataflowStats(nodes_total=len(weights))
+    stats.graph_nodes_before = sum(
+        1 for h in weights if overlay.kinds[h] is NodeKind.READER
+    )
+    stats.virtual_nodes_before = stats.nodes_total - stats.graph_nodes_before
+
+    push: Set[int] = set()
+    pull: Set[int] = set()
+    if use_pruning:
+        pruned = prune(weights, decision_edges)
+        push |= pruned.pushed
+        pull |= pruned.pulled
+        stats.nodes_after_pruning = pruned.nodes_after
+        stats.graph_nodes_after = sum(
+            1 for h in pruned.remaining_nodes if overlay.kinds[h] is NodeKind.READER
+        )
+        stats.virtual_nodes_after = pruned.nodes_after - stats.graph_nodes_after
+        components = connected_components(
+            pruned.remaining_nodes, pruned.remaining_edges
+        )
+    else:
+        stats.nodes_after_pruning = len(weights)
+        components = connected_components(weights, decision_edges)
+
+    stats.num_components = len(components)
+    stats.largest_component = max((len(c[0]) for c in components), default=0)
+    for members, edges in components:
+        component_weights = {node: weights[node] for node in members}
+        comp_push, comp_pull = solve_dmp(component_weights, edges)
+        push |= comp_push
+        pull |= comp_pull
+
+    for handle in push:
+        overlay.set_decision(handle, Decision.PUSH)
+    for handle in pull:
+        overlay.set_decision(handle, Decision.PULL)
+    stats.push_nodes = len(push)
+    stats.pull_nodes = len(pull)
+    stats.total_cost = assignment_cost(
+        overlay, fh, fl, cost_model, window_size=window_size
+    )
+    if not overlay.decisions_consistent():
+        raise AssertionError("min-cut produced inconsistent decisions (bug)")
+    return stats

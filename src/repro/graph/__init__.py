@@ -1,0 +1,48 @@
+"""Graph substrate: dynamic graph store, neighborhoods, AG compiler, generators."""
+
+from repro.graph.bipartite import BipartiteGraph, build_bipartite
+from repro.graph.dynamic_graph import DynamicGraph, GraphError
+from repro.graph.generators import (
+    DATASETS,
+    community_graph,
+    load_dataset,
+    paper_figure1,
+    random_graph,
+    social_graph,
+    web_graph,
+)
+from repro.graph.neighborhoods import BOTH, IN, OUT, Neighborhood
+from repro.graph.streams import (
+    PlaybackStats,
+    ReadEvent,
+    StreamPlayer,
+    StructureEvent,
+    StructureOp,
+    WriteEvent,
+    merge_streams,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "build_bipartite",
+    "DynamicGraph",
+    "GraphError",
+    "DATASETS",
+    "community_graph",
+    "load_dataset",
+    "paper_figure1",
+    "random_graph",
+    "social_graph",
+    "web_graph",
+    "Neighborhood",
+    "IN",
+    "OUT",
+    "BOTH",
+    "PlaybackStats",
+    "ReadEvent",
+    "StreamPlayer",
+    "StructureEvent",
+    "StructureOp",
+    "WriteEvent",
+    "merge_streams",
+]

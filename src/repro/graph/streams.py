@@ -1,0 +1,155 @@
+"""Stream event types and playback for EAGr.
+
+Section 2.1 of the paper distinguishes two kinds of input streams:
+
+* the *structure* stream ``S_G`` carrying node/edge additions and deletions,
+* per-node *content* streams ``S_v`` carrying timestamped attribute writes.
+
+On top of writes, a workload also contains *reads* — user requests for the
+current value of a quasi-continuous query at a node.  The evaluation (Section
+5.1) replays traces of interleaved reads and writes against the system, so we
+model all three uniformly as :class:`Event` objects that a
+:class:`StreamPlayer` feeds to any sink exposing ``write``/``read``/
+``apply_structure_event`` (the engine API).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Iterator, List, Optional, Protocol, Sequence
+
+NodeId = Hashable
+
+
+class StructureOp(enum.Enum):
+    """Kinds of structural change carried on the structure stream."""
+
+    ADD_NODE = "add_node"
+    REMOVE_NODE = "remove_node"
+    ADD_EDGE = "add_edge"
+    REMOVE_EDGE = "remove_edge"
+
+
+@dataclass(frozen=True)
+class StructureEvent:
+    """One entry of the structure stream ``S_G``."""
+
+    op: StructureOp
+    u: NodeId
+    v: Optional[NodeId] = None
+    timestamp: float = 0.0
+
+    def __post_init__(self) -> None:
+        needs_v = self.op in (StructureOp.ADD_EDGE, StructureOp.REMOVE_EDGE)
+        if needs_v and self.v is None:
+            raise ValueError(f"{self.op} requires both endpoints")
+
+
+@dataclass(frozen=True)
+class WriteEvent:
+    """A content update ("write on v"): node ``node`` emitted ``value``."""
+
+    node: NodeId
+    value: object
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReadEvent:
+    """A read on ``node``: request for the current value of F(N(node))."""
+
+    node: NodeId
+    timestamp: float = 0.0
+
+
+Event = object  # StructureEvent | WriteEvent | ReadEvent
+
+
+class EventSink(Protocol):
+    """The interface a stream player drives (implemented by the engine)."""
+
+    def write(self, node: NodeId, value: object, timestamp: Optional[float] = None) -> None:
+        ...
+
+    def read(self, node: NodeId) -> object:
+        ...
+
+    def apply_structure_event(self, event: StructureEvent) -> None:
+        ...
+
+
+@dataclass
+class PlaybackStats:
+    """Counters accumulated by :class:`StreamPlayer`."""
+
+    writes: int = 0
+    reads: int = 0
+    structure_ops: int = 0
+    read_results: List[object] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.writes + self.reads + self.structure_ops
+
+
+class StreamPlayer:
+    """Replays a sequence of events against a sink in timestamp order.
+
+    The player is intentionally dumb — ordering, rates and distributions are
+    the responsibility of the workload generators in :mod:`repro.workload`.
+    Setting ``collect_results`` keeps every read result, which correctness
+    tests use to compare engines against brute-force evaluation.
+    """
+
+    def __init__(self, sink: EventSink, collect_results: bool = False) -> None:
+        self._sink = sink
+        self._collect = collect_results
+
+    def play(self, events: Iterable[Event]) -> PlaybackStats:
+        """Feed every event to the sink in order; returns counters."""
+        stats = PlaybackStats()
+        for event in events:
+            if isinstance(event, WriteEvent):
+                self._sink.write(event.node, event.value, timestamp=event.timestamp)
+                stats.writes += 1
+            elif isinstance(event, ReadEvent):
+                result = self._sink.read(event.node)
+                stats.reads += 1
+                if self._collect:
+                    stats.read_results.append(result)
+            elif isinstance(event, StructureEvent):
+                self._sink.apply_structure_event(event)
+                stats.structure_ops += 1
+            else:
+                raise TypeError(f"unknown event type: {type(event).__name__}")
+        return stats
+
+
+def merge_streams(*streams: Sequence[Event]) -> Iterator[Event]:
+    """Merge pre-sorted event streams into one globally timestamp-ordered stream.
+
+    A simple k-way merge; ties are broken by stream index so merging is
+    deterministic (important for reproducible benchmarks).
+    """
+    import heapq
+
+    heap = []
+    iterators = [iter(s) for s in streams]
+    for idx, iterator in enumerate(iterators):
+        first = next(iterator, None)
+        if first is not None:
+            heap.append((_event_ts(first), idx, 0, first))
+    heapq.heapify(heap)
+    counter = len(heap)
+    while heap:
+        _, idx, _, event = heapq.heappop(heap)
+        yield event
+        nxt = next(iterators[idx], None)
+        if nxt is not None:
+            counter += 1
+            heapq.heappush(heap, (_event_ts(nxt), idx, counter, nxt))
+
+
+def _event_ts(event: Event) -> float:
+    return getattr(event, "timestamp", 0.0)

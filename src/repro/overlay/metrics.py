@@ -1,0 +1,93 @@
+"""Overlay quality metrics (paper Sections 3.1 and 5.2).
+
+The primary construction metric is the *sharing index* ``1 − |E''|/|E'|``
+(already available as :meth:`Overlay.sharing_index`); this module adds the
+derived quantities the evaluation reports: compression ratio (the
+graph-compression literature's metric, ``CR = 1/(1−SI)``), the overlay-depth
+distribution of Figure 11(a), and a one-stop :class:`OverlaySummary`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.overlay import Overlay
+from repro.graph.bipartite import BipartiteGraph
+
+
+@dataclass(frozen=True)
+class OverlaySummary:
+    """Everything Figures 8–11 report about one overlay."""
+
+    num_writers: int
+    num_readers: int
+    num_partials: int
+    num_edges: int
+    num_negative_edges: int
+    ag_edges: int
+    sharing_index: float
+    compression_ratio: float
+    average_depth: float
+    max_depth: int
+    memory_estimate: int
+
+
+def compression_ratio(sharing_index: float) -> float:
+    """``CR = 1 / (1 − SI)`` (Section 3.1)."""
+    if sharing_index >= 1.0:
+        raise ValueError("sharing index must be < 1")
+    return 1.0 / (1.0 - sharing_index)
+
+
+def depth_distribution(overlay: Overlay) -> Dict[int, int]:
+    """Histogram: overlay depth → number of readers at that depth.
+
+    A reader's depth is the length of the longest path from one of its input
+    writers (Section 5.2); the identity overlay has every reader at depth 1.
+    """
+    histogram: Dict[int, int] = {}
+    for depth in overlay.reader_depths().values():
+        histogram[depth] = histogram.get(depth, 0) + 1
+    return histogram
+
+
+def depth_cdf(overlay: Overlay) -> List[Tuple[int, float]]:
+    """Cumulative fraction of readers at each depth (Figure 11(a) series)."""
+    histogram = depth_distribution(overlay)
+    total = sum(histogram.values())
+    if total == 0:
+        return []
+    cdf: List[Tuple[int, float]] = []
+    running = 0
+    for depth in sorted(histogram):
+        running += histogram[depth]
+        cdf.append((depth, running / total))
+    return cdf
+
+
+def average_depth(overlay: Overlay) -> float:
+    """Mean reader depth (paper reports 4.66 for IOB vs 3.44 for VNM_A)."""
+    depths = overlay.reader_depths()
+    if not depths:
+        return 0.0
+    return sum(depths.values()) / len(depths)
+
+
+def summarize(overlay: Overlay, ag: BipartiteGraph) -> OverlaySummary:
+    """Compute the full metric set for an overlay built over ``ag``."""
+    sharing = overlay.sharing_index(ag)
+    depths = overlay.reader_depths()
+    return OverlaySummary(
+        num_writers=len(overlay.writer_of),
+        num_readers=len(overlay.reader_of),
+        num_partials=overlay.num_partials,
+        num_edges=overlay.num_edges,
+        num_negative_edges=overlay.num_negative_edges,
+        ag_edges=ag.num_edges,
+        sharing_index=sharing,
+        compression_ratio=compression_ratio(min(sharing, 0.999999)),
+        average_depth=(sum(depths.values()) / len(depths)) if depths else 0.0,
+        max_depth=max(depths.values()) if depths else 0,
+        memory_estimate=overlay.memory_estimate(),
+    )

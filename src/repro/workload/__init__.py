@@ -1,0 +1,15 @@
+"""Workload generation: Zipf samplers, read/write mixers, drifting traces."""
+
+from repro.workload.mixer import WorkloadSpec, generate_events, warmup_writes
+from repro.workload.traces import DriftSpec, drifting_trace, phase_frequencies
+from repro.workload.zipf import ZipfSampler
+
+__all__ = [
+    "WorkloadSpec",
+    "generate_events",
+    "warmup_writes",
+    "DriftSpec",
+    "drifting_trace",
+    "phase_frequencies",
+    "ZipfSampler",
+]

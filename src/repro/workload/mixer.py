@@ -1,0 +1,96 @@
+"""Read/write workload synthesis.
+
+The evaluation's central knob is the **write:read ratio** (Figures 12(b),
+13, 14): a workload of ``n`` events where the fraction ``ratio/(1+ratio)``
+are writes, targets drawn from (independently seeded) Zipf samplers so the
+paper's "read frequency linear in write frequency" assumption holds, and
+write values drawn from a small vocabulary so TOP-K has meaningful
+frequencies.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from repro.graph.streams import ReadEvent, WriteEvent
+from repro.workload.zipf import ZipfSampler
+
+NodeId = Hashable
+Event = object
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Declarative description of a mixed read/write workload."""
+
+    num_events: int = 10_000
+    write_read_ratio: float = 1.0
+    alpha: float = 1.0
+    value_vocabulary: int = 20
+    seed: int = 42
+
+    @property
+    def write_fraction(self) -> float:
+        return self.write_read_ratio / (1.0 + self.write_read_ratio)
+
+
+def generate_events(
+    nodes: Sequence[NodeId],
+    spec: Optional[WorkloadSpec] = None,
+    value_factory: Optional[Callable[[random.Random], object]] = None,
+    **overrides,
+) -> List[Event]:
+    """Produce a timestamp-ordered list of interleaved read/write events.
+
+    Targets follow a Zipf law over ``nodes`` with the same rank permutation
+    for reads and writes — a node popular to write is equally popular to
+    read, the paper's linearity assumption.  Deterministic given the spec's
+    seed.
+    """
+    if spec is None:
+        spec = WorkloadSpec(**overrides)
+    elif overrides:
+        raise TypeError("pass either a spec or keyword overrides, not both")
+    rng = random.Random(spec.seed)
+    sampler = ZipfSampler(nodes, alpha=spec.alpha, seed=spec.seed + 1)
+    if value_factory is None:
+        vocabulary = spec.value_vocabulary
+
+        def value_factory(r: random.Random) -> object:
+            return float(r.randrange(vocabulary))
+
+    events: List[Event] = []
+    write_fraction = spec.write_fraction
+    for tick in range(spec.num_events):
+        node = sampler.sample()
+        timestamp = float(tick + 1)
+        if rng.random() < write_fraction:
+            events.append(WriteEvent(node=node, value=value_factory(rng), timestamp=timestamp))
+        else:
+            events.append(ReadEvent(node=node, timestamp=timestamp))
+    return events
+
+
+def warmup_writes(
+    nodes: Sequence[NodeId],
+    per_node: int = 1,
+    value_vocabulary: int = 20,
+    seed: int = 7,
+) -> List[Event]:
+    """One (or more) initial write(s) per node so every window is non-empty."""
+    rng = random.Random(seed)
+    events: List[Event] = []
+    tick = 0
+    for _ in range(per_node):
+        for node in nodes:
+            tick += 1
+            events.append(
+                WriteEvent(
+                    node=node,
+                    value=float(rng.randrange(value_vocabulary)),
+                    timestamp=float(-per_node * len(nodes) + tick),
+                )
+            )
+    return events

@@ -1,0 +1,121 @@
+"""Synthetic activity traces with workload drift.
+
+The paper drives its adaptive-dataflow experiment (Figure 13(a)) with the
+EPA-HTTP packet trace, splitting trace IP activity over graph nodes and then
+*changing* the read frequencies of a node subset halfway through, so the
+statically-decided dataflow goes stale.  The real traces are unavailable
+offline; :func:`drifting_trace` synthesizes the property that experiment
+actually needs — Zipf-skewed, bursty activity whose read/write mix inverts
+for a target node subset at a configurable switch point.  The latency
+experiment (Figure 13(c)) reuses the same generator without drift.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple
+
+from repro.graph.streams import ReadEvent, WriteEvent
+from repro.workload.zipf import ZipfSampler
+
+NodeId = Hashable
+Event = object
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Parameters for a two-phase drifting trace."""
+
+    num_events: int = 20_000
+    #: Fraction of the trace after which the drift kicks in.
+    switch_point: float = 0.5
+    #: Fraction of nodes whose behaviour inverts at the switch.
+    drifting_fraction: float = 0.2
+    #: Phase-1 write:read ratio for every node.
+    base_write_read_ratio: float = 1.0
+    #: Phase-2 write:read ratio for the *drifting* nodes (others keep base).
+    drifted_write_read_ratio: float = 0.1
+    alpha: float = 1.0
+    value_vocabulary: int = 20
+    burst_length: int = 4
+    seed: int = 99
+
+
+def drifting_trace(
+    nodes: Sequence[NodeId], spec: Optional[DriftSpec] = None, **overrides
+) -> Tuple[List[Event], List[NodeId]]:
+    """Generate a bursty two-phase trace; returns ``(events, drifting_nodes)``.
+
+    In phase 1 every node follows ``base_write_read_ratio``.  At the switch
+    point, the drifting subset (chosen among the *most active* nodes, where
+    the change hurts most — mirroring the paper's "nodes with the highest
+    read latencies") flips to ``drifted_write_read_ratio``.  Bursts model
+    packet-trace clumpiness: each sampled node emits a short run of events.
+    """
+    if spec is None:
+        spec = DriftSpec(**overrides)
+    elif overrides:
+        raise TypeError("pass either a spec or keyword overrides, not both")
+    rng = random.Random(spec.seed)
+    sampler = ZipfSampler(nodes, alpha=spec.alpha, seed=spec.seed + 1)
+
+    expected = sampler.expected_frequencies(float(spec.num_events))
+    by_activity = sorted(expected, key=lambda n: (-expected[n], repr(n)))
+    num_drifting = max(1, int(len(nodes) * spec.drifting_fraction))
+    drifting = by_activity[:num_drifting]
+    drifting_set = set(drifting)
+
+    switch_at = int(spec.num_events * spec.switch_point)
+    events: List[Event] = []
+    tick = 0
+    while len(events) < spec.num_events:
+        node = sampler.sample()
+        burst = rng.randrange(1, spec.burst_length + 1)
+        for _ in range(burst):
+            if len(events) >= spec.num_events:
+                break
+            tick += 1
+            phase2 = len(events) >= switch_at
+            if phase2 and node in drifting_set:
+                ratio = spec.drifted_write_read_ratio
+            else:
+                ratio = spec.base_write_read_ratio
+            write_fraction = ratio / (1.0 + ratio)
+            if rng.random() < write_fraction:
+                events.append(
+                    WriteEvent(
+                        node=node,
+                        value=float(rng.randrange(spec.value_vocabulary)),
+                        timestamp=float(tick),
+                    )
+                )
+            else:
+                events.append(ReadEvent(node=node, timestamp=float(tick)))
+    return events, drifting
+
+
+def phase_frequencies(
+    events: Sequence[Event], num_phases: int = 2
+) -> List[Tuple[dict, dict]]:
+    """Split a trace into phases and count (read, write) frequencies in each.
+
+    Useful for feeding phase-1 statistics to the static decision procedure
+    (the paper uses "average read/write frequencies ... to make static
+    dataflow decisions").
+    """
+    if num_phases < 1:
+        raise ValueError("num_phases must be >= 1")
+    size = max(1, len(events) // num_phases)
+    result: List[Tuple[dict, dict]] = []
+    for phase in range(num_phases):
+        chunk = events[phase * size : (phase + 1) * size if phase < num_phases - 1 else len(events)]
+        reads: dict = {}
+        writes: dict = {}
+        for event in chunk:
+            if isinstance(event, WriteEvent):
+                writes[event.node] = writes.get(event.node, 0.0) + 1.0
+            elif isinstance(event, ReadEvent):
+                reads[event.node] = reads.get(event.node, 0.0) + 1.0
+        result.append((reads, writes))
+    return result

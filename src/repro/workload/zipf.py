@@ -1,0 +1,56 @@
+"""Zipfian activity distributions (paper Section 5.1).
+
+User activity in the paper's target domains (tweets, page views) follows a
+Zipf law, and — lacking public read/write traces — the paper generates
+per-node activity synthetically from a Zipfian distribution with read
+frequency linear in write frequency.  This module provides that generator,
+deterministic under a seed, with the rank→node assignment shuffled so graph
+structure and activity skew are independent.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+from typing import Hashable, List, Sequence
+
+NodeId = Hashable
+
+
+class ZipfSampler:
+    """Samples nodes with probability proportional to ``1 / rank^alpha``."""
+
+    def __init__(self, nodes: Sequence[NodeId], alpha: float = 1.0, seed: int = 23) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.nodes: List[NodeId] = list(nodes)
+        self.alpha = alpha
+        self._rng = random.Random(seed)
+        ranks = list(range(1, len(self.nodes) + 1))
+        self._rng.shuffle(ranks)
+        weights = [1.0 / (rank ** alpha) for rank in ranks]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def weight(self, index: int) -> float:
+        prev = self._cumulative[index - 1] if index else 0.0
+        return self._cumulative[index] - prev
+
+    def sample(self) -> NodeId:
+        probe = self._rng.random() * self._total
+        index = bisect.bisect_left(self._cumulative, probe)
+        index = min(index, len(self.nodes) - 1)
+        return self.nodes[index]
+
+    def sample_many(self, count: int) -> List[NodeId]:
+        return [self.sample() for _ in range(count)]
+
+    def expected_frequencies(self, total_events: float) -> dict:
+        """Exact expected per-node event counts (for decision inputs)."""
+        return {
+            node: total_events * self.weight(index) / self._total
+            for index, node in enumerate(self.nodes)
+        }

@@ -1,0 +1,58 @@
+"""Shared fixtures and oracles for the test suite."""
+
+import random
+
+import pytest
+
+from repro.core.engine import EAGrEngine
+from repro.graph.streams import ReadEvent, WriteEvent
+
+
+def make_events(nodes, count, write_fraction=0.5, seed=0, vocabulary=12):
+    """Deterministic interleaved read/write events over ``nodes``."""
+    rng = random.Random(seed)
+    nodes = list(nodes)
+    events = []
+    for tick in range(count):
+        node = rng.choice(nodes)
+        if rng.random() < write_fraction:
+            events.append(
+                WriteEvent(node=node, value=float(rng.randrange(vocabulary)), timestamp=float(tick + 1))
+            )
+        else:
+            events.append(ReadEvent(node=node, timestamp=float(tick + 1)))
+    return events
+
+
+def play_and_check(engine: EAGrEngine, events, comparator=None):
+    """Play events; on every read, compare against the brute-force oracle.
+
+    Returns the number of reads checked.  ``comparator`` defaults to
+    equality (exact for ints/dicts; floats in these tests are sums of small
+    integers, so equality is exact there too).
+    """
+    if comparator is None:
+        comparator = lambda a, b: a == b  # noqa: E731
+    checked = 0
+    for event in events:
+        if isinstance(event, WriteEvent):
+            engine.write(event.node, event.value, event.timestamp)
+        else:
+            got = engine.read(event.node)
+            want = engine.reference_read(event.node)
+            assert comparator(got, want), (
+                f"read({event.node!r}) = {got!r}, oracle = {want!r} "
+                f"[{engine.describe()}]"
+            )
+            checked += 1
+    return checked
+
+
+@pytest.fixture
+def checker():
+    return play_and_check
+
+
+@pytest.fixture
+def event_factory():
+    return make_events

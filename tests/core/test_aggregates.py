@@ -1,0 +1,318 @@
+"""Unit + property tests for the aggregate function / PAO API."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregates import (
+    NEED_RECOMPUTE,
+    AggregateError,
+    Count,
+    CountDistinct,
+    DistinctSet,
+    Max,
+    Mean,
+    Min,
+    Sum,
+    TopK,
+    UserDefinedAggregate,
+    get_aggregate,
+)
+
+
+class TestSum:
+    def test_basic(self):
+        agg = Sum()
+        assert agg.combine_raw([1, 2, 3]) == 6.0
+        assert agg.finalize(agg.identity()) == 0.0
+
+    def test_subtract(self):
+        agg = Sum()
+        assert agg.subtract(10.0, 4.0) == 6.0
+        assert agg.merge(3.0, agg.negate(3.0)) == 0.0
+
+    def test_delta(self):
+        agg = Sum()
+        assert agg.delta(5.0, 9.0) == 4.0
+
+    def test_flags(self):
+        assert Sum().subtractable and not Sum().duplicate_insensitive
+
+
+class TestCount:
+    def test_lift_counts_events_not_values(self):
+        agg = Count()
+        assert agg.combine_raw(["x", "y", "x"]) == 3
+
+    def test_subtract(self):
+        assert Count().subtract(5, 2) == 3
+
+
+class TestMean:
+    def test_finalize(self):
+        agg = Mean()
+        assert agg.finalize(agg.combine_raw([2.0, 4.0])) == 3.0
+
+    def test_empty_is_none(self):
+        agg = Mean()
+        assert agg.finalize(agg.identity()) is None
+
+    def test_subtract(self):
+        agg = Mean()
+        pao = agg.subtract(agg.combine_raw([2.0, 4.0, 6.0]), agg.lift(6.0))
+        assert agg.finalize(pao) == 3.0
+
+
+class TestMax:
+    def test_basic(self):
+        agg = Max()
+        assert agg.combine_raw([3, 9, 4]) == 9.0
+
+    def test_empty_is_none(self):
+        agg = Max()
+        assert agg.finalize(agg.identity()) is None
+
+    def test_merge_with_none(self):
+        agg = Max()
+        assert agg.merge(None, 5.0) == 5.0
+        assert agg.merge(5.0, None) == 5.0
+
+    def test_subtract_raises(self):
+        with pytest.raises(AggregateError):
+            Max().subtract(5.0, 3.0)
+
+    def test_fast_update_grow(self):
+        agg = Max()
+        assert agg.fast_update(5.0, 3.0, 7.0) == 7.0
+
+    def test_fast_update_irrelevant_input(self):
+        agg = Max()
+        assert agg.fast_update(5.0, 2.0, 1.0) == 5.0
+
+    def test_fast_update_max_shrinks_needs_recompute(self):
+        agg = Max()
+        assert agg.fast_update(5.0, 5.0, 1.0) is NEED_RECOMPUTE
+
+    def test_fast_update_from_empty(self):
+        agg = Max()
+        assert agg.fast_update(None, None, 3.0) == 3.0
+
+    def test_costs_logarithmic(self):
+        agg = Max()
+        assert agg.default_push_cost(1) == 1.0
+        assert agg.default_push_cost(8) == pytest.approx(4.0)
+
+
+class TestMin:
+    def test_basic(self):
+        assert Min().combine_raw([3, 9, 4]) == 3.0
+
+    def test_fast_update(self):
+        agg = Min()
+        assert agg.fast_update(3.0, 5.0, 2.0) == 2.0
+        assert agg.fast_update(3.0, 3.0, 9.0) is NEED_RECOMPUTE
+
+
+class TestTopK:
+    def test_finalize_orders_by_count(self):
+        agg = TopK(2)
+        pao = agg.combine_raw(["a", "b", "a", "c", "b", "a"])
+        assert agg.finalize(pao) == [("a", 3), ("b", 2)]
+
+    def test_tie_break_deterministic(self):
+        agg = TopK(3)
+        pao = agg.combine_raw(["b", "a"])
+        assert agg.finalize(pao) == [("a", 1), ("b", 1)]
+
+    def test_subtract_removes_contribution(self):
+        agg = TopK(3)
+        pao = agg.combine_raw(["a", "a", "b"])
+        pao = agg.subtract(pao, agg.lift("a"))
+        assert agg.finalize(pao) == [("a", 1), ("b", 1)]
+
+    def test_transient_negative_counts_cancel(self):
+        agg = TopK(3)
+        # Subtract before merge — mirrors a negative edge applied first.
+        pao = agg.subtract(agg.identity(), agg.lift("x"))
+        pao = agg.merge(pao, agg.combine_raw(["x", "x"]))
+        assert agg.finalize(pao) == [("x", 1)]
+
+    def test_negative_counts_excluded_from_result(self):
+        agg = TopK(3)
+        pao = agg.subtract(agg.identity(), agg.lift("x"))
+        assert agg.finalize(pao) == []
+
+    def test_zero_counts_dropped_from_pao(self):
+        agg = TopK(3)
+        pao = agg.subtract(agg.lift("x"), agg.lift("x"))
+        assert pao == {}
+
+    def test_merge_is_pure(self):
+        agg = TopK(2)
+        a = agg.lift("x")
+        b = agg.lift("y")
+        agg.merge(a, b)
+        assert a == {"x": 1} and b == {"y": 1}
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TopK(0)
+
+
+class TestCountDistinct:
+    def test_counts_distinct(self):
+        agg = CountDistinct()
+        assert agg.finalize(agg.combine_raw(["a", "b", "a"])) == 2
+
+    def test_subtract_respects_multiplicity(self):
+        agg = CountDistinct()
+        pao = agg.combine_raw(["a", "a", "b"])
+        pao = agg.subtract(pao, agg.lift("a"))
+        assert agg.finalize(pao) == 2  # one "a" remains live
+        pao = agg.subtract(pao, agg.lift("a"))
+        assert agg.finalize(pao) == 1
+
+
+class TestDistinctSet:
+    def test_union(self):
+        agg = DistinctSet()
+        assert agg.combine_raw(["a", "b", "a"]) == frozenset({"a", "b"})
+
+    def test_duplicate_insensitive_flag(self):
+        assert DistinctSet().duplicate_insensitive
+        assert not DistinctSet().subtractable
+
+    def test_fast_update_monotone_growth(self):
+        agg = DistinctSet()
+        current = frozenset({"a"})
+        assert agg.fast_update(current, frozenset(), frozenset({"b"})) == {"a", "b"}
+
+    def test_fast_update_shrink_needs_recompute(self):
+        agg = DistinctSet()
+        assert (
+            agg.fast_update(frozenset({"a", "b"}), frozenset({"b"}), frozenset())
+            is NEED_RECOMPUTE
+        )
+
+
+class TestUserDefined:
+    def make_product(self):
+        return UserDefinedAggregate(
+            name="product",
+            initialize=lambda: 1.0,
+            merge=lambda a, b: a * b,
+            finalize=lambda pao: pao,
+            lift=float,
+            subtract=lambda a, b: a / b,
+        )
+
+    def test_roundtrip(self):
+        agg = self.make_product()
+        assert agg.combine_raw([2, 3, 4]) == 24.0
+        assert agg.subtract(24.0, 4.0) == 6.0
+        assert agg.subtractable
+
+    def test_without_subtract(self):
+        agg = UserDefinedAggregate(
+            name="concat",
+            initialize=tuple,
+            merge=lambda a, b: a + b,
+            finalize=lambda p: p,
+            lift=lambda raw: (raw,),
+        )
+        assert not agg.subtractable
+        with pytest.raises(AggregateError):
+            agg.subtract((1,), (1,))
+
+    def test_custom_costs(self):
+        agg = UserDefinedAggregate(
+            name="c",
+            initialize=lambda: 0,
+            merge=lambda a, b: a + b,
+            finalize=lambda p: p,
+            lift=lambda r: 1,
+            push_cost=lambda k: 7.0,
+            pull_cost=lambda k: 11.0 * k,
+        )
+        assert agg.default_push_cost(3) == 7.0
+        assert agg.default_pull_cost(3) == 33.0
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["sum", "count", "mean", "avg", "max", "min", "count_distinct", "distinct_set"]
+    )
+    def test_builtins(self, name):
+        agg = get_aggregate(name)
+        assert agg.finalize(agg.identity()) is not NotImplemented
+
+    def test_topk_kwargs(self):
+        assert get_aggregate("topk", k=7).k == 7
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_aggregate("median")
+
+
+# ---------------------------------------------------------------------------
+# Algebraic property tests
+# ---------------------------------------------------------------------------
+
+floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+values = st.sampled_from(["a", "b", "c", "d"])
+
+
+@given(st.lists(floats, max_size=20), st.lists(floats, max_size=20))
+def test_sum_merge_matches_concat(xs, ys):
+    agg = Sum()
+    merged = agg.merge(agg.combine_raw(xs), agg.combine_raw(ys))
+    assert merged == pytest.approx(agg.combine_raw(xs + ys))
+
+
+@given(st.lists(floats, min_size=1, max_size=20), st.lists(floats, max_size=20))
+def test_sum_subtract_inverts_merge(xs, ys):
+    agg = Sum()
+    a, b = agg.combine_raw(xs), agg.combine_raw(ys)
+    # Absolute tolerance scaled by |b|: catastrophic cancellation is real
+    # float behaviour, not an aggregate bug.
+    assert agg.subtract(agg.merge(a, b), b) == pytest.approx(
+        a, abs=1e-6 * (1.0 + abs(b))
+    )
+
+
+@given(st.lists(values, max_size=20), st.lists(values, max_size=20))
+def test_topk_merge_commutative(xs, ys):
+    agg = TopK(4)
+    a, b = agg.combine_raw(xs), agg.combine_raw(ys)
+    assert agg.merge(a, b) == agg.merge(b, a)
+
+
+@given(st.lists(values, max_size=15), st.lists(values, max_size=15))
+def test_topk_subtract_inverts_merge(xs, ys):
+    agg = TopK(4)
+    a, b = agg.combine_raw(xs), agg.combine_raw(ys)
+    assert agg.subtract(agg.merge(a, b), b) == a
+
+
+@given(st.lists(floats, max_size=20), st.lists(floats, max_size=20))
+def test_max_merge_matches_concat(xs, ys):
+    agg = Max()
+    merged = agg.merge(agg.combine_raw(xs), agg.combine_raw(ys))
+    assert merged == agg.combine_raw(xs + ys)
+
+
+@given(st.lists(values, max_size=20))
+def test_distinct_set_idempotent(xs):
+    agg = DistinctSet()
+    pao = agg.combine_raw(xs)
+    assert agg.merge(pao, pao) == pao  # duplicate insensitivity, literally
+
+
+@given(st.lists(floats, max_size=12), st.lists(floats, max_size=12), st.lists(floats, max_size=12))
+def test_mean_merge_associative(xs, ys, zs):
+    agg = Mean()
+    a, b, c = agg.combine_raw(xs), agg.combine_raw(ys), agg.combine_raw(zs)
+    left = agg.merge(agg.merge(a, b), c)
+    right = agg.merge(a, agg.merge(b, c))
+    assert left[0] == pytest.approx(right[0])
+    assert left[1] == right[1]

@@ -1,0 +1,107 @@
+"""Tests for the partitioned (multi-shard) deployment extension."""
+
+import pytest
+
+from repro.core.aggregates import Sum, TopK
+from repro.core.engine import EAGrEngine
+from repro.core.partitioned import PartitionedEngine, community_assignment
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.graph.generators import community_graph, paper_figure1, random_graph
+from repro.graph.neighborhoods import Neighborhood
+from repro.graph.streams import WriteEvent
+
+from tests.conftest import make_events
+
+
+def play(engine, events):
+    results = []
+    for event in events:
+        if isinstance(event, WriteEvent):
+            engine.write(event.node, event.value, event.timestamp)
+        else:
+            results.append((event.node, engine.read(event.node)))
+    return results
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4, 7])
+    def test_matches_single_engine(self, num_shards):
+        graph = random_graph(30, 140, seed=71)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(2))
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        sharded = PartitionedEngine(
+            graph, query, num_shards=num_shards, overlay_algorithm="vnm_a"
+        )
+        events = make_events(list(graph.nodes()), 400, seed=72)
+        assert play(sharded, events) == play(single, events)
+
+    def test_topk_across_shards(self):
+        graph = random_graph(25, 100, seed=73)
+        query = EgoQuery(aggregate=TopK(3), window=TupleWindow(3))
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        sharded = PartitionedEngine(graph, query, num_shards=3)
+        events = make_events(list(graph.nodes()), 300, seed=74, vocabulary=5)
+        assert play(sharded, events) == play(single, events)
+
+    def test_unknown_reader(self):
+        graph = paper_figure1()
+        sharded = PartitionedEngine(graph, EgoQuery(aggregate=Sum()), num_shards=2)
+        assert sharded.read("ghost") == 0.0
+
+    def test_user_predicate_composes(self):
+        graph = paper_figure1()
+        query = EgoQuery(aggregate=Sum(), predicate=lambda v: v in ("a", "b", "c"))
+        sharded = PartitionedEngine(graph, query, num_shards=2)
+        assert set(sharded.reader_shard) == {"a", "b", "c"}
+        sharded.write("d", 5.0)
+        assert sharded.read("a") == 5.0
+        assert sharded.read("g") == 0.0  # pred-filtered reader
+
+
+class TestDeploymentMetrics:
+    def test_readers_partition_disjointly(self):
+        graph = random_graph(40, 160, seed=75)
+        sharded = PartitionedEngine(graph, EgoQuery(aggregate=Sum()), num_shards=4)
+        total = sum(sharded.shard_sizes())
+        # Readers with empty neighborhoods carry no materialized query.
+        with_query = [n for n in graph.nodes() if graph.in_neighbors(n)]
+        assert total == len(with_query)
+        # ... and no reader is materialized on two shards.
+        seen = set()
+        for shard in sharded.shards:
+            owned = set(shard.overlay.reader_of)
+            assert not (owned & seen)
+            seen |= owned
+
+    def test_replication_factor_bounds(self):
+        graph = random_graph(40, 160, seed=76)
+        sharded = PartitionedEngine(graph, EgoQuery(aggregate=Sum()), num_shards=4)
+        events = make_events(list(graph.nodes()), 200, write_fraction=1.0, seed=77)
+        play(sharded, events)
+        assert 1.0 <= sharded.replication_factor <= 4.0
+
+    def test_community_assignment_cuts_replication(self):
+        graph = community_graph(
+            num_communities=6, community_size=15, intra_probability=0.5,
+            inter_edges=30, seed=78,
+        )
+        query = EgoQuery(aggregate=Sum())
+        hashed = PartitionedEngine(graph, query, num_shards=6)
+        local = PartitionedEngine(
+            graph, query, num_shards=6,
+            assign=community_assignment(graph, num_shards=6),
+        )
+        events = make_events(list(graph.nodes()), 300, write_fraction=1.0, seed=79)
+        play(hashed, events)
+        play(local, events)
+        assert local.replication_factor < hashed.replication_factor
+
+    def test_describe(self):
+        graph = paper_figure1()
+        sharded = PartitionedEngine(graph, EgoQuery(aggregate=Sum()), num_shards=2)
+        assert "shards=2" in sharded.describe()
+
+    def test_shard_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedEngine(paper_figure1(), EgoQuery(aggregate=Sum()), num_shards=0)

@@ -1,0 +1,49 @@
+"""Unit tests for the ego-centric query specification."""
+
+import pytest
+
+from repro.core.query import EgoQuery, QueryMode
+from repro.core.aggregates import Sum, TopK
+from repro.core.windows import TimeWindow, TupleWindow
+from repro.graph.neighborhoods import Neighborhood
+
+
+class TestEgoQuery:
+    def test_defaults(self):
+        q = EgoQuery(aggregate=Sum())
+        assert q.window == TupleWindow(1)
+        assert q.neighborhood == Neighborhood.in_neighbors()
+        assert q.predicate is None
+        assert q.mode is QueryMode.QUASI_CONTINUOUS
+        assert not q.continuous
+
+    def test_continuous_flag(self):
+        q = EgoQuery(aggregate=Sum(), mode=QueryMode.CONTINUOUS)
+        assert q.continuous
+
+    def test_type_validation(self):
+        with pytest.raises(TypeError):
+            EgoQuery(aggregate=sum)  # a function, not an AggregateFunction
+        with pytest.raises(TypeError):
+            EgoQuery(aggregate=Sum(), window=5)
+        with pytest.raises(TypeError):
+            EgoQuery(aggregate=Sum(), neighborhood=lambda g, v: set())
+
+    def test_frozen(self):
+        q = EgoQuery(aggregate=Sum())
+        with pytest.raises(AttributeError):
+            q.aggregate = TopK()
+
+    def test_describe_mentions_parts(self):
+        q = EgoQuery(
+            aggregate=TopK(5),
+            window=TimeWindow(60.0),
+            neighborhood=Neighborhood.undirected(hops=2),
+            predicate=lambda v: True,
+            mode=QueryMode.CONTINUOUS,
+        )
+        text = q.describe()
+        assert "TopK" in text
+        assert "2-hop" in text
+        assert "pred-selected" in text
+        assert "continuous" in text

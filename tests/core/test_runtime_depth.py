@@ -1,0 +1,186 @@
+"""Deep-overlay runtime scenarios: multi-level propagation, duplicate paths,
+eviction cascades, and frontier interleavings on hand-built overlays."""
+
+import pytest
+
+from repro.core.aggregates import Max, Sum, TopK
+from repro.core.execution import Runtime
+from repro.core.overlay import Decision, Overlay
+from repro.core.query import EgoQuery
+from repro.core.windows import TimeWindow, TupleWindow
+
+
+def chain_overlay(levels=4):
+    """w -> p1 -> p2 -> ... -> r, one writer driving a deep chain."""
+    ov = Overlay()
+    w = ov.add_writer("w")
+    prev = w
+    partials = []
+    for _ in range(levels):
+        p = ov.add_partial()
+        ov.add_edge(prev, p)
+        partials.append(p)
+        prev = p
+    r = ov.add_reader("r")
+    ov.add_edge(prev, r)
+    return ov, w, partials, r
+
+
+def diamond_dup_overlay():
+    """Duplicate paths (MAX-legal): w reaches r via two partials."""
+    ov = Overlay()
+    w = ov.add_writer("w")
+    p1, p2 = ov.add_partial(), ov.add_partial()
+    r = ov.add_reader("r")
+    ov.add_edge(w, p1)
+    ov.add_edge(w, p2)
+    ov.add_edge(p1, r)
+    ov.add_edge(p2, r)
+    return ov, w, r
+
+
+class TestDeepChains:
+    def test_full_push_chain(self):
+        ov, w, partials, r = chain_overlay(6)
+        ov.set_all_decisions(Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Sum()))
+        rt.write("w", 5.0)
+        assert rt.read("r") == 5.0
+        assert rt.counters.push_ops == 7  # 6 partials + reader
+
+    def test_frontier_in_middle_of_chain(self):
+        ov, w, partials, r = chain_overlay(4)
+        # First two partials push, rest pull.
+        ov.set_decision(partials[0], Decision.PUSH)
+        ov.set_decision(partials[1], Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Sum()))
+        rt.write("w", 3.0)
+        assert rt.values[partials[1]] == 3.0
+        assert rt.values[partials[2]] is None
+        assert rt.read("r") == 3.0
+
+    def test_window_eviction_cascades_through_chain(self):
+        ov, w, partials, r = chain_overlay(5)
+        ov.set_all_decisions(Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Sum(), window=TupleWindow(2)))
+        rt.write("w", 1.0)
+        rt.write("w", 2.0)
+        rt.write("w", 4.0)  # evicts the 1.0 five levels down
+        assert rt.read("r") == 6.0
+
+    def test_time_eviction_cascades(self):
+        ov, w, partials, r = chain_overlay(3)
+        ov.set_all_decisions(Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Sum(), window=TimeWindow(10.0)))
+        rt.write("w", 7.0, timestamp=0.0)
+        rt.write("w", 2.0, timestamp=5.0)
+        assert rt.read("r") == 9.0
+        rt.write("w", 1.0, timestamp=16.0)  # expires both earlier writes
+        assert rt.read("r") == 1.0
+
+
+class TestDuplicatePaths:
+    def test_max_push_through_duplicate_paths(self):
+        ov, w, r = diamond_dup_overlay()
+        ov.set_all_decisions(Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Max(), window=TupleWindow(2)))
+        rt.write("w", 5.0)
+        assert rt.read("r") == 5.0
+        rt.write("w", 3.0)
+        assert rt.read("r") == 5.0  # window keeps {5, 3}
+        rt.write("w", 1.0)  # evicts 5: recompute path through both branches
+        assert rt.read("r") == 3.0
+
+    def test_max_pull_through_duplicate_paths(self):
+        ov, w, r = diamond_dup_overlay()
+        rt = Runtime(ov, EgoQuery(aggregate=Max()))
+        rt.write("w", 9.0)
+        assert rt.read("r") == 9.0
+
+    def test_empty_window_is_none(self):
+        ov, w, r = diamond_dup_overlay()
+        ov.set_all_decisions(Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Max()))
+        assert rt.read("r") is None
+
+
+class TestSharedFanOut:
+    def make_fan(self):
+        """One partial feeds many readers — one write, many push targets."""
+        ov = Overlay()
+        writers = [ov.add_writer(f"w{i}") for i in range(3)]
+        p = ov.add_partial()
+        for w in writers:
+            ov.add_edge(w, p)
+        readers = [ov.add_reader(f"r{i}") for i in range(5)]
+        for r in readers:
+            ov.add_edge(p, r)
+        return ov, writers, p, readers
+
+    def test_shared_partial_amortizes_updates(self):
+        ov, writers, p, readers = self.make_fan()
+        ov.set_all_decisions(Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Sum()))
+        rt.write("w0", 2.0)
+        # 1 update at the partial + 5 at the readers.
+        assert rt.counters.push_ops == 6
+        for i in range(5):
+            assert rt.read(f"r{i}") == 2.0
+
+    def test_pull_readers_share_push_partial(self):
+        ov, writers, p, readers = self.make_fan()
+        ov.set_decision(p, Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Sum()))
+        rt.write("w0", 2.0)
+        rt.write("w1", 3.0)
+        assert rt.counters.push_ops == 2  # stops at the partial
+        assert rt.read("r0") == 5.0
+        assert rt.counters.pull_ops == 1  # one hop from the partial
+
+    def test_topk_deltas_through_shared_partial(self):
+        ov, writers, p, readers = self.make_fan()
+        ov.set_all_decisions(Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=TopK(2), window=TupleWindow(2)))
+        rt.write("w0", "x")
+        rt.write("w1", "x")
+        rt.write("w2", "y")
+        assert rt.read("r0") == [("x", 2), ("y", 1)]
+        rt.write("w0", "y")
+        rt.write("w0", "y")  # w0's window now {y, y}
+        assert rt.read("r3") == [("y", 3), ("x", 1)]
+
+
+class TestMixedSignDeepOverlays:
+    def test_negative_edge_from_partial(self):
+        """Negative edges may come from partial aggregators, not only writers."""
+        ov = Overlay()
+        w = {name: ov.add_writer(name) for name in ("a", "b", "c")}
+        inner = ov.add_partial()  # a + b
+        outer = ov.add_partial()  # a + b + c
+        r = ov.add_reader("r")  # outer - inner = c
+        ov.add_edge(w["a"], inner)
+        ov.add_edge(w["b"], inner)
+        ov.add_edge(inner, outer)
+        ov.add_edge(w["c"], outer)
+        ov.add_edge(outer, r)
+        ov.add_edge(inner, r, sign=-1)
+        ov.set_all_decisions(Decision.PUSH)
+        rt = Runtime(ov, EgoQuery(aggregate=Sum()))
+        rt.write("a", 10.0)
+        rt.write("b", 20.0)
+        rt.write("c", 3.0)
+        assert rt.read("r") == 3.0
+
+    def test_negative_edge_pull_path(self):
+        ov = Overlay()
+        w = {name: ov.add_writer(name) for name in ("a", "b")}
+        both = ov.add_partial()
+        r = ov.add_reader("r")  # both - b = a
+        ov.add_edge(w["a"], both)
+        ov.add_edge(w["b"], both)
+        ov.add_edge(both, r)
+        ov.add_edge(w["b"], r, sign=-1)
+        rt = Runtime(ov, EgoQuery(aggregate=Sum()))  # all pull
+        rt.write("a", 5.0)
+        rt.write("b", 100.0)
+        assert rt.read("r") == 5.0

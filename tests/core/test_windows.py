@@ -1,0 +1,93 @@
+"""Unit tests for sliding windows."""
+
+import pytest
+
+from repro.core.windows import TimeWindow, TupleWindow
+
+
+class TestTupleWindow:
+    def test_keeps_last_c(self):
+        buf = TupleWindow(3).make_buffer()
+        for i in range(5):
+            buf.append(i, timestamp=i)
+        assert buf.values() == [2, 3, 4]
+
+    def test_append_reports_evictions(self):
+        buf = TupleWindow(2).make_buffer()
+        assert buf.append(1, 0) == []
+        assert buf.append(2, 1) == []
+        assert buf.append(3, 2) == [1]
+
+    def test_never_expires_on_clock(self):
+        buf = TupleWindow(1).make_buffer()
+        buf.append("x", 0)
+        assert buf.evict_until(1e9) == []
+        assert buf.next_expiry() is None
+
+    def test_size_one(self):
+        buf = TupleWindow(1).make_buffer()
+        buf.append("a", 0)
+        assert buf.append("b", 1) == ["a"]
+        assert buf.values() == ["b"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TupleWindow(0)
+
+    def test_expected_size(self):
+        assert TupleWindow(7).expected_size() == 7.0
+
+    def test_len(self):
+        buf = TupleWindow(4).make_buffer()
+        buf.append(1, 0)
+        buf.append(2, 1)
+        assert len(buf) == 2
+
+
+class TestTimeWindow:
+    def test_expiry_on_append(self):
+        buf = TimeWindow(10.0).make_buffer()
+        buf.append("a", 0.0)
+        buf.append("b", 5.0)
+        evicted = buf.append("c", 11.0)  # a's lifetime [0, 10] has ended
+        assert evicted == ["a"]
+        assert buf.values() == ["b", "c"]
+
+    def test_evict_until(self):
+        buf = TimeWindow(5.0).make_buffer()
+        buf.append("a", 0.0)
+        buf.append("b", 3.0)
+        assert buf.evict_until(6.0) == ["a"]
+        assert buf.values() == ["b"]
+
+    def test_boundary_is_inclusive(self):
+        buf = TimeWindow(5.0).make_buffer()
+        buf.append("a", 0.0)
+        assert buf.evict_until(5.0) == ["a"]
+
+    def test_next_expiry(self):
+        buf = TimeWindow(5.0).make_buffer()
+        assert buf.next_expiry() is None
+        buf.append("a", 2.0)
+        assert buf.next_expiry() == 7.0
+
+    def test_out_of_order_append_rejected(self):
+        buf = TimeWindow(5.0).make_buffer()
+        buf.append("a", 10.0)
+        with pytest.raises(ValueError):
+            buf.append("b", 9.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeWindow(0.0)
+
+    def test_expected_size_scales_with_rate(self):
+        w = TimeWindow(10.0)
+        assert w.expected_size(write_rate=2.0) == 20.0
+        assert w.expected_size(write_rate=0.0001) == 1.0  # floor at one value
+
+    def test_multiple_evictions_in_order(self):
+        buf = TimeWindow(1.0).make_buffer()
+        buf.append("a", 0.0)
+        buf.append("b", 0.5)
+        assert buf.evict_until(10.0) == ["a", "b"]

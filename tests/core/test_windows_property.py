@@ -1,0 +1,52 @@
+"""Hypothesis property tests for sliding-window semantics."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.windows import TimeWindow, TupleWindow
+
+values = st.lists(st.integers(min_value=0, max_value=99), max_size=60)
+
+
+@given(values, st.integers(min_value=1, max_value=10))
+def test_tuple_window_keeps_exactly_last_c(raws, size):
+    buffer = TupleWindow(size).make_buffer()
+    evicted_total = []
+    for tick, value in enumerate(raws):
+        evicted_total.extend(buffer.append(value, float(tick)))
+    assert buffer.values() == raws[-size:]
+    # Conservation: everything entered is either live or evicted, in order.
+    assert evicted_total + buffer.values() == raws
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            st.integers(min_value=0, max_value=99),
+        ),
+        max_size=40,
+    ),
+    st.floats(min_value=0.5, max_value=20.0),
+)
+def test_time_window_matches_reference_semantics(gaps_values, duration):
+    buffer = TimeWindow(duration).make_buffer()
+    timeline = []  # (timestamp, value) in arrival order
+    clock = 0.0
+    evicted_total = []
+    for gap, value in gaps_values:
+        clock += gap
+        evicted_total.extend(buffer.append(value, clock))
+        timeline.append((clock, value))
+    # Reference: live values are those with age < duration at `clock`.
+    expected = [v for ts, v in timeline if ts > clock - duration]
+    assert buffer.values() == expected
+    assert evicted_total + buffer.values() == [v for _, v in timeline]
+
+
+@given(values, st.integers(min_value=1, max_value=8))
+def test_window_buffer_len_matches_values(raws, size):
+    buffer = TupleWindow(size).make_buffer()
+    for tick, value in enumerate(raws):
+        buffer.append(value, float(tick))
+    assert len(buffer) == len(buffer.values())

@@ -1,0 +1,70 @@
+"""Tests for the H(k)/L(k) cost models and calibration."""
+
+import pytest
+
+from repro.core.aggregates import Max, Sum, TopK
+from repro.dataflow.costs import CostModel, calibrate, _fit_affine
+
+
+class TestCostModel:
+    def test_constant_linear(self):
+        model = CostModel.constant_linear(push_unit=2.0, pull_unit=3.0)
+        assert model.push_cost(10) == 2.0
+        assert model.pull_cost(10) == 30.0
+
+    def test_k_clamped_to_one(self):
+        model = CostModel.constant_linear()
+        assert model.pull_cost(0) == 1.0
+        assert model.pull_cost(-5) == 1.0
+
+    def test_log_linear(self):
+        model = CostModel.log_linear()
+        assert model.push_cost(1) == 1.0
+        assert model.push_cost(8) == pytest.approx(4.0)
+
+    def test_for_aggregate_uses_defaults(self):
+        model = CostModel.for_aggregate(Sum())
+        assert model.push_cost(100) == 1.0
+        assert model.pull_cost(100) == 100.0
+        max_model = CostModel.for_aggregate(Max())
+        assert max_model.push_cost(8) > 1.0
+
+    def test_scaling(self):
+        model = CostModel.constant_linear().scaled(push_scale=1.0, pull_scale=10.0)
+        assert model.pull_cost(2) == 20.0
+        assert model.push_cost(2) == 1.0
+
+    def test_for_aggregate_scale_ratio(self):
+        base = CostModel.for_aggregate(TopK(3))
+        scaled = CostModel.for_aggregate(TopK(3), pull_scale=5.0)
+        assert scaled.pull_cost(4) == pytest.approx(5.0 * base.pull_cost(4))
+
+
+class TestFit:
+    def test_affine_fit_exact(self):
+        slope, intercept = _fit_affine([1.0, 2.0, 3.0], [5.0, 7.0, 9.0])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(3.0)
+
+    def test_constant_data(self):
+        slope, intercept = _fit_affine([2.0, 2.0], [5.0, 5.0])
+        assert slope == 0.0
+        assert intercept == 5.0
+
+
+class TestCalibration:
+    def test_calibrated_pull_grows_with_k(self):
+        model = calibrate(Sum(), ks=(1, 4, 16), repetitions=50)
+        assert model.pull_cost(16) > model.pull_cost(1)
+
+    def test_calibrated_push_positive(self):
+        model = calibrate(Sum(), ks=(1, 4), repetitions=50)
+        assert model.push_cost(10) > 0
+
+    def test_lattice_aggregate_gets_log_push(self):
+        model = calibrate(Max(), ks=(1, 4), repetitions=50)
+        assert model.push_cost(16) > model.push_cost(1)
+
+    def test_description_names_aggregate(self):
+        model = calibrate(TopK(2), ks=(1, 2), repetitions=10)
+        assert "topk" in model.description

@@ -1,0 +1,118 @@
+"""Tests for push/pull frequency propagation (Section 4.1)."""
+
+import pytest
+
+from repro.core.overlay import Overlay
+from repro.dataflow.frequencies import FrequencyModel, compute_push_pull_frequencies
+
+
+def diamond_overlay():
+    """w1, w2 -> i -> r1, r2   (plus w3 -> r2)."""
+    ov = Overlay()
+    w = {n: ov.add_writer(n) for n in ("w1", "w2", "w3")}
+    r1, r2 = ov.add_reader("r1"), ov.add_reader("r2")
+    i = ov.add_partial()
+    ov.add_edge(w["w1"], i)
+    ov.add_edge(w["w2"], i)
+    ov.add_edge(i, r1)
+    ov.add_edge(i, r2)
+    ov.add_edge(w["w3"], r2)
+    return ov, w, i, (r1, r2)
+
+
+class TestPropagation:
+    def test_push_frequencies_sum_downstream(self):
+        ov, w, i, (r1, r2) = diamond_overlay()
+        frequencies = FrequencyModel(
+            write={"w1": 3.0, "w2": 4.0, "w3": 10.0},
+            read={"r1": 1.0, "r2": 2.0},
+        )
+        fh, fl = compute_push_pull_frequencies(ov, frequencies)
+        assert fh[i] == 7.0
+        assert fh[r1] == 7.0
+        assert fh[r2] == 17.0
+
+    def test_pull_frequencies_sum_upstream(self):
+        ov, w, i, (r1, r2) = diamond_overlay()
+        frequencies = FrequencyModel(
+            write={"w1": 3.0, "w2": 4.0, "w3": 10.0},
+            read={"r1": 1.0, "r2": 2.0},
+        )
+        fh, fl = compute_push_pull_frequencies(ov, frequencies)
+        assert fl[i] == 3.0  # both readers' pulls land on i
+        assert fl[w["w1"]] == 3.0
+        assert fl[w["w3"]] == 2.0
+
+    def test_negative_edges_move_data_too(self):
+        ov = Overlay()
+        w1 = ov.add_writer("w1")
+        r = ov.add_reader("r")
+        ov.add_edge(w1, r, sign=-1)
+        frequencies = FrequencyModel(write={"w1": 5.0}, read={"r": 2.0})
+        fh, fl = compute_push_pull_frequencies(ov, frequencies)
+        assert fh[r] == 5.0
+        assert fl[w1] == 2.0
+
+    def test_missing_nodes_default_zero(self):
+        ov, w, i, (r1, r2) = diamond_overlay()
+        fh, fl = compute_push_pull_frequencies(ov, FrequencyModel())
+        assert all(v == 0.0 for v in fh)
+        assert all(v == 0.0 for v in fl)
+
+
+class TestFrequencyModel:
+    def test_uniform(self):
+        model = FrequencyModel.uniform(["a", "b"], read=2.0, write=3.0)
+        assert model.read_freq("a") == 2.0
+        assert model.write_freq("b") == 3.0
+        assert model.read_freq("ghost") == 0.0
+
+    def test_zipf_totals(self):
+        nodes = list(range(50))
+        model = FrequencyModel.zipf(
+            nodes, total_events=10_000, write_read_ratio=1.0, seed=3
+        )
+        writes = sum(model.write.values())
+        reads = sum(model.read.values())
+        assert writes == pytest.approx(5_000)
+        assert reads == pytest.approx(5_000)
+
+    def test_zipf_ratio(self):
+        nodes = list(range(50))
+        model = FrequencyModel.zipf(
+            nodes, total_events=9_000, write_read_ratio=2.0, seed=3
+        )
+        assert sum(model.write.values()) == pytest.approx(6_000)
+        assert sum(model.read.values()) == pytest.approx(3_000)
+
+    def test_zipf_is_skewed(self):
+        nodes = list(range(100))
+        model = FrequencyModel.zipf(nodes, alpha=1.0, seed=4)
+        values = sorted(model.write.values(), reverse=True)
+        assert values[0] > 10 * values[-1]
+
+    def test_zipf_read_linear_in_write(self):
+        nodes = list(range(30))
+        model = FrequencyModel.zipf(nodes, write_read_ratio=3.0, seed=5)
+        for node in nodes:
+            assert model.read_freq(node) == pytest.approx(
+                model.write_freq(node) / 3.0
+            )
+
+    def test_from_trace(self):
+        model = FrequencyModel.from_trace(
+            [("read", "a"), ("write", "a"), ("write", "a"), ("read", "b")]
+        )
+        assert model.read_freq("a") == 1.0
+        assert model.write_freq("a") == 2.0
+        assert model.read_freq("b") == 1.0
+
+    def test_scaled(self):
+        model = FrequencyModel.uniform(["a"], read=2.0, write=4.0)
+        scaled = model.scaled(read_scale=10.0, write_scale=0.5)
+        assert scaled.read_freq("a") == 20.0
+        assert scaled.write_freq("a") == 2.0
+
+    def test_zipf_empty_nodes(self):
+        model = FrequencyModel.zipf([])
+        assert model.read == {} and model.write == {}

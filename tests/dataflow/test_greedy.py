@@ -1,0 +1,71 @@
+"""Tests for the linear-time greedy decision alternative (Section 4.6)."""
+
+import random
+
+import pytest
+
+from repro.core.overlay import Decision
+from repro.dataflow.costs import CostModel
+from repro.dataflow.frequencies import FrequencyModel, compute_push_pull_frequencies
+from repro.dataflow.greedy import greedy_dataflow
+from repro.dataflow.mincut import assignment_cost, decide_dataflow
+from repro.graph.bipartite import build_bipartite
+from repro.graph.generators import paper_figure1, random_graph
+from repro.graph.neighborhoods import Neighborhood
+from repro.overlay.vnm import build_vnm
+
+
+def build_overlay(seed=1, nodes=20, edges=80):
+    graph = random_graph(nodes, edges, seed=seed)
+    ag = build_bipartite(graph, Neighborhood.in_neighbors())
+    overlay = build_vnm(ag, variant="vnm_a", iterations=3).overlay
+    return graph, overlay
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_always_consistent(self, seed):
+        graph, overlay = build_overlay(seed=seed)
+        frequencies = FrequencyModel.zipf(graph.nodes(), seed=seed)
+        greedy_dataflow(overlay, frequencies)
+        assert overlay.decisions_consistent()
+
+    def test_agrees_with_optimal_when_no_conflicts(self):
+        # Uniform extreme ratios produce conflict-free instances where the
+        # greedy and the min-cut must coincide.
+        for ratio in (0.001, 1000.0):
+            graph = paper_figure1()
+            ag = build_bipartite(graph, Neighborhood.in_neighbors())
+            overlay_g = build_vnm(ag, variant="vnm_a", iterations=3).overlay
+            overlay_m = overlay_g.copy()
+            frequencies = FrequencyModel.uniform(graph.nodes(), read=1.0, write=ratio)
+            greedy_dataflow(overlay_g, frequencies)
+            decide_dataflow(overlay_m, frequencies)
+            assert overlay_g.decisions == overlay_m.decisions
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_cost_close_to_optimal(self, seed):
+        graph, overlay = build_overlay(seed=seed)
+        frequencies = FrequencyModel.zipf(graph.nodes(), seed=seed + 100)
+        cost_model = CostModel.constant_linear()
+        fh, fl = compute_push_pull_frequencies(overlay, frequencies)
+        optimal_overlay = overlay.copy()
+        decide_dataflow(optimal_overlay, frequencies, cost_model)
+        optimal = assignment_cost(optimal_overlay, fh, fl, cost_model)
+        stats = greedy_dataflow(overlay, frequencies, cost_model)
+        assert stats.total_cost >= optimal - 1e-9  # optimal is a lower bound
+        assert stats.total_cost <= optimal * 2.0 + 1e-9  # and greedy is close
+
+    def test_force_push_readers(self):
+        graph, overlay = build_overlay(seed=7)
+        frequencies = FrequencyModel.uniform(graph.nodes(), read=0.001, write=100.0)
+        greedy_dataflow(overlay, frequencies, force_push_readers=True)
+        for handle in overlay.reader_handles():
+            assert overlay.decisions[handle] is Decision.PUSH
+        assert overlay.decisions_consistent()
+
+    def test_stats_counts(self):
+        graph, overlay = build_overlay(seed=8)
+        frequencies = FrequencyModel.uniform(graph.nodes())
+        stats = greedy_dataflow(overlay, frequencies)
+        assert stats.push_nodes + stats.pull_nodes == stats.nodes_total

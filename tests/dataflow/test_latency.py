@@ -1,0 +1,123 @@
+"""Tests for latency-constrained dataflow decisions (future-work extension)."""
+
+import pytest
+
+from repro.core.overlay import Decision, Overlay
+from repro.dataflow.costs import CostModel
+from repro.dataflow.frequencies import FrequencyModel, compute_push_pull_frequencies
+from repro.dataflow.latency import (
+    decide_dataflow_with_latency_budget,
+    estimated_read_latency,
+    read_latency_profile,
+)
+from repro.dataflow.mincut import assignment_cost, decide_dataflow
+from repro.graph.bipartite import build_bipartite
+from repro.graph.generators import paper_figure1, random_graph
+from repro.graph.neighborhoods import Neighborhood
+from repro.overlay.vnm import build_vnm
+
+
+def build(ratio=50.0, seed=1):
+    """A write-heavy setting: unconstrained decisions leave readers pull."""
+    graph = random_graph(25, 110, seed=seed)
+    ag = build_bipartite(graph, Neighborhood.in_neighbors())
+    overlay = build_vnm(ag, variant="vnm_a", iterations=4).overlay
+    frequencies = FrequencyModel.uniform(graph.nodes(), read=1.0, write=ratio)
+    return graph, overlay, frequencies
+
+
+class TestLatencyEstimate:
+    def test_push_reader_is_free(self):
+        _, overlay, frequencies = build(ratio=0.001)  # read-heavy: all push
+        decide_dataflow(overlay, frequencies)
+        model = CostModel.constant_linear()
+        for handle in overlay.reader_of.values():
+            if overlay.decisions[handle] is Decision.PUSH:
+                assert estimated_read_latency(overlay, handle, model) == 0.0
+
+    def test_pull_reader_pays_upstream(self):
+        _, overlay, frequencies = build(ratio=1000.0)  # write-heavy: pulls
+        decide_dataflow(overlay, frequencies)
+        model = CostModel.constant_linear()
+        profile = read_latency_profile(overlay, model)
+        assert max(profile.values()) > 0.0
+
+    def test_latency_counts_each_pull_node_once(self):
+        # Diamond: r pulls i1 and i2, both pulling the same pa.
+        overlay = Overlay()
+        w = overlay.add_writer("w")
+        pa = overlay.add_partial()
+        i1, i2 = overlay.add_partial(), overlay.add_partial()
+        r = overlay.add_reader("r")
+        overlay.add_edge(w, pa)
+        overlay.add_edge(pa, i1)
+        overlay.add_edge(pa, i2)
+        overlay.add_edge(i1, r)
+        overlay.add_edge(i2, r)
+        model = CostModel.constant_linear()
+        # All pull: r (fan-in 2) + i1 + i2 + pa = 2 + 1 + 1 + 1.
+        assert estimated_read_latency(overlay, r, model) == 5.0
+
+
+class TestBudgetedDecisions:
+    def test_zero_budget_forces_all_push(self):
+        _, overlay, frequencies = build(ratio=1000.0)
+        decide_dataflow_with_latency_budget(overlay, frequencies, latency_budget=0.0)
+        model = CostModel.constant_linear()
+        for handle in overlay.reader_of.values():
+            assert estimated_read_latency(overlay, handle, model) == 0.0
+        assert overlay.decisions_consistent()
+
+    def test_infinite_budget_matches_unconstrained(self):
+        _, overlay_a, frequencies = build(ratio=7.0, seed=3)
+        overlay_b = overlay_a.copy()
+        decide_dataflow(overlay_a, frequencies)
+        decide_dataflow_with_latency_budget(
+            overlay_b, frequencies, latency_budget=float("inf")
+        )
+        assert overlay_a.decisions == overlay_b.decisions
+
+    def test_budget_enforced(self):
+        _, overlay, frequencies = build(ratio=1000.0, seed=4)
+        model = CostModel.constant_linear()
+        budget = 6.0
+        decide_dataflow_with_latency_budget(
+            overlay, frequencies, latency_budget=budget, cost_model=model
+        )
+        profile = read_latency_profile(overlay, model)
+        assert all(latency <= budget for latency in profile.values())
+        assert overlay.decisions_consistent()
+
+    def test_tighter_budget_costs_more_throughput(self):
+        model = CostModel.constant_linear()
+        costs = []
+        for budget in (float("inf"), 10.0, 0.0):
+            _, overlay, frequencies = build(ratio=200.0, seed=5)
+            decide_dataflow_with_latency_budget(
+                overlay, frequencies, latency_budget=budget, cost_model=model
+            )
+            fh, fl = compute_push_pull_frequencies(overlay, frequencies)
+            costs.append(assignment_cost(overlay, fh, fl, model))
+        assert costs[0] <= costs[1] <= costs[2]
+
+    def test_budget_validation(self):
+        _, overlay, frequencies = build()
+        with pytest.raises(ValueError):
+            decide_dataflow_with_latency_budget(overlay, frequencies, -1.0)
+
+    def test_engine_results_correct_under_budget(self):
+        from repro.core.aggregates import Sum
+        from repro.core.engine import EAGrEngine
+        from repro.core.query import EgoQuery
+        from tests.conftest import make_events, play_and_check
+
+        graph = random_graph(20, 80, seed=6)
+        engine = EAGrEngine(
+            graph, EgoQuery(aggregate=Sum()), overlay_algorithm="vnm_a",
+            frequencies=FrequencyModel.uniform(graph.nodes(), read=1.0, write=50.0),
+        )
+        decide_dataflow_with_latency_budget(
+            engine.overlay, engine.frequencies, latency_budget=3.0,
+        )
+        engine.runtime.rebuild()
+        play_and_check(engine, make_events(list(graph.nodes()), 250, seed=7))

@@ -1,0 +1,126 @@
+"""Tests for the from-scratch max-flow implementations."""
+
+import random
+
+import pytest
+
+from repro.dataflow.maxflow import INF, FlowNetwork, edmonds_karp
+
+
+class TestDinicBasics:
+    def test_single_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 5.0)
+        assert net.max_flow(0, 1) == 5.0
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 3.0)
+        assert net.max_flow(0, 2) == 3.0
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(1, 3, 3.0)
+        net.add_edge(0, 2, 4.0)
+        net.add_edge(2, 3, 4.0)
+        assert net.max_flow(0, 3) == 7.0
+
+    def test_classic_clrs_network(self):
+        # CLRS Figure 26.1: max flow 23.
+        net = FlowNetwork(6)
+        net.add_edge(0, 1, 16)
+        net.add_edge(0, 2, 13)
+        net.add_edge(1, 2, 10)
+        net.add_edge(2, 1, 4)
+        net.add_edge(1, 3, 12)
+        net.add_edge(3, 2, 9)
+        net.add_edge(2, 4, 14)
+        net.add_edge(4, 3, 7)
+        net.add_edge(3, 5, 20)
+        net.add_edge(4, 5, 4)
+        assert net.max_flow(0, 5) == 23.0
+
+    def test_disconnected(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 5.0)
+        assert net.max_flow(0, 2) == 0.0
+
+    def test_infinite_capacity_path(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, INF)
+        net.add_edge(1, 2, 8.0)
+        assert net.max_flow(0, 2) == 8.0
+
+    def test_zero_capacity_edge(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 0.0)
+        assert net.max_flow(0, 1) == 0.0
+
+
+class TestValidation:
+    def test_negative_capacity(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_out_of_range(self):
+        net = FlowNetwork(2)
+        with pytest.raises(IndexError):
+            net.add_edge(0, 5, 1.0)
+
+    def test_source_equals_sink(self):
+        net = FlowNetwork(2)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            FlowNetwork(1)
+
+
+class TestMinCut:
+    def test_residual_reachability_is_source_side(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 10.0)
+        net.add_edge(1, 2, 1.0)  # the cut
+        net.add_edge(2, 3, 10.0)
+        net.max_flow(0, 3)
+        assert net.residual_reachable(0) == {0, 1}
+
+    def test_cut_capacity_equals_flow(self):
+        rng = random.Random(7)
+        for trial in range(20):
+            n = rng.randrange(4, 10)
+            edges = []
+            net = FlowNetwork(n)
+            for _ in range(rng.randrange(5, 25)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                cap = float(rng.randrange(1, 10))
+                edges.append((u, v, cap))
+                net.add_edge(u, v, cap)
+            flow = net.max_flow(0, n - 1)
+            source_side = net.residual_reachable(0)
+            cut = sum(c for u, v, c in edges if u in source_side and v not in source_side)
+            assert flow == pytest.approx(cut)
+
+
+class TestCrossValidation:
+    def test_dinic_matches_edmonds_karp_on_random_networks(self):
+        rng = random.Random(99)
+        for trial in range(40):
+            n = rng.randrange(4, 12)
+            edges = []
+            net = FlowNetwork(n)
+            for _ in range(rng.randrange(4, 30)):
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u == v:
+                    continue
+                cap = float(rng.randrange(1, 12))
+                edges.append((u, v, cap))
+                net.add_edge(u, v, cap)
+            expected = edmonds_karp(n, edges, 0, n - 1)
+            assert net.max_flow(0, n - 1) == pytest.approx(expected)

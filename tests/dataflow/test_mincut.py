@@ -1,0 +1,213 @@
+"""Tests for the DMP min-cut reduction and the decision pipeline."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.overlay import Decision, Overlay
+from repro.dataflow.costs import CostModel
+from repro.dataflow.frequencies import FrequencyModel
+from repro.dataflow.mincut import (
+    DataflowStats,
+    assignment_cost,
+    decide_dataflow,
+    node_weights,
+    partition_value,
+    solve_dmp,
+)
+from repro.graph.bipartite import build_bipartite
+from repro.graph.generators import paper_figure1, random_graph
+from repro.graph.neighborhoods import Neighborhood
+from repro.overlay.vnm import build_vnm
+
+
+def brute_force_dmp(weights, edges):
+    """Enumerate all valid partitions (exponential; tests only)."""
+    nodes = list(weights)
+    best = None
+    best_value = float("-inf")
+    for mask in itertools.product([0, 1], repeat=len(nodes)):
+        push = {n for n, bit in zip(nodes, mask) if bit}
+        pull = {n for n in nodes if n not in push}
+        if any(u in pull and v in push for u, v in edges):
+            continue  # violates: no edge from Y to X
+        value = partition_value(weights, push, pull)
+        if value > best_value:
+            best_value = value
+            best = (push, pull)
+    return best, best_value
+
+
+class TestSolveDMP:
+    def test_all_positive_goes_push(self):
+        weights = {1: 2.0, 2: 3.0}
+        push, pull = solve_dmp(weights, [(1, 2)])
+        assert push == {1, 2} and pull == set()
+
+    def test_all_negative_goes_pull(self):
+        weights = {1: -2.0, 2: -3.0}
+        push, pull = solve_dmp(weights, [(1, 2)])
+        assert pull == {1, 2}
+
+    def test_conflict_resolved_optimally(self):
+        # Upstream wants pull (-10), downstream wants push (+3):
+        # cheapest sacrifice is pushing... no — putting both in pull loses 3,
+        # both in push loses 10; and (pull->push) is forbidden.
+        weights = {1: -10.0, 2: 3.0}
+        push, pull = solve_dmp(weights, [(1, 2)])
+        assert pull == {1, 2}
+
+    def test_conflict_other_direction(self):
+        weights = {1: -3.0, 2: 10.0}
+        push, pull = solve_dmp(weights, [(1, 2)])
+        assert push == {1, 2}
+
+    def test_zero_weights_allowed(self):
+        weights = {1: 0.0, 2: 5.0, 3: -5.0}
+        push, pull = solve_dmp(weights, [(1, 2), (1, 3)])
+        value = partition_value(weights, push, pull)
+        _, best = brute_force_dmp(weights, [(1, 2), (1, 3)])
+        assert value == pytest.approx(best)
+
+    def test_matches_brute_force_on_random_dags(self):
+        rng = random.Random(13)
+        for trial in range(40):
+            n = rng.randrange(2, 9)
+            nodes = list(range(n))
+            weights = {v: float(rng.randrange(-20, 21)) for v in nodes}
+            edges = [
+                (u, v)
+                for u in nodes
+                for v in nodes
+                if u < v and rng.random() < 0.3  # u < v keeps it a DAG
+            ]
+            push, pull = solve_dmp(weights, edges)
+            assert not any(u in pull and v in push for u, v in edges)
+            got = partition_value(weights, push, pull)
+            _, best = brute_force_dmp(weights, edges)
+            assert got == pytest.approx(best), f"trial {trial}"
+
+
+class TestNodeWeights:
+    def make_overlay(self):
+        ov = Overlay()
+        w = ov.add_writer("w")
+        r = ov.add_reader("r")
+        pa = ov.add_partial()
+        ov.add_edge(w, pa)
+        ov.add_edge(pa, r)
+        return ov, w, pa, r
+
+    def test_writers_excluded(self):
+        ov, w, pa, r = self.make_overlay()
+        weights = node_weights(
+            ov, [1.0] * 3, [1.0] * 3, CostModel.constant_linear()
+        )
+        assert w not in weights
+        assert pa in weights and r in weights
+
+    def test_weight_is_pull_minus_push(self):
+        ov, w, pa, r = self.make_overlay()
+        fh = [0.0] * 3
+        fl = [0.0] * 3
+        fh[pa], fl[pa] = 2.0, 5.0
+        weights = node_weights(ov, fh, fl, CostModel.constant_linear())
+        # fan-in of pa is 1: PULL = 5*1, PUSH = 2*1.
+        assert weights[pa] == pytest.approx(3.0)
+
+    def test_force_push_dominates(self):
+        ov, w, pa, r = self.make_overlay()
+        fh = [100.0] * 3
+        fl = [0.0] * 3
+        weights = node_weights(
+            ov, fh, fl, CostModel.constant_linear(), force_push={r}
+        )
+        assert weights[r] > 0
+        push, pull = solve_dmp(weights, [(pa, r)])
+        assert r in push
+
+
+class TestDecideDataflow:
+    def build(self, ratio):
+        graph = paper_figure1()
+        ag = build_bipartite(graph, Neighborhood.in_neighbors())
+        overlay = build_vnm(ag, variant="vnm_a", iterations=4).overlay
+        frequencies = FrequencyModel.uniform(
+            graph.nodes(), read=1.0, write=ratio
+        )
+        return overlay, frequencies
+
+    def test_decisions_consistent(self):
+        overlay, frequencies = self.build(1.0)
+        stats = decide_dataflow(overlay, frequencies)
+        assert overlay.decisions_consistent()
+        assert stats.push_nodes + stats.pull_nodes == stats.nodes_total
+
+    def test_read_heavy_pushes_readers(self):
+        overlay, frequencies = self.build(0.001)
+        decide_dataflow(overlay, frequencies)
+        pushes = sum(
+            1
+            for h in overlay.reader_handles()
+            if overlay.decisions[h] is Decision.PUSH
+        )
+        assert pushes == len(overlay.reader_of)
+
+    def test_write_heavy_pulls_readers(self):
+        overlay, frequencies = self.build(1000.0)
+        decide_dataflow(overlay, frequencies)
+        pulls = sum(
+            1
+            for h in overlay.reader_handles()
+            if overlay.decisions[h] is Decision.PULL
+        )
+        assert pulls == len(overlay.reader_of)
+
+    def test_pruning_does_not_change_decisions(self):
+        """Theorem 4.2: P1/P2 never compromise optimality."""
+        for ratio in (0.1, 1.0, 10.0):
+            overlay_a, frequencies = self.build(ratio)
+            overlay_b = overlay_a.copy()
+            cost_model = CostModel.constant_linear()
+            decide_dataflow(overlay_a, frequencies, cost_model, use_pruning=True)
+            decide_dataflow(overlay_b, frequencies, cost_model, use_pruning=False)
+            assert overlay_a.decisions == overlay_b.decisions
+
+    def test_pruning_shrinks_problem(self):
+        overlay, frequencies = self.build(1.0)
+        stats = decide_dataflow(overlay, frequencies)
+        assert stats.nodes_after_pruning <= stats.nodes_total
+        assert stats.num_components >= 0
+
+    def test_force_push_readers(self):
+        overlay, frequencies = self.build(1000.0)  # write-heavy
+        decide_dataflow(overlay, frequencies, force_push_readers=True)
+        for h in overlay.reader_handles():
+            assert overlay.decisions[h] is Decision.PUSH
+        assert overlay.decisions_consistent()
+
+    def test_total_cost_reported(self):
+        overlay, frequencies = self.build(1.0)
+        stats = decide_dataflow(overlay, frequencies)
+        assert stats.total_cost > 0
+
+    def test_optimal_cost_at_most_baselines(self):
+        """The min-cut decisions never cost more than all-push or all-pull."""
+        from repro.dataflow.frequencies import compute_push_pull_frequencies
+
+        for seed in (1, 2, 3):
+            graph = random_graph(20, 80, seed=seed)
+            ag = build_bipartite(graph, Neighborhood.in_neighbors())
+            overlay = build_vnm(ag, variant="vnm_a", iterations=3).overlay
+            frequencies = FrequencyModel.zipf(graph.nodes(), seed=seed)
+            cost_model = CostModel.constant_linear()
+            fh, fl = compute_push_pull_frequencies(overlay, frequencies)
+            decide_dataflow(overlay, frequencies, cost_model)
+            optimal = assignment_cost(overlay, fh, fl, cost_model)
+            overlay.set_all_decisions(Decision.PUSH)
+            all_push = assignment_cost(overlay, fh, fl, cost_model)
+            overlay.set_all_decisions(Decision.PULL)
+            all_pull = assignment_cost(overlay, fh, fl, cost_model)
+            assert optimal <= all_push + 1e-9
+            assert optimal <= all_pull + 1e-9

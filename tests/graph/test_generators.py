@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.graph import (
+    DATASETS,
+    Neighborhood,
+    build_bipartite,
+    community_graph,
+    load_dataset,
+    paper_figure1,
+    random_graph,
+    social_graph,
+    web_graph,
+)
+
+
+def compressibility(graph, iterations=6):
+    """Sharing index achieved by a quick VNM_A pass — the property the
+    generators must reproduce (web ≫ social, per the paper's Figure 8)."""
+    from repro.overlay import construct_overlay
+
+    ag = build_bipartite(graph, Neighborhood.in_neighbors())
+    result = construct_overlay(ag, "vnm_a", iterations=iterations)
+    return result.overlay.sharing_index(ag)
+
+
+class TestPaperFigure1:
+    def test_exact_input_lists(self):
+        g = paper_figure1()
+        n = Neighborhood.in_neighbors()
+        expected = {
+            "a": {"c", "d", "e", "f"},
+            "b": {"d", "e", "f"},
+            "c": {"a", "b", "d", "e", "f"},
+            "d": {"a", "b", "c", "e", "f"},
+            "e": {"a", "b", "c", "d"},
+            "f": {"a", "b", "c", "d", "e"},
+            "g": {"a", "b", "c", "d", "e", "f"},
+        }
+        for node, members in expected.items():
+            assert n(g, node) == members
+
+
+class TestSocialGraph:
+    def test_deterministic(self):
+        g1 = social_graph(200, 5, seed=1)
+        g2 = social_graph(200, 5, seed=1)
+        assert set(g1.edges()) == set(g2.edges())
+
+    def test_seed_changes_output(self):
+        g1 = social_graph(200, 5, seed=1)
+        g2 = social_graph(200, 5, seed=2)
+        assert set(g1.edges()) != set(g2.edges())
+
+    def test_size(self):
+        g = social_graph(300, 6, seed=3)
+        assert g.num_nodes == 300
+        assert g.num_edges >= 300 * 5  # roughly edges_per_node each
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            social_graph(num_nodes=4, edges_per_node=8)
+
+    def test_has_hubs(self):
+        g = social_graph(400, 5, seed=7)
+        degrees = sorted((g.out_degree(n) for n in g.nodes()), reverse=True)
+        assert degrees[0] > 5 * (sum(degrees) / len(degrees))
+
+
+class TestWebGraph:
+    def test_deterministic(self):
+        assert set(web_graph(200, 5, seed=1).edges()) == set(
+            web_graph(200, 5, seed=1).edges()
+        )
+
+    def test_copy_probability_validation(self):
+        with pytest.raises(ValueError):
+            web_graph(copy_probability=1.5)
+
+    def test_web_compresses_better_than_social(self):
+        web = web_graph(500, 6, copy_probability=0.95, seed=4)
+        social = social_graph(500, 6, seed=4)
+        assert compressibility(web) > 2 * compressibility(social)
+
+
+class TestRandomGraph:
+    def test_exact_edge_count(self):
+        g = random_graph(50, 200, seed=5)
+        assert g.num_edges == 200
+        assert g.num_nodes == 50
+
+    def test_too_many_edges(self):
+        with pytest.raises(ValueError):
+            random_graph(3, 100)
+
+
+class TestCommunityGraph:
+    def test_size(self):
+        g = community_graph(num_communities=4, community_size=10, seed=2)
+        assert g.num_nodes == 40
+
+    def test_communities_are_dense(self):
+        g = community_graph(
+            num_communities=2, community_size=10, intra_probability=0.9,
+            inter_edges=0, seed=2,
+        )
+        # Node 0's in-neighbors should be mostly its own community (0-9).
+        inside = [u for u in g.in_neighbors(0) if u < 10]
+        assert len(inside) == len(g.in_neighbors(0))
+
+
+class TestRegistry:
+    def test_all_datasets_instantiate(self):
+        for name in DATASETS:
+            g = load_dataset(name, scale=0.15)
+            assert g.num_nodes > 20
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError):
+            load_dataset("twitter-2010")
+
+    def test_scale_changes_size(self):
+        small = load_dataset("livejournal-small", scale=0.2)
+        big = load_dataset("livejournal-small", scale=0.4)
+        assert big.num_nodes > small.num_nodes

@@ -1,0 +1,118 @@
+"""Unit tests for neighborhood selection functions ``N(v)``."""
+
+import pytest
+
+from repro.graph import DynamicGraph, Neighborhood
+from repro.graph.generators import paper_figure1
+
+
+@pytest.fixture
+def chain():
+    #  1 -> 2 -> 3 -> 4 -> 5
+    return DynamicGraph.from_edges([(i, i + 1) for i in range(1, 5)])
+
+
+class TestOneHop:
+    def test_in_neighbors(self, chain):
+        n = Neighborhood.in_neighbors()
+        assert n(chain, 3) == {2}
+
+    def test_out_neighbors(self, chain):
+        n = Neighborhood.out_neighbors()
+        assert n(chain, 3) == {4}
+
+    def test_undirected(self, chain):
+        n = Neighborhood.undirected()
+        assert n(chain, 3) == {2, 4}
+
+    def test_paper_example(self):
+        g = paper_figure1()
+        n = Neighborhood.in_neighbors()
+        assert n(g, "a") == {"c", "d", "e", "f"}
+        assert n(g, "g") == {"a", "b", "c", "d", "e", "f"}
+
+    def test_isolated_node(self):
+        g = DynamicGraph()
+        g.add_node("solo")
+        assert Neighborhood.in_neighbors()(g, "solo") == set()
+
+
+class TestMultiHop:
+    def test_two_hop_in(self, chain):
+        n = Neighborhood.in_neighbors(hops=2)
+        assert n(chain, 4) == {2, 3}
+
+    def test_two_hop_excludes_self_on_cycle(self):
+        g = DynamicGraph.from_edges([("a", "b"), ("b", "a")])
+        n = Neighborhood.in_neighbors(hops=2)
+        assert n(g, "a") == {"b"}
+
+    def test_include_self(self, chain):
+        n = Neighborhood.in_neighbors(hops=2, include_self=True)
+        assert n(chain, 4) == {2, 3, 4}
+
+    def test_hops_exhaust_graph(self, chain):
+        n = Neighborhood.in_neighbors(hops=10)
+        assert n(chain, 5) == {1, 2, 3, 4}
+
+    def test_both_direction_two_hop(self, chain):
+        n = Neighborhood.undirected(hops=2)
+        assert n(chain, 3) == {1, 2, 4, 5}
+
+
+class TestFilters:
+    def test_node_filter(self, chain):
+        even_only = Neighborhood.undirected(
+            hops=2, node_filter=lambda g, node: node % 2 == 0
+        )
+        assert even_only(chain, 3) == {2, 4}
+
+    def test_filter_applied_after_expansion(self, chain):
+        # Odd nodes are filtered from membership, not from traversal.
+        n = Neighborhood.in_neighbors(hops=2, node_filter=lambda g, v: v % 2 == 0)
+        assert n(chain, 4) == {2}
+
+
+class TestAffectedReaders:
+    def test_one_hop_in(self, chain):
+        n = Neighborhood.in_neighbors()
+        # 3's writes feed readers that 3 points at.
+        assert n.affected_readers(chain, 3) == {4}
+
+    def test_two_hop_in(self, chain):
+        n = Neighborhood.in_neighbors(hops=2)
+        assert n.affected_readers(chain, 2) == {3, 4}
+
+    def test_reverse_of_out(self, chain):
+        n = Neighborhood.out_neighbors()
+        assert n.affected_readers(chain, 3) == {2}
+
+    def test_membership_consistency(self, chain):
+        # r in affected_readers(v)  <=>  v in N(r), for every direction.
+        for n in (
+            Neighborhood.in_neighbors(),
+            Neighborhood.out_neighbors(hops=2),
+            Neighborhood.undirected(hops=2),
+        ):
+            for v in chain.nodes():
+                affected = n.affected_readers(chain, v)
+                for r in chain.nodes():
+                    assert (r in affected) == (v in n(chain, r))
+
+
+class TestValidation:
+    def test_bad_hops(self):
+        with pytest.raises(ValueError):
+            Neighborhood(hops=0)
+
+    def test_bad_direction(self):
+        with pytest.raises(ValueError):
+            Neighborhood(direction="sideways")
+
+    def test_equality_and_hash(self):
+        assert Neighborhood.in_neighbors() == Neighborhood.in_neighbors()
+        assert Neighborhood.in_neighbors() != Neighborhood.out_neighbors()
+        assert hash(Neighborhood.in_neighbors()) == hash(Neighborhood.in_neighbors())
+
+    def test_repr_mentions_shape(self):
+        assert "2-hop" in repr(Neighborhood.in_neighbors(hops=2))

@@ -1,0 +1,91 @@
+"""Unit tests for stream events and playback."""
+
+import pytest
+
+from repro.graph import (
+    ReadEvent,
+    StreamPlayer,
+    StructureEvent,
+    StructureOp,
+    WriteEvent,
+    merge_streams,
+)
+
+
+class RecordingSink:
+    def __init__(self):
+        self.log = []
+
+    def write(self, node, value, timestamp=None):
+        self.log.append(("write", node, value))
+
+    def read(self, node):
+        self.log.append(("read", node))
+        return f"result-{node}"
+
+    def apply_structure_event(self, event):
+        self.log.append(("structure", event.op, event.u, event.v))
+
+
+class TestEvents:
+    def test_structure_event_requires_endpoints(self):
+        with pytest.raises(ValueError):
+            StructureEvent(op=StructureOp.ADD_EDGE, u="a")
+
+    def test_node_event_single_endpoint_ok(self):
+        event = StructureEvent(op=StructureOp.ADD_NODE, u="a")
+        assert event.v is None
+
+    def test_events_are_frozen(self):
+        event = WriteEvent(node="a", value=1)
+        with pytest.raises(AttributeError):
+            event.value = 2
+
+
+class TestPlayer:
+    def test_dispatch_and_counts(self):
+        sink = RecordingSink()
+        stats = StreamPlayer(sink).play(
+            [
+                WriteEvent("a", 1.0, timestamp=1),
+                ReadEvent("b", timestamp=2),
+                StructureEvent(StructureOp.ADD_EDGE, "a", "b", timestamp=3),
+            ]
+        )
+        assert stats.writes == 1
+        assert stats.reads == 1
+        assert stats.structure_ops == 1
+        assert stats.total == 3
+        assert sink.log[0] == ("write", "a", 1.0)
+        assert sink.log[2] == ("structure", StructureOp.ADD_EDGE, "a", "b")
+
+    def test_results_collected_when_enabled(self):
+        sink = RecordingSink()
+        stats = StreamPlayer(sink, collect_results=True).play([ReadEvent("x")])
+        assert stats.read_results == ["result-x"]
+
+    def test_results_not_collected_by_default(self):
+        sink = RecordingSink()
+        stats = StreamPlayer(sink).play([ReadEvent("x")])
+        assert stats.read_results == []
+
+    def test_unknown_event_rejected(self):
+        with pytest.raises(TypeError):
+            StreamPlayer(RecordingSink()).play([object()])
+
+
+class TestMerge:
+    def test_merge_orders_by_timestamp(self):
+        s1 = [WriteEvent("a", 1, timestamp=1), WriteEvent("a", 2, timestamp=5)]
+        s2 = [ReadEvent("b", timestamp=2), ReadEvent("b", timestamp=4)]
+        merged = list(merge_streams(s1, s2))
+        assert [e.timestamp for e in merged] == [1, 2, 4, 5]
+
+    def test_merge_tie_break_is_stable(self):
+        s1 = [WriteEvent("a", 1, timestamp=1)]
+        s2 = [ReadEvent("b", timestamp=1)]
+        merged = list(merge_streams(s1, s2))
+        assert isinstance(merged[0], WriteEvent)  # stream order on ties
+
+    def test_merge_empty_streams(self):
+        assert list(merge_streams([], [])) == []

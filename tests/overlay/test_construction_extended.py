@@ -1,0 +1,165 @@
+"""Extended construction coverage: degenerate AGs, determinism, stress
+shapes, and IOB improvement iterations under hypothesis."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.overlay import NodeKind, Overlay
+from repro.graph.bipartite import BipartiteGraph
+from repro.overlay.iob import IOBState, build_iob
+from repro.overlay.vnm import build_vnm
+
+
+class TestDegenerateInputs:
+    @pytest.mark.parametrize("variant", ["vnm", "vnm_a", "vnm_n", "vnm_d"])
+    def test_empty_ag(self, variant):
+        ag = BipartiteGraph({})
+        result = build_vnm(ag, variant=variant, iterations=2)
+        assert result.overlay.num_edges == 0
+
+    def test_single_reader(self):
+        ag = BipartiteGraph({"r": ("w1", "w2", "w3")})
+        for build in (
+            lambda: build_vnm(ag, variant="vnm_a", iterations=2).overlay,
+            lambda: build_iob(ag, iterations=1).overlay,
+        ):
+            overlay = build()
+            overlay.validate(ag)
+
+    def test_singleton_input_lists(self):
+        ag = BipartiteGraph({f"r{i}": (f"w{i}",) for i in range(6)})
+        overlay = build_vnm(ag, variant="vnm_a", iterations=3).overlay
+        overlay.validate(ag)
+        assert overlay.num_partials == 0  # nothing shareable
+
+    def test_identical_readers_fully_shared(self):
+        ag = BipartiteGraph({f"r{i}": ("w1", "w2", "w3", "w4") for i in range(8)})
+        overlay = build_vnm(ag, variant="vnm_a", iterations=4, chunk_size=8).overlay
+        overlay.validate(ag)
+        # One shared aggregator: 4 + 8 edges beats 32 direct.
+        assert overlay.num_edges <= 14
+
+    def test_disjoint_readers_nothing_shared(self):
+        ag = BipartiteGraph(
+            {f"r{i}": (f"w{3*i}", f"w{3*i+1}", f"w{3*i+2}") for i in range(6)}
+        )
+        overlay = build_vnm(ag, variant="vnm_a", iterations=3).overlay
+        overlay.validate(ag)
+        assert overlay.sharing_index(ag) == 0.0
+
+    def test_nested_subset_structure(self):
+        # r_k's inputs are a prefix chain: multi-level stacking territory.
+        writers = [f"w{i}" for i in range(10)]
+        ag = BipartiteGraph(
+            {f"r{k}": tuple(writers[: k + 2]) for k in range(8)}
+        )
+        overlay = build_vnm(ag, variant="vnm_a", iterations=6, chunk_size=4).overlay
+        overlay.validate(ag)
+        assert overlay.sharing_index(ag) > 0.2
+
+
+class TestDeterminism:
+    def make_ag(self):
+        rng = random.Random(5)
+        writers = [f"w{i}" for i in range(25)]
+        return BipartiteGraph(
+            {
+                f"r{i}": tuple(rng.sample(writers, rng.randrange(2, 10)))
+                for i in range(30)
+            }
+        )
+
+    @pytest.mark.parametrize("variant", ["vnm_a", "vnm_n", "vnm_d"])
+    def test_vnm_deterministic(self, variant):
+        ag = self.make_ag()
+        a = build_vnm(ag, variant=variant, iterations=5)
+        b = build_vnm(ag, variant=variant, iterations=5)
+        assert a.overlay.num_edges == b.overlay.num_edges
+        assert list(a.overlay.edges()) == list(b.overlay.edges())
+
+    def test_iob_deterministic(self):
+        ag = self.make_ag()
+        a = build_iob(ag, iterations=2)
+        b = build_iob(ag, iterations=2)
+        assert list(a.overlay.edges()) == list(b.overlay.edges())
+
+    def test_seed_changes_grouping(self):
+        ag = self.make_ag()
+        a = build_vnm(ag, variant="vnm_a", iterations=3, seed=1)
+        b = build_vnm(ag, variant="vnm_a", iterations=3, seed=2)
+        a.overlay.validate(ag)
+        b.overlay.validate(ag)  # different shingles, both correct
+
+
+class TestIOBImprovement:
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_improvement_never_grows_or_breaks(self, seed):
+        rng = random.Random(seed)
+        writers = [f"w{i}" for i in range(rng.randrange(4, 14))]
+        ag = BipartiteGraph(
+            {
+                f"r{i}": tuple(rng.sample(writers, rng.randrange(2, len(writers) + 1)))
+                for i in range(rng.randrange(3, 12))
+            }
+        )
+        result = build_iob(ag, iterations=1)
+        state = result.iob_state
+        edges_before = result.overlay.num_edges
+        state.improve_partials()
+        assert result.overlay.num_edges <= edges_before
+        result.overlay.validate(ag)
+
+    def test_reverse_index_consistent_after_improvement(self):
+        rng = random.Random(9)
+        writers = [f"w{i}" for i in range(15)]
+        ag = BipartiteGraph(
+            {
+                f"r{i}": tuple(rng.sample(writers, rng.randrange(3, 10)))
+                for i in range(20)
+            }
+        )
+        result = build_iob(ag, iterations=3)
+        state = result.iob_state
+        overlay = result.overlay
+        for handle, cover in state.coverage.items():
+            if handle in state.dead:
+                continue
+            if overlay.kinds[handle] is NodeKind.PARTIAL and overlay.outputs[handle]:
+                actual = overlay.coverage(handle)
+                assert cover == frozenset(actual)
+                for writer in cover:
+                    if handle in state.pure:
+                        assert handle in state.reverse[writer]
+
+
+class TestStatsIntegrity:
+    def test_edges_saved_matches_edge_delta(self):
+        rng = random.Random(11)
+        writers = [f"w{i}" for i in range(20)]
+        ag = BipartiteGraph(
+            {
+                f"r{i}": tuple(rng.sample(writers, rng.randrange(2, 12)))
+                for i in range(25)
+            }
+        )
+        result = build_vnm(ag, variant="vnm_a", iterations=5)
+        total_saved = sum(s.edges_saved for s in result.stats)
+        assert total_saved == ag.num_edges - result.overlay.num_edges
+
+    def test_negative_edges_counted(self):
+        rng = random.Random(13)
+        base = [f"w{i}" for i in range(8)]
+        # Near-identical readers, each missing one writer: quasi-biclique bait.
+        inputs = {}
+        for i in range(8):
+            members = [w for j, w in enumerate(base) if j != i % 8]
+            inputs[f"r{i}"] = tuple(members)
+        ag = BipartiteGraph(inputs)
+        result = build_vnm(ag, variant="vnm_n", iterations=4, chunk_size=8, k2=2)
+        result.overlay.validate(ag)
+        stat_total = sum(s.negative_edges_added for s in result.stats)
+        assert stat_total == result.overlay.num_negative_edges

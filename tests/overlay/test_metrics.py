@@ -1,0 +1,74 @@
+"""Tests for overlay metrics."""
+
+import pytest
+
+from repro.core.overlay import Overlay
+from repro.graph.bipartite import BipartiteGraph, build_bipartite
+from repro.graph.generators import paper_figure1
+from repro.graph.neighborhoods import Neighborhood
+from repro.overlay.metrics import (
+    average_depth,
+    compression_ratio,
+    depth_cdf,
+    depth_distribution,
+    summarize,
+)
+from repro.overlay.vnm import build_vnm
+
+
+@pytest.fixture
+def fig1():
+    ag = build_bipartite(paper_figure1(), Neighborhood.in_neighbors())
+    overlay = build_vnm(ag, variant="vnm_a", iterations=4).overlay
+    return ag, overlay
+
+
+class TestCompressionRatio:
+    def test_paper_relationship(self):
+        # CR = 1 / (1 - SI), Section 3.1.
+        assert compression_ratio(0.5) == pytest.approx(2.0)
+        assert compression_ratio(0.0) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compression_ratio(1.0)
+
+
+class TestDepth:
+    def test_identity_overlay_depth_one(self):
+        ag = BipartiteGraph({"r": ("w1", "w2")})
+        overlay = Overlay.identity(ag)
+        assert depth_distribution(overlay) == {1: 1}
+        assert average_depth(overlay) == 1.0
+
+    def test_cdf_monotone_to_one(self, fig1):
+        _, overlay = fig1
+        cdf = depth_cdf(overlay)
+        fractions = [f for _, f in cdf]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0)
+
+    def test_empty_overlay(self):
+        overlay = Overlay()
+        assert depth_cdf(overlay) == []
+        assert average_depth(overlay) == 0.0
+
+
+class TestSummary:
+    def test_fields(self, fig1):
+        ag, overlay = fig1
+        summary = summarize(overlay, ag)
+        assert summary.num_readers == 7
+        assert summary.num_writers == 6
+        assert summary.ag_edges == 32
+        assert summary.num_edges == overlay.num_edges
+        assert summary.sharing_index == pytest.approx(overlay.sharing_index(ag))
+        assert summary.compression_ratio >= 1.0
+        assert summary.max_depth >= summary.average_depth
+        assert summary.memory_estimate > 0
+
+    def test_summary_of_identity(self):
+        ag = BipartiteGraph({"r": ("w1", "w2")})
+        summary = summarize(Overlay.identity(ag), ag)
+        assert summary.sharing_index == 0.0
+        assert summary.num_partials == 0

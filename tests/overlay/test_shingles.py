@@ -1,0 +1,85 @@
+"""Unit tests for min-hash shingle ordering and chunking."""
+
+import pytest
+
+from repro.overlay.shingles import ShingleHasher, chunk, shingle_order
+
+
+class TestHasher:
+    def test_deterministic_across_instances(self):
+        h1 = ShingleHasher(num_hashes=3, seed=5)
+        h2 = ShingleHasher(num_hashes=3, seed=5)
+        items = ["a", "b", "c"]
+        assert h1.shingles(items) == h2.shingles(items)
+
+    def test_order_insensitive(self):
+        h = ShingleHasher(num_hashes=2, seed=5)
+        assert h.shingles(["a", "b", "c"]) == h.shingles(["c", "a", "b"])
+
+    def test_identical_sets_collide(self):
+        h = ShingleHasher(seed=1)
+        assert h.shingles([1, 2, 3]) == h.shingles([1, 2, 3])
+
+    def test_disjoint_sets_differ(self):
+        h = ShingleHasher(num_hashes=4, seed=1)
+        assert h.shingles([1, 2, 3]) != h.shingles([10, 20, 30])
+
+    def test_empty_items(self):
+        h = ShingleHasher(num_hashes=2, seed=1)
+        assert len(h.shingles([])) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShingleHasher(num_hashes=0)
+
+
+class TestOrder:
+    def test_similar_readers_adjacent(self):
+        shared = list(range(20))
+        transactions = {
+            "twin1": shared,
+            "twin2": shared,
+            "stranger": list(range(100, 130)),
+            "twin3": shared + [99],
+        }
+        order = shingle_order(transactions, num_hashes=2, seed=3)
+        twins = [order.index(t) for t in ("twin1", "twin2", "twin3")]
+        # All twins within a window of 3 positions.
+        assert max(twins) - min(twins) <= 2
+
+    def test_deterministic(self):
+        transactions = {i: list(range(i, i + 4)) for i in range(30)}
+        assert shingle_order(transactions, seed=9) == shingle_order(transactions, seed=9)
+
+    def test_all_readers_present(self):
+        transactions = {i: [i, i + 1] for i in range(25)}
+        assert sorted(shingle_order(transactions)) == sorted(transactions)
+
+
+class TestChunk:
+    def test_disjoint_partition(self):
+        groups = chunk(list(range(10)), 4)
+        assert groups == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_overlap(self):
+        groups = chunk(list(range(10)), 4, overlap=0.5)
+        assert groups[0] == [0, 1, 2, 3]
+        assert groups[1] == [2, 3, 4, 5]
+
+    def test_every_reader_covered(self):
+        for overlap in (0.0, 0.25, 0.5):
+            groups = chunk(list(range(37)), 5, overlap=overlap)
+            covered = set()
+            for group in groups:
+                covered.update(group)
+            assert covered == set(range(37))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk([1, 2], 0)
+        with pytest.raises(ValueError):
+            chunk([1, 2], 2, overlap=1.0)
+
+    def test_small_input(self):
+        assert chunk([1], 10) == [[1]]
+        assert chunk([], 10) == []

@@ -1,0 +1,171 @@
+"""Tests for the VNM construction family."""
+
+import pytest
+
+from repro.core.aggregates import Max, Sum
+from repro.graph.bipartite import build_bipartite
+from repro.graph.generators import paper_figure1, social_graph, web_graph
+from repro.graph.neighborhoods import Neighborhood
+from repro.overlay import construct_overlay
+from repro.overlay.vnm import VNMConfig, build_vnm
+
+
+@pytest.fixture(scope="module")
+def fig1_ag():
+    return build_bipartite(paper_figure1(), Neighborhood.in_neighbors())
+
+
+@pytest.fixture(scope="module")
+def web_ag():
+    return build_bipartite(
+        web_graph(400, 6, copy_probability=0.95, seed=4), Neighborhood.in_neighbors()
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", ["vnm", "vnm_a", "vnm_n"])
+    def test_duplicate_sensitive_exact_coverage(self, fig1_ag, web_ag, variant):
+        for ag in (fig1_ag, web_ag):
+            result = build_vnm(ag, variant=variant, iterations=6)
+            result.overlay.validate(ag)
+
+    def test_vnm_d_set_coverage(self, fig1_ag, web_ag):
+        for ag in (fig1_ag, web_ag):
+            result = build_vnm(ag, variant="vnm_d", iterations=6)
+            result.overlay.validate(ag, duplicate_insensitive=True)
+
+    def test_vnm_d_never_adds_negative_edges(self, web_ag):
+        result = build_vnm(ag=web_ag, variant="vnm_d", iterations=6)
+        assert result.overlay.num_negative_edges == 0
+
+    def test_overlay_is_dag(self, web_ag):
+        for variant in ("vnm_a", "vnm_n", "vnm_d"):
+            result = build_vnm(web_ag, variant=variant, iterations=6)
+            result.overlay.topological_order()  # raises on cycles
+
+
+class TestSharingIndex:
+    def test_improves_over_identity(self, web_ag):
+        result = build_vnm(web_ag, variant="vnm_a", iterations=8)
+        assert result.overlay.sharing_index(web_ag) > 0.2
+
+    def test_monotone_nondecreasing_per_iteration(self, web_ag):
+        result = build_vnm(web_ag, variant="vnm_a", iterations=8)
+        trace = result.sharing_index_trace
+        assert all(b >= a - 1e-9 for a, b in zip(trace, trace[1:]))
+
+    def test_web_better_than_social(self):
+        web = build_bipartite(
+            web_graph(400, 6, copy_probability=0.95, seed=4),
+            Neighborhood.in_neighbors(),
+        )
+        social = build_bipartite(
+            social_graph(400, 6, seed=4), Neighborhood.in_neighbors()
+        )
+        web_si = build_vnm(web, variant="vnm_a", iterations=8).overlay.sharing_index(web)
+        social_si = build_vnm(social, variant="vnm_a", iterations=8).overlay.sharing_index(social)
+        assert web_si > social_si
+
+    def test_vnm_n_beats_vnm_a(self, web_ag):
+        """The paper's headline Figure 8 ordering (negative edges help)."""
+        si_a = build_vnm(web_ag, variant="vnm_a", iterations=14).overlay.sharing_index(web_ag)
+        si_n = build_vnm(web_ag, variant="vnm_n", iterations=14).overlay.sharing_index(web_ag)
+        assert si_n >= si_a * 0.98  # at worst a hair behind, typically ahead
+
+    def test_negative_edges_appear(self, web_ag):
+        result = build_vnm(web_ag, variant="vnm_n", iterations=8)
+        assert result.overlay.num_negative_edges > 0
+
+
+class TestAdaptiveChunking:
+    def test_chunk_shrinks(self, web_ag):
+        result = build_vnm(web_ag, variant="vnm_a", chunk_size=100, iterations=6)
+        sizes = [s.chunk_size for s in result.stats]
+        assert sizes[0] == 100
+        assert sizes[-1] < 100
+        assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+
+    def test_fixed_vnm_keeps_chunk(self, web_ag):
+        result = build_vnm(web_ag, variant="vnm", chunk_size=64, iterations=4)
+        assert all(s.chunk_size == 64 for s in result.stats)
+
+    def test_respects_floor(self, web_ag):
+        result = build_vnm(
+            web_ag, variant="vnm_a", iterations=6, min_chunk_size=7
+        )
+        assert all(s.chunk_size >= 7 for s in result.stats)
+
+    def test_insensitive_to_initial_chunk_order_of_magnitude(self, web_ag):
+        """Paper: 'not sensitive to the initial chunk size to within an
+        order of magnitude'."""
+        si_small = build_vnm(web_ag, variant="vnm_a", chunk_size=40, iterations=10)
+        si_large = build_vnm(web_ag, variant="vnm_a", chunk_size=200, iterations=10)
+        a = si_small.overlay.sharing_index(web_ag)
+        b = si_large.overlay.sharing_index(web_ag)
+        assert abs(a - b) < 0.15
+
+
+class TestStats:
+    def test_stats_populated(self, web_ag):
+        result = build_vnm(web_ag, variant="vnm_a", iterations=4)
+        for stat in result.stats:
+            assert stat.elapsed_seconds >= 0
+            assert stat.memory_estimate > 0
+            assert stat.sharing_index <= 1.0
+        assert result.total_seconds >= 0
+
+    def test_benefit_by_width_keys_are_widths(self, web_ag):
+        result = build_vnm(web_ag, variant="vnm_a", iterations=2)
+        for stat in result.stats:
+            for width in stat.benefit_by_width:
+                assert width >= 1
+
+    def test_early_stop_on_exhaustion(self, fig1_ag):
+        result = build_vnm(fig1_ag, variant="vnm_a", iterations=50)
+        assert len(result.stats) < 50  # tiny graph exhausts quickly
+
+
+class TestConfig:
+    def test_variant_validation(self):
+        with pytest.raises(ValueError):
+            VNMConfig(variant="vnm_x")
+
+    def test_chunk_validation(self):
+        with pytest.raises(ValueError):
+            VNMConfig(chunk_size=1)
+
+    def test_iterations_validation(self):
+        with pytest.raises(ValueError):
+            VNMConfig(iterations=0)
+
+    def test_config_and_overrides_exclusive(self, fig1_ag):
+        with pytest.raises(TypeError):
+            build_vnm(fig1_ag, config=VNMConfig(), iterations=3)
+
+    def test_virtual_transactions_toggle(self, web_ag):
+        with_vt = build_vnm(web_ag, variant="vnm_a", iterations=8)
+        without = build_vnm(
+            web_ag, variant="vnm_a", iterations=8, virtual_transactions=False
+        )
+        without.overlay.validate(web_ag)
+        # Multi-level stacking is the main SI driver at this scale.
+        assert with_vt.overlay.sharing_index(web_ag) >= without.overlay.sharing_index(web_ag)
+
+
+class TestDispatcher:
+    def test_aggregate_guards(self, fig1_ag):
+        with pytest.raises(ValueError):
+            construct_overlay(fig1_ag, "vnm_n", aggregate=Max())
+        with pytest.raises(ValueError):
+            construct_overlay(fig1_ag, "vnm_d", aggregate=Sum())
+        construct_overlay(fig1_ag, "vnm_n", aggregate=Sum(), iterations=2)
+        construct_overlay(fig1_ag, "vnm_d", aggregate=Max(), iterations=2)
+
+    def test_unknown_algorithm(self, fig1_ag):
+        with pytest.raises(ValueError):
+            construct_overlay(fig1_ag, "steiner")
+
+    def test_identity(self, fig1_ag):
+        result = construct_overlay(fig1_ag, "identity")
+        assert result.overlay.num_edges == fig1_ag.num_edges
+        assert result.stats == []

@@ -1,0 +1,143 @@
+"""Tests for workload generation: Zipf sampling, mixing, drifting traces."""
+
+import pytest
+
+from repro.graph.streams import ReadEvent, WriteEvent
+from repro.workload import (
+    DriftSpec,
+    WorkloadSpec,
+    ZipfSampler,
+    drifting_trace,
+    generate_events,
+    phase_frequencies,
+    warmup_writes,
+)
+
+
+class TestZipfSampler:
+    def test_deterministic(self):
+        s1 = ZipfSampler(list(range(20)), seed=3)
+        s2 = ZipfSampler(list(range(20)), seed=3)
+        assert s1.sample_many(50) == s2.sample_many(50)
+
+    def test_skew(self):
+        sampler = ZipfSampler(list(range(100)), alpha=1.2, seed=5)
+        counts = {}
+        for node in sampler.sample_many(5000):
+            counts[node] = counts.get(node, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        assert ordered[0] > 20 * (5000 / 100 / 20)  # head way above uniform
+
+    def test_alpha_zero_uniformish(self):
+        sampler = ZipfSampler(list(range(10)), alpha=0.0, seed=5)
+        counts = {}
+        for node in sampler.sample_many(5000):
+            counts[node] = counts.get(node, 0) + 1
+        assert max(counts.values()) < 3 * min(counts.values())
+
+    def test_expected_frequencies_sum(self):
+        sampler = ZipfSampler(list(range(30)), seed=7)
+        expected = sampler.expected_frequencies(1000.0)
+        assert sum(expected.values()) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+        with pytest.raises(ValueError):
+            ZipfSampler([1], alpha=-1.0)
+
+
+class TestMixer:
+    def test_count_and_determinism(self):
+        nodes = list(range(10))
+        spec = WorkloadSpec(num_events=500, seed=9)
+        e1 = generate_events(nodes, spec)
+        e2 = generate_events(nodes, spec)
+        assert len(e1) == 500
+        assert e1 == e2
+
+    def test_ratio_controls_write_fraction(self):
+        nodes = list(range(10))
+        for ratio, low, high in ((0.1, 0.03, 0.18), (1.0, 0.42, 0.58), (10.0, 0.85, 0.97)):
+            events = generate_events(
+                nodes, num_events=2000, write_read_ratio=ratio, seed=4
+            )
+            writes = sum(1 for e in events if isinstance(e, WriteEvent))
+            assert low < writes / len(events) < high
+
+    def test_timestamps_increase(self):
+        events = generate_events(list(range(5)), num_events=100, seed=2)
+        stamps = [e.timestamp for e in events]
+        assert stamps == sorted(stamps)
+
+    def test_custom_value_factory(self):
+        events = generate_events(
+            list(range(5)), num_events=50, write_read_ratio=100.0, seed=2,
+            value_factory=lambda rng: "tag",
+        )
+        assert all(e.value == "tag" for e in events if isinstance(e, WriteEvent))
+
+    def test_spec_and_overrides_exclusive(self):
+        with pytest.raises(TypeError):
+            generate_events([1], WorkloadSpec(), num_events=5)
+
+    def test_warmup_covers_all_nodes(self):
+        events = warmup_writes(list(range(7)), per_node=2)
+        assert len(events) == 14
+        touched = {e.node for e in events}
+        assert touched == set(range(7))
+
+
+class TestDriftingTrace:
+    def test_counts_and_nodes(self):
+        events, drifting = drifting_trace(list(range(20)), num_events=1000, seed=3)
+        assert len(events) == 1000
+        assert drifting
+        assert set(drifting) <= set(range(20))
+
+    def test_drift_inverts_mix_for_target_nodes(self):
+        spec = DriftSpec(
+            num_events=20_000, base_write_read_ratio=9.0,
+            drifted_write_read_ratio=1 / 9.0, drifting_fraction=0.2, seed=6,
+        )
+        events, drifting = drifting_trace(list(range(20)), spec)
+        half = len(events) // 2
+        drift_set = set(drifting)
+
+        def write_fraction(chunk):
+            relevant = [e for e in chunk if e.node in drift_set]
+            writes = sum(1 for e in relevant if isinstance(e, WriteEvent))
+            return writes / max(1, len(relevant))
+
+        assert write_fraction(events[:half]) > 0.75
+        assert write_fraction(events[half:]) < 0.35
+
+    def test_non_drifting_nodes_stable(self):
+        spec = DriftSpec(num_events=20_000, base_write_read_ratio=1.0, seed=6)
+        events, drifting = drifting_trace(list(range(20)), spec)
+        half = len(events) // 2
+        stable = set(range(20)) - set(drifting)
+
+        def write_fraction(chunk):
+            relevant = [e for e in chunk if e.node in stable]
+            writes = sum(1 for e in relevant if isinstance(e, WriteEvent))
+            return writes / max(1, len(relevant))
+
+        assert abs(write_fraction(events[:half]) - write_fraction(events[half:])) < 0.1
+
+    def test_phase_frequencies(self):
+        events = [
+            WriteEvent("a", 1, timestamp=1),
+            ReadEvent("b", timestamp=2),
+            WriteEvent("a", 2, timestamp=3),
+            ReadEvent("a", timestamp=4),
+        ]
+        phases = phase_frequencies(events, num_phases=2)
+        assert len(phases) == 2
+        reads1, writes1 = phases[0]
+        assert writes1 == {"a": 1.0}
+        assert reads1 == {"b": 1.0}
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            phase_frequencies([], num_phases=0)
