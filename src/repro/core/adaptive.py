@@ -15,6 +15,10 @@ at the frontier) against the observed pull traffic over a sliding window of
 events, and flips the decision when the other side would have been cheaper
 by a hysteresis factor.  Flipping to push materializes the node's PAO from
 its (push) inputs; flipping to pull discards state.
+
+Flips go through :meth:`Runtime.set_decision`, which invalidates only the
+compiled propagation plans whose traversal touches the flipped node — an
+adaptive adjustment never forces a full plan-cache rebuild.
 """
 
 from __future__ import annotations
@@ -62,10 +66,20 @@ class AdaptiveController:
     # ------------------------------------------------------------------
 
     def tick(self, events: int = 1) -> None:
-        """Notify the controller that events were processed."""
+        """Notify the controller that events were processed.
+
+        Batched entry points tick once with the batch size, so a batch
+        crosses the check interval exactly as the per-event loop would.
+        """
         self._events_since_check += events
         if self._events_since_check >= self.config.check_interval:
             self.evaluate()
+
+    @property
+    def plan_stats(self) -> "tuple[int, int]":
+        """``(compiles, invalidations)`` of the runtime's plan cache —
+        the cost side of adaptive flipping under compiled execution."""
+        return (self.runtime.plan_compiles, self.runtime.plan_invalidations)
 
     def frontier(self) -> List[int]:
         """Handles whose decision may be flipped unilaterally."""

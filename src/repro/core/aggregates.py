@@ -67,6 +67,10 @@ class AggregateFunction(ABC):
     duplicate_insensitive: bool = False
     #: SUM-like: supports efficient removal of a contribution.
     subtractable: bool = False
+    #: PAOs and deltas are plain numbers with ``merge == +`` and
+    #: ``negate == -`` (SUM, COUNT): enables the compiled push plans'
+    #: scalar kernel (``values[dst] += sign * delta``).
+    scalar_delta: bool = False
 
     # -- core PAO algebra ------------------------------------------------
 
@@ -143,6 +147,7 @@ class Sum(AggregateFunction):
 
     name = "sum"
     subtractable = True
+    scalar_delta = True
 
     def identity(self) -> float:
         return 0.0
@@ -165,6 +170,7 @@ class Count(AggregateFunction):
 
     name = "count"
     subtractable = True
+    scalar_delta = True
 
     def identity(self) -> int:
         return 0

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence
 
 from repro.core.engine import EAGrEngine
-from repro.core.execution import Runtime, TraceOp
+from repro.core.execution import Runtime, TraceOp, normalize_write
 from repro.dataflow.costs import CostModel
 
 NodeId = Hashable
@@ -69,6 +69,17 @@ class ThreadedEngine:
         """Enqueue a write; pool workers process it asynchronously."""
         self._tasks.put(("write", node, value, timestamp))
 
+    def submit_write_batch(self, writes: Sequence) -> None:
+        """Enqueue a batch of writes as one micro-task.
+
+        The worker coalesces same-writer deltas (one ``writer_step`` per
+        touched writer under its node lock) before fanning the combined
+        messages out as ordinary per-edge push micro-tasks, so a batch
+        costs one queue round-trip and one writer-lock acquisition per
+        writer instead of per event.
+        """
+        self._tasks.put(("write_batch", list(writes)))
+
     def _worker(self) -> None:
         while True:
             task = self._tasks.get()
@@ -78,6 +89,8 @@ class ThreadedEngine:
             try:
                 if task[0] == "write":
                     self._do_write(task[1], task[2], task[3])
+                elif task[0] == "write_batch":
+                    self._do_write_batch(task[1])
                 else:
                     self._do_push(task[1], task[2], task[3])
             finally:
@@ -102,6 +115,38 @@ class ThreadedEngine:
             return
         for dst in overlay.outputs[handle]:
             self._tasks.put(("push", handle, dst, message))
+
+    def _do_write_batch(self, writes: Sequence) -> None:
+        runtime = self.runtime
+        overlay = runtime.overlay
+        normalized = []
+        with self._clock_lock:
+            for item in writes:
+                node, value, timestamp = normalize_write(item)
+                runtime.counters.writes += 1
+                if timestamp is None:
+                    timestamp = runtime.clock + 1.0
+                runtime.clock = max(runtime.clock, timestamp)
+                normalized.append((node, value, timestamp))
+        pending: Dict[int, Any] = {}
+        for node, value, timestamp in normalized:
+            handle = overlay.writer_of.get(node)
+            if handle is None:
+                continue
+            with self._locks[handle]:
+                evicted = runtime.buffers[node].append(value, timestamp)
+            entry = pending.get(handle)
+            if entry is None:
+                entry = pending[handle] = ([], [])
+            entry[0].append(value)
+            entry[1].extend(evicted)
+        for handle, (added, evicted) in pending.items():
+            with self._locks[handle]:
+                message = runtime.writer_step(handle, added, evicted)
+            if message is None:
+                continue
+            for dst in overlay.outputs[handle]:
+                self._tasks.put(("push", handle, dst, message))
 
     def _do_push(self, src: int, dst: int, message: Any) -> None:
         runtime = self.runtime
@@ -205,11 +250,15 @@ def collect_tasks(engine: EAGrEngine, events: Sequence) -> List[List[TraceOp]]:
     """
     from repro.graph.streams import ReadEvent, WriteEvent
 
-    runtime = engine.runtime
-    if runtime.trace is None:
+    if engine.runtime.trace is None:
         raise ValueError("engine was not built with collect_trace=True")
     tasks: List[List[TraceOp]] = []
     for event in events:
+        # A lazy recompile would replace engine.runtime (and its trace)
+        # inside the event call; settle it first so the slice below reads
+        # the trace list the event actually appends to.
+        engine._sync()
+        runtime = engine.runtime
         before = len(runtime.trace)
         if isinstance(event, WriteEvent):
             engine.write(event.node, event.value, event.timestamp)
@@ -218,6 +267,54 @@ def collect_tasks(engine: EAGrEngine, events: Sequence) -> List[List[TraceOp]]:
         else:
             raise TypeError("collect_tasks handles read/write events only")
         tasks.append(list(runtime.trace[before:]))
+    return tasks
+
+
+def collect_batch_tasks(
+    engine: EAGrEngine, events: Sequence, batch_size: int = 64
+) -> List[List[TraceOp]]:
+    """Like :func:`collect_tasks`, but writes are grouped into batches.
+
+    Consecutive writes (up to ``batch_size``) become ONE task whose
+    micro-operations come from a single compiled-plan execution per
+    coalesced writer; a read flushes the pending batch first (it must
+    observe every prior write) and forms its own task.  This is the task
+    granularity a batched ingestion deployment would hand the scheduler.
+    """
+    from repro.graph.streams import ReadEvent, WriteEvent
+
+    if engine.runtime.trace is None:
+        raise ValueError("engine was not built with collect_trace=True")
+    tasks: List[List[TraceOp]] = []
+    buffered: List = []
+
+    def run_task(action) -> None:
+        # Settle any pending lazy recompile first: it would replace
+        # engine.runtime (and its trace list) mid-call, making the slice
+        # below read the dead trace.
+        engine._sync()
+        runtime = engine.runtime
+        before = len(runtime.trace)
+        action()
+        tasks.append(list(runtime.trace[before:]))
+
+    def flush() -> None:
+        if not buffered:
+            return
+        run_task(lambda: engine.write_batch(buffered))
+        buffered.clear()
+
+    for event in events:
+        if isinstance(event, WriteEvent):
+            buffered.append(event)
+            if len(buffered) >= batch_size:
+                flush()
+        elif isinstance(event, ReadEvent):
+            flush()
+            run_task(lambda: engine.read(event.node))
+        else:
+            raise TypeError("collect_batch_tasks handles read/write events only")
+    flush()
     return tasks
 
 

@@ -23,7 +23,7 @@ The two baselines of Section 5.1 are spelled::
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.adaptive import AdaptiveConfig, AdaptiveController
 from repro.core.execution import Runtime
@@ -98,6 +98,10 @@ class EAGrEngine:
         self.cost_model = cost_model or CostModel.for_aggregate(query.aggregate)
         self.auto_redecide = auto_redecide
         self._collect_trace = collect_trace
+        self._needs_recompile = False
+        # reference_read orders oracle members deterministically; the sort
+        # is cached per node and refreshed only when the membership changes.
+        self._oracle_members: Dict[NodeId, Tuple[frozenset, List[NodeId]]] = {}
 
         self.ag = build_bipartite(graph, query.neighborhood, query.predicate)
         self.construction = construct_overlay(
@@ -164,7 +168,9 @@ class EAGrEngine:
         if frequencies is not None:
             self.frequencies = frequencies
         self.decision_stats = self._decide()
-        self.runtime.rebuild()
+        # Re-deciding only dirties the handles whose decision flipped;
+        # untouched writers/readers keep their compiled plans.
+        self.runtime.rebuild(dirty=self.overlay.pop_dirty())
         if self.controller is not None:
             self.controller._snapshot()
 
@@ -179,6 +185,21 @@ class EAGrEngine:
         if self.controller is not None:
             self.controller.tick()
 
+    def write_batch(self, writes: Sequence) -> int:
+        """Process a batch of writes, coalescing same-writer deltas.
+
+        ``writes`` holds ``(node, value)`` / ``(node, value, timestamp)``
+        tuples or WriteEvent-like objects, in stream order.  The runtime
+        runs one compiled-plan propagation per touched writer instead of
+        one overlay traversal per event; final state matches the
+        equivalent per-event loop.  Returns the number of writes applied.
+        """
+        self._sync()
+        count = self.runtime.write_batch(writes)
+        if self.controller is not None:
+            self.controller.tick(count)
+        return count
+
     def read(self, node: NodeId) -> Any:
         """Evaluate the query at ``node``: the current ``F(N(node))``."""
         self._sync()
@@ -186,6 +207,15 @@ class EAGrEngine:
         if self.controller is not None:
             self.controller.tick()
         return result
+
+    def read_batch(self, nodes: Sequence[NodeId]) -> List[Any]:
+        """Evaluate the query at each of ``nodes`` (one structural sync,
+        compiled pull plans shared across the batch)."""
+        self._sync()
+        results = self.runtime.read_batch(nodes)
+        if self.controller is not None:
+            self.controller.tick(len(results))
+        return results
 
     def apply_structure_event(self, event: StructureEvent) -> None:
         """Apply one structure-stream event to the data graph.
@@ -205,14 +235,13 @@ class EAGrEngine:
             self.graph.remove_node(event.u)
         else:  # pragma: no cover - enum exhaustive
             raise ValueError(f"unknown structure op: {op}")
+        self._oracle_members.clear()
         if self.maintainer is None:
             self._needs_recompile = True
 
     # ------------------------------------------------------------------
     # synchronization after structural changes
     # ------------------------------------------------------------------
-
-    _needs_recompile = False
 
     def _sync(self) -> None:
         if self.maintainer is not None:
@@ -224,7 +253,10 @@ class EAGrEngine:
                     self.overlay.set_all_decisions(Decision.PUSH)
                 else:
                     self.overlay.set_all_decisions(Decision.PULL)
-                self.runtime.rebuild()
+                self._oracle_members.clear()
+                # Incremental surgery dirties a bounded neighborhood of the
+                # overlay; only plans touching it are recompiled.
+                self.runtime.rebuild(dirty=self.maintainer.consume_plan_dirty())
         elif self._needs_recompile:
             self._recompile()
             self._needs_recompile = False
@@ -233,6 +265,7 @@ class EAGrEngine:
         """Full re-compilation (no maintainer): rebuild AG, overlay,
         decisions and runtime, preserving writer window buffers."""
         buffers = self.runtime.buffers
+        self._oracle_members.clear()
         self.ag = build_bipartite(
             self.graph, self.query.neighborhood, self.query.predicate
         )
@@ -256,7 +289,13 @@ class EAGrEngine:
     def reference_read(self, node: NodeId) -> Any:
         """Brute-force oracle: evaluate ``F(N(node))`` from the live graph."""
         members = self.query.neighborhood(self.graph, node)
-        return self.runtime.reference_read(sorted(members, key=repr))
+        cached = self._oracle_members.get(node)
+        if cached is not None and cached[0] == members:
+            ordered = cached[1]
+        else:
+            ordered = sorted(members, key=repr)
+            self._oracle_members[node] = (frozenset(members), ordered)
+        return self.runtime.reference_read(ordered)
 
     @property
     def counters(self):

@@ -4,9 +4,8 @@ The runtime holds a partial aggregate object (PAO) for every node annotated
 *push* and nothing for *pull* nodes.  A write enters at its writer node,
 updates the writer's sliding window and PAO, and propagates through
 consecutive push nodes; propagation stops at the push/pull frontier.  A read
-at a push reader returns its PAO immediately; at a pull reader it recursively
-pulls PAOs from upstream, merging (or subtracting, across negative edges) as
-it goes.
+at a push reader returns its PAO immediately; at a pull reader it pulls PAOs
+from upstream, merging (or subtracting, across negative edges) as it goes.
 
 Two propagation strategies, selected by the aggregate's family
 (see :mod:`repro.core.aggregates`):
@@ -16,6 +15,37 @@ Two propagation strategies, selected by the aggregate's family
 * **lattice** (MAX-like) — updates travel as ``(old, new)`` pairs; each push
   node keeps its inputs' last values, applies an O(1) fast path when the
   change cannot lower the extremum, and recomputes otherwise.
+
+Compiled propagation plans
+--------------------------
+The hot path no longer traverses the dict-of-dict overlay per event.  Once
+dataflow decisions are fixed, the runtime freezes the overlay into CSR
+arrays (:meth:`repro.core.overlay.Overlay.to_csr`) and compiles, lazily and
+per entry point:
+
+* a **push plan** per writer — for group aggregates, the exact ``(dst,
+  cumulative_sign, is_push)`` application sequence the interpreter's DFS
+  would perform (group propagation never short-circuits, so the sequence is
+  static); for Sum/Count a further scalar specialization applies the delta
+  with ``values[dst] += sign * delta``;
+* a **pull plan** per pull reader — a flat three-op stack program (LEAF /
+  ENTER / EXIT) replaying the recursive pull's merge order exactly, so
+  reads run without recursion or dict lookups;
+* for lattice aggregates, a per-node **compiled adjacency** (propagation is
+  data-dependent, so the DFS survives, but over flat tuples instead of
+  dicts).
+
+Plans are cached and invalidated precisely: every plan registers the
+handles it touches in a dependency index, and structural or decision
+changes (overlay dirty set, :meth:`Runtime.set_decision`, rebuilds) drop
+only the plans touching the changed handles.  A ``(version,
+decision_version)`` stamp check guards against out-of-band overlay
+mutation.
+
+The batched entry points :meth:`Runtime.write_batch` /
+:meth:`Runtime.read_batch` coalesce same-writer deltas so a batch performs
+one plan execution per touched writer instead of one graph traversal per
+event.
 
 The runtime also counts *observed* push and pull frequencies per node —
 including would-be pushes blocked at the frontier — which the adaptive
@@ -27,15 +57,45 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.aggregates import NEED_RECOMPUTE
-from repro.core.overlay import Decision, NodeKind, Overlay, OverlayError
+from repro.core.overlay import Decision, NodeKind, Overlay, OverlayCSR, OverlayError
 from repro.core.query import EgoQuery
 from repro.core.windows import TimeWindow, WindowBuffer
 
 NodeId = Hashable
 PAO = Any
+
+#: Pull-plan opcodes: merge a push source, enter a pull node, merge a
+#: finished pull node's accumulator into its parent.
+_OP_LEAF, _OP_ENTER, _OP_EXIT = 0, 1, 2
+
+
+def normalize_write(item) -> Tuple[NodeId, Any, Optional[float]]:
+    """Coerce one batch item into ``(node, value, timestamp)``.
+
+    Accepts ``(node, value)`` / ``(node, value, timestamp)`` tuples and
+    WriteEvent-like objects with ``node`` / ``value`` / ``timestamp``
+    attributes.
+    """
+    if isinstance(item, tuple):
+        if len(item) == 3:
+            return item
+        node, value = item
+        return (node, value, None)
+    return (item.node, item.value, getattr(item, "timestamp", None))
 
 
 @dataclass
@@ -63,6 +123,54 @@ class TraceOp:
     handle: int
     kind: str  # "write" | "push" | "pull" | "read"
     fan_in: int
+
+
+class PushPlan:
+    """Compiled propagation of one writer's delta (group aggregates).
+
+    ``steps`` is the exact application sequence of the interpreter's DFS:
+    ``(dst, cumulative_sign, is_push, fan_in)``.  ``observe`` lists every
+    destination (for observed-push accounting), ``scalar_steps`` is the
+    push-only ``(dst, sign)`` specialization for scalar deltas (Sum/Count),
+    and ``touched`` indexes the plan into the invalidation registry.
+    """
+
+    __slots__ = ("steps", "observe", "scalar_steps", "push_count", "touched")
+
+    def __init__(
+        self,
+        steps: Tuple[Tuple[int, int, bool, int], ...],
+        scalar: bool,
+        touched: FrozenSet[int],
+    ) -> None:
+        self.steps = steps
+        self.observe = tuple(step[0] for step in steps)
+        self.push_count = sum(1 for step in steps if step[2])
+        self.scalar_steps = (
+            tuple((dst, sign) for dst, sign, is_push, _ in steps if is_push)
+            if scalar
+            else None
+        )
+        self.touched = touched
+
+
+class PullPlan:
+    """Compiled on-demand evaluation of one pull reader.
+
+    ``program`` is a flat list of ``(op, a, b)`` instructions for a tiny
+    accumulator-stack machine that replays the recursive pull's exact
+    merge order (LEAF: merge a push source, ENTER: start a nested pull
+    node's accumulator, EXIT: fold it into the parent with the edge sign).
+    """
+
+    __slots__ = ("program", "pull_ops", "touched")
+
+    def __init__(
+        self, program: Tuple[Tuple[int, int, int], ...], touched: FrozenSet[int]
+    ) -> None:
+        self.program = program
+        self.pull_ops = sum(1 for op, _, _ in program if op != _OP_ENTER)
+        self.touched = touched
 
 
 class Runtime:
@@ -98,6 +206,25 @@ class Runtime:
         self.clock = 0.0
         self._expiry_heap: List[Tuple[float, int]] = []
         self.trace: Optional[List[TraceOp]] = [] if collect_trace else None
+        # The identity PAO is immutable by the aggregate API contract
+        # (merge/subtract never mutate arguments), so one instance serves
+        # every identity use instead of reconstructing it per operation.
+        self._identity = self.aggregate.identity()
+        self._scalar_group = self.group and getattr(
+            self.aggregate, "scalar_delta", False
+        )
+        # -- compiled-plan caches -------------------------------------
+        self._push_plans: Dict[int, PushPlan] = {}
+        self._pull_plans: Dict[int, PullPlan] = {}
+        self._plan_deps: Dict[int, Set[Tuple[bool, int]]] = {}
+        self._out_cache: Dict[int, List[Tuple[int, int, bool, int]]] = {}
+        self._csr: Optional[OverlayCSR] = None
+        self._plan_stamp = (overlay.version, overlay.decision_version)
+        self.plan_compiles = 0
+        self.plan_invalidations = 0
+        # Construction-time dirt predates any compiled plan; absorb it so
+        # later pops only carry genuinely new mutations.
+        overlay.pop_dirty()
         self._materialize()
 
     # ------------------------------------------------------------------
@@ -126,7 +253,7 @@ class Runtime:
                 if buffer is None:
                     # Tombstoned writer (its graph node was removed): it has
                     # no edges and never receives writes; keep it inert.
-                    self.values[handle] = agg.identity()
+                    self.values[handle] = self._identity
                     continue
                 self.values[handle] = agg.combine_raw(buffer.values())
                 if self._time_window:
@@ -140,7 +267,7 @@ class Runtime:
     def _initialize_push_node(self, handle: int) -> None:
         """Compute a push node's PAO from its (push, by consistency) inputs."""
         agg = self.aggregate
-        acc = agg.identity()
+        acc = self._identity
         snaps: Dict[int, PAO] = {}
         for src, sign in self.overlay.inputs[handle].items():
             value = self.values[src]
@@ -149,6 +276,155 @@ class Runtime:
         self.values[handle] = acc
         if not self.group:
             self.snapshots[handle] = snaps
+
+    # ------------------------------------------------------------------
+    # plan compilation and invalidation
+    # ------------------------------------------------------------------
+
+    def _check_plans(self) -> None:
+        """Drop every cached plan if the overlay mutated out-of-band."""
+        stamp = (self.overlay.version, self.overlay.decision_version)
+        if stamp != self._plan_stamp:
+            self.invalidate_plans()
+            self._plan_stamp = stamp
+
+    def invalidate_plans(self, handles: Optional[Iterable[int]] = None) -> None:
+        """Invalidate compiled plans.
+
+        With ``handles`` given, only plans whose traversal touches one of
+        those handles are dropped (precise invalidation); without, the
+        whole cache is cleared.  The CSR snapshot and compiled adjacencies
+        are cheap to rebuild lazily and are always dropped.
+        """
+        self._csr = None
+        self._out_cache.clear()
+        if handles is None:
+            self.plan_invalidations += len(self._push_plans) + len(self._pull_plans)
+            self._push_plans.clear()
+            self._pull_plans.clear()
+            self._plan_deps.clear()
+            return
+        deps = self._plan_deps
+        for handle in handles:
+            bucket = deps.get(handle)
+            if bucket:
+                for key in list(bucket):
+                    self._drop_plan(key)
+
+    def _drop_plan(self, key: Tuple[bool, int]) -> None:
+        is_push, root = key
+        store = self._push_plans if is_push else self._pull_plans
+        plan = store.pop(root, None)
+        if plan is None:
+            return
+        self.plan_invalidations += 1
+        deps = self._plan_deps
+        for handle in plan.touched:
+            bucket = deps.get(handle)
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del deps[handle]
+
+    def _register_plan(self, is_push: bool, root: int, touched: FrozenSet[int]) -> None:
+        key = (is_push, root)
+        deps = self._plan_deps
+        for handle in touched:
+            bucket = deps.get(handle)
+            if bucket is None:
+                bucket = deps[handle] = set()
+            bucket.add(key)
+        self.plan_compiles += 1
+
+    def _ensure_csr(self) -> OverlayCSR:
+        csr = self._csr
+        if csr is None:
+            csr = self._csr = self.overlay.to_csr()
+        return csr
+
+    def _compile_push_plan(self, handle: int) -> PushPlan:
+        """Freeze the DFS a group delta from ``handle`` would perform.
+
+        Group propagation never short-circuits (``apply_push`` always
+        forwards the signed delta from a push node), so the interpreter's
+        stack traversal is fully determined by the structure: simulate it
+        over the CSR arrays once, recording every application in order.
+        """
+        csr = self._ensure_csr()
+        out_indptr = csr.out_indptr
+        out_indices = csr.out_indices
+        out_signs = csr.out_signs
+        push = csr.push
+        fan_in = csr.fan_in
+        steps: List[Tuple[int, int, bool, int]] = []
+        touched = {handle}
+        stack: List[Tuple[int, int]] = [(handle, 1)]
+        while stack:
+            node, carried = stack.pop()
+            for i in range(out_indptr[node], out_indptr[node + 1]):
+                dst = out_indices[i]
+                sign = carried * out_signs[i]
+                is_push = bool(push[dst])
+                steps.append((dst, sign, is_push, fan_in[dst]))
+                touched.add(dst)
+                if is_push:
+                    stack.append((dst, sign))
+        plan = PushPlan(tuple(steps), self._scalar_group, frozenset(touched))
+        self._push_plans[handle] = plan
+        self._register_plan(True, handle, plan.touched)
+        return plan
+
+    def _compile_pull_plan(self, root: int) -> PullPlan:
+        """Flatten the recursive pull of ``root`` into a stack program."""
+        csr = self._ensure_csr()
+        in_indptr = csr.in_indptr
+        in_indices = csr.in_indices
+        in_signs = csr.in_signs
+        push = csr.push
+        fan_in = csr.fan_in
+        program: List[Tuple[int, int, int]] = []
+        touched = {root}
+        # Work items mirror the recursion: ENTER emits the node then
+        # schedules its children in input order (LEAF for push sources,
+        # ENTER+EXIT for nested pull nodes); EXIT folds a finished child
+        # into its parent with the edge sign.
+        stack: List[Tuple[int, int, int]] = [(_OP_ENTER, root, 0)]
+        while stack:
+            op, a, b = stack.pop()
+            if op == _OP_LEAF:
+                program.append((_OP_LEAF, a, b))
+                continue
+            if op == _OP_EXIT:
+                program.append((_OP_EXIT, b, 0))
+                continue
+            node = a
+            program.append((_OP_ENTER, node, fan_in[node]))
+            # Children are pushed reversed so they run in input order.
+            for i in range(in_indptr[node + 1] - 1, in_indptr[node] - 1, -1):
+                src = in_indices[i]
+                sign = in_signs[i]
+                touched.add(src)
+                if push[src]:
+                    stack.append((_OP_LEAF, src, sign))
+                else:
+                    stack.append((_OP_EXIT, src, sign))
+                    stack.append((_OP_ENTER, src, 0))
+        plan = PullPlan(tuple(program), frozenset(touched))
+        self._pull_plans[root] = plan
+        self._register_plan(False, root, plan.touched)
+        return plan
+
+    def _compile_out(self, node: int) -> List[Tuple[int, int, bool, int]]:
+        """Per-node compiled adjacency for data-dependent (lattice) DFS."""
+        overlay = self.overlay
+        decisions = overlay.decisions
+        inputs = overlay.inputs
+        out = [
+            (dst, inputs[dst][node], decisions[dst] is Decision.PUSH, len(inputs[dst]))
+            for dst in overlay.outputs[node]
+        ]
+        self._out_cache[node] = out
+        return out
 
     # ------------------------------------------------------------------
     # writes
@@ -175,7 +451,115 @@ class Runtime:
             self.trace.append(TraceOp(handle, "write", 1))
         message = self.writer_step(handle, [value], evicted)
         if message is not None:
-            self.propagate_from(handle, message)
+            self._propagate(handle, message)
+
+    def write_batch(self, writes: Sequence) -> int:
+        """Process many writes, coalescing same-writer deltas.
+
+        ``writes`` holds ``(node, value)`` / ``(node, value, timestamp)``
+        tuples or WriteEvent-like objects, in stream order.  Window buffers
+        are advanced per event (so eviction semantics match the per-event
+        loop exactly), but propagation runs once per touched writer: the
+        writer-local step sees the batch's full added/evicted lists and a
+        single compiled-plan execution carries the combined delta.  Returns
+        the number of writes processed.
+        """
+        self._check_plans()
+        overlay = self.overlay
+        writer_of = overlay.writer_of
+        buffers = self.buffers
+        trace = self.trace
+        time_window = self._time_window
+        duration = self.query.window.duration if time_window else 0.0
+        clock = self.clock
+        # dict preserves insertion order: propagation runs in first-touch order
+        pending: Dict[int, Tuple[List[Any], List[Any]]] = {}
+        count = 0
+        try:
+            for item in writes:
+                # inlined normalize_write: this loop is the ingestion hot path
+                if item.__class__ is tuple:
+                    if len(item) == 3:
+                        node, value, timestamp = item
+                    else:
+                        node, value = item
+                        timestamp = None
+                else:
+                    node = item.node
+                    value = item.value
+                    timestamp = getattr(item, "timestamp", None)
+                count += 1
+                if timestamp is None:
+                    timestamp = clock + 1.0
+                if timestamp > clock:
+                    clock = timestamp
+                if time_window:
+                    self.clock = clock
+                    self._advance_time_deferred(clock, pending)
+                handle = writer_of.get(node)
+                if handle is None:
+                    continue
+                evicted = buffers[node].append(value, timestamp)
+                if time_window:
+                    heapq.heappush(self._expiry_heap, (timestamp + duration, handle))
+                entry = pending.get(handle)
+                if entry is None:
+                    entry = pending[handle] = ([], [])
+                entry[0].append(value)
+                if evicted:
+                    entry[1].extend(evicted)
+                if trace is not None:
+                    trace.append(TraceOp(handle, "write", 1))
+        finally:
+            # Even when an item raises (e.g. a non-monotone timestamp),
+            # values already absorbed into buffers must propagate so push
+            # state stays consistent with the windows.
+            self.clock = clock
+            self.counters.writes += count
+            self._apply_pending(pending, trace)
+        return count
+
+    def _apply_pending(
+        self,
+        pending: Dict[int, Tuple[List[Any], List[Any]]],
+        trace: Optional[List[TraceOp]],
+    ) -> None:
+        """Propagation phase of a batch: one plan execution per writer."""
+        if self._scalar_group and trace is None:
+            # Scalar kernel: coalesced delta per writer, applied through the
+            # compiled plan with plain arithmetic (matches writer_step +
+            # merge exactly: both are sequential ``+``/``-`` folds).
+            agg = self.aggregate
+            lift = agg.lift
+            identity = self._identity
+            plans = self._push_plans
+            observed = self.observed_push
+            values = self.values
+            push_ops = 0
+            for handle, (added, evicted) in pending.items():
+                delta = identity
+                for raw in added:
+                    delta = delta + lift(raw)
+                for raw in evicted:
+                    delta = delta - lift(raw)
+                if delta == identity:
+                    continue
+                values[handle] = values[handle] + delta
+                plan = plans.get(handle)
+                if plan is None:
+                    plan = self._compile_push_plan(handle)
+                events = len(added) or 1  # eviction-only: one expiry sweep
+                for dst in plan.observe:
+                    observed[dst] += events
+                for dst, sign in plan.scalar_steps:
+                    values[dst] += sign * delta
+                push_ops += plan.push_count
+            self.counters.push_ops += push_ops
+            return
+        for handle, (added, evicted) in pending.items():
+            message = self.writer_step(handle, added, evicted)
+            if message is not None:
+                self._propagate(handle, message, len(added) or 1)
 
     def writer_step(
         self, handle: int, added: List[Any], evicted: List[Any]
@@ -189,14 +573,15 @@ class Runtime:
         a single node lock.
         """
         agg = self.aggregate
+        identity = self._identity
         old = self.values[handle]
         if self.group:
-            delta = agg.identity()
+            delta = identity
             for raw in added:
                 delta = agg.merge(delta, agg.lift(raw))
             for raw in evicted:
                 delta = agg.subtract(delta, agg.lift(raw))
-            if delta == agg.identity():
+            if delta == identity:
                 return None
             self.values[handle] = agg.merge(old, delta)
             return delta
@@ -245,8 +630,96 @@ class Runtime:
         self.values[dst] = updated
         return (current, updated)
 
+    def _propagate(self, source: int, message: PAO, events: int = 1) -> None:
+        """Dispatch a writer's message through the compiled hot path.
+
+        ``events`` is how many stream events the message coalesces: the
+        *work* counters reflect the single propagation actually performed,
+        but ``observed_push`` — the adaptive controller's estimate of
+        stream frequencies — is credited per coalesced event so batched
+        and per-event execution see the same traffic.
+        """
+        self._check_plans()
+        if self.group:
+            self._run_push_plan(source, message, events)
+        else:
+            self._propagate_lattice(source, message, events)
+
+    def _run_push_plan(self, source: int, message: PAO, events: int = 1) -> None:
+        """Execute a compiled group push plan (zero per-event traversal)."""
+        plan = self._push_plans.get(source)
+        if plan is None:
+            plan = self._compile_push_plan(source)
+        observed = self.observed_push
+        values = self.values
+        trace = self.trace
+        scalar = plan.scalar_steps
+        if scalar is not None and trace is None:
+            for dst in plan.observe:
+                observed[dst] += events
+            for dst, sign in scalar:
+                values[dst] += sign * message
+            self.counters.push_ops += plan.push_count
+            return
+        agg = self.aggregate
+        merge = agg.merge
+        negative = None
+        for dst, sign, is_push, fan_in in plan.steps:
+            observed[dst] += events
+            if not is_push:
+                continue
+            if sign > 0:
+                msg = message
+            else:
+                if negative is None:
+                    negative = agg.negate(message)
+                msg = negative
+            values[dst] = merge(values[dst], msg)
+            if trace is not None:
+                trace.append(TraceOp(dst, "push", fan_in))
+        self.counters.push_ops += plan.push_count
+
+    def _propagate_lattice(self, source: int, message: PAO, events: int = 1) -> None:
+        """Lattice DFS over compiled adjacencies (data-dependent stops)."""
+        agg = self.aggregate
+        values = self.values
+        snapshots = self.snapshots
+        observed = self.observed_push
+        counters = self.counters
+        trace = self.trace
+        out_cache = self._out_cache
+        stack: List[Tuple[int, PAO]] = [(source, message)]
+        while stack:
+            node, msg = stack.pop()
+            out = out_cache.get(node)
+            if out is None:
+                out = self._compile_out(node)
+            old, new = msg
+            for dst, _sign, is_push, fan_in in out:
+                observed[dst] += events
+                if not is_push:
+                    continue
+                snaps = snapshots[dst]
+                previous = snaps.get(node, old)
+                snaps[node] = new
+                current = values[dst]
+                updated = agg.fast_update(current, previous, new)
+                if updated is NEED_RECOMPUTE:
+                    updated = agg.combine(snaps.values())
+                counters.push_ops += 1
+                if trace is not None:
+                    trace.append(TraceOp(dst, "push", fan_in))
+                if updated != current:
+                    values[dst] = updated
+                    stack.append((dst, (current, updated)))
+
     def propagate_from(self, source: int, message: PAO) -> None:
-        """Depth-first single-threaded propagation using the micro-steps."""
+        """Uncompiled reference propagation using the micro-steps.
+
+        Kept as the semantic baseline the compiled plans are tested
+        against, and for callers (the threaded queueing model) that work
+        at micro-task granularity.
+        """
         stack: List[Tuple[int, PAO]] = [(source, message)]
         while stack:
             node, msg = stack.pop()
@@ -260,7 +733,7 @@ class Runtime:
     ) -> None:
         message = self.writer_step(handle, added, evicted)
         if message is not None:
-            self.propagate_from(handle, message)
+            self._propagate(handle, message)
 
     # ------------------------------------------------------------------
     # reads
@@ -274,21 +747,59 @@ class Runtime:
         agg = self.aggregate
         handle = self.overlay.reader_of.get(node)
         if handle is None:
-            return agg.finalize(agg.identity())
+            return agg.finalize(self._identity)
         if self.overlay.decisions[handle] is Decision.PUSH:
             self.observed_pull[handle] += 1
             if self.trace is not None:
                 self.trace.append(TraceOp(handle, "read", 1))
             return agg.finalize(self.values[handle])
-        return agg.finalize(self._pull(handle))
+        self._check_plans()
+        plan = self._pull_plans.get(handle)
+        if plan is None:
+            plan = self._compile_pull_plan(handle)
+        return agg.finalize(self._run_pull_plan(plan))
+
+    def read_batch(self, nodes: Sequence[NodeId]) -> List[Any]:
+        """Process many reads; exactly a per-node :meth:`read` loop (the
+        batching win is upstream: one engine sync, warm pull plans)."""
+        return [self.read(node) for node in nodes]
+
+    def _run_pull_plan(self, plan: PullPlan) -> PAO:
+        """Run a compiled pull program: no recursion, no dict lookups."""
+        agg = self.aggregate
+        merge = agg.merge
+        subtract = agg.subtract
+        values = self.values
+        observed = self.observed_pull
+        trace = self.trace
+        acc: PAO = None
+        acc_stack: List[PAO] = []
+        for op, a, b in plan.program:
+            if op == _OP_LEAF:
+                observed[a] += 1
+                value = values[a]
+                acc = merge(acc, value) if b > 0 else subtract(acc, value)
+            elif op == _OP_ENTER:
+                observed[a] += 1
+                if trace is not None:
+                    trace.append(TraceOp(a, "pull", b))
+                acc_stack.append(acc)
+                acc = self._identity
+            else:  # _OP_EXIT: fold the finished child into its parent
+                child = acc
+                acc = acc_stack.pop()
+                acc = merge(acc, child) if a > 0 else subtract(acc, child)
+        self.counters.pull_ops += plan.pull_ops
+        return acc
 
     def _pull(self, handle: int) -> PAO:
+        """Uncompiled recursive pull (reference implementation)."""
         agg = self.aggregate
         overlay = self.overlay
         self.observed_pull[handle] += 1
         if self.trace is not None:
             self.trace.append(TraceOp(handle, "pull", overlay.fan_in(handle)))
-        acc = agg.identity()
+        acc = self._identity
         for src, sign in overlay.inputs[handle].items():
             if overlay.decisions[src] is Decision.PUSH:
                 self.observed_pull[src] += 1
@@ -314,6 +825,25 @@ class Runtime:
             if evicted:
                 self._writer_updated(handle, [], evicted)
 
+    def _advance_time_deferred(
+        self, now: float, pending: Dict[int, Tuple[List[Any], List[Any]]]
+    ) -> None:
+        """Batch-mode expiry: buffers advance now, propagation is deferred
+        into ``pending`` so it coalesces with the batch's writes."""
+        heap = self._expiry_heap
+        while heap and heap[0][0] <= now:
+            _, handle = heapq.heappop(heap)
+            node = self.overlay.labels[handle]
+            buffer = self.buffers.get(node)
+            if buffer is None:
+                continue
+            evicted = buffer.evict_until(now)
+            if evicted:
+                entry = pending.get(handle)
+                if entry is None:
+                    entry = pending[handle] = ([], [])
+                entry[1].extend(evicted)
+
     # ------------------------------------------------------------------
     # decision changes (adaptive execution, Section 4.8)
     # ------------------------------------------------------------------
@@ -322,10 +852,12 @@ class Runtime:
         """Flip one node's dataflow decision, materializing state as needed.
 
         The caller must preserve consistency (the adaptive controller only
-        flips push/pull *frontier* nodes, which is always safe).
+        flips push/pull *frontier* nodes, which is always safe).  Only the
+        compiled plans whose traversal touches ``handle`` are invalidated.
         """
         if self.overlay.decisions[handle] is decision:
             return
+        self._check_plans()
         if decision is Decision.PUSH:
             for src in self.overlay.inputs[handle]:
                 if self.overlay.decisions[src] is not Decision.PUSH:
@@ -343,6 +875,9 @@ class Runtime:
             self.overlay.set_decision(handle, decision)
             self.values[handle] = None
             self.snapshots[handle] = None
+        self.invalidate_plans((handle,))
+        self.overlay.pop_dirty()
+        self._plan_stamp = (self.overlay.version, self.overlay.decision_version)
 
     # ------------------------------------------------------------------
     # validation helpers
@@ -355,7 +890,7 @@ class Runtime:
         compares engine reads against.
         """
         agg = self.aggregate
-        acc = agg.identity()
+        acc = self._identity
         for node in input_nodes:
             buffer = self.buffers.get(node)
             if buffer is None:
@@ -366,12 +901,20 @@ class Runtime:
                 acc = agg.merge(acc, agg.lift(raw))
         return agg.finalize(acc)
 
-    def rebuild(self) -> "Runtime":
+    def rebuild(self, dirty: Optional[Iterable[int]] = None) -> "Runtime":
         """Re-derive all runtime state from the (possibly mutated) overlay.
 
         Window buffers are preserved by graph-node id; everything else is
-        recomputed.  Returns ``self`` for chaining.
+        recomputed.  With ``dirty`` (the overlay handles touched since the
+        last rebuild, e.g. from :meth:`Overlay.pop_dirty`), only the
+        compiled plans reaching those handles are invalidated; otherwise
+        the whole plan cache is dropped.  Returns ``self`` for chaining.
         """
         self._expiry_heap.clear()
+        if dirty is None:
+            self.invalidate_plans()
+        else:
+            self.invalidate_plans(dirty)
+        self._plan_stamp = (self.overlay.version, self.overlay.decision_version)
         self._materialize()
         return self

@@ -26,9 +26,14 @@ push) until :mod:`repro.dataflow` assigns them.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.graph.bipartite import BipartiteGraph
+
+try:  # numpy is optional: CSR snapshots degrade to plain lists without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
 
 NodeId = Hashable
 
@@ -66,6 +71,30 @@ class Overlay:
         self.writer_of: Dict[NodeId, int] = {}
         self.reader_of: Dict[NodeId, int] = {}
         self._num_edges = 0
+        #: Bumped on every structural mutation (nodes/edges); compiled
+        #: propagation plans and CSR snapshots key their validity off this.
+        self.version = 0
+        #: Bumped whenever any node's push/pull decision actually changes.
+        self.decision_version = 0
+        self._dirty: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # plan-cache dirty tracking
+    # ------------------------------------------------------------------
+
+    def mark_dirty(self, handle: int) -> None:
+        """Record that ``handle``'s structure or decision changed.
+
+        Consumers (the runtime's plan cache) take the accumulated set via
+        :meth:`pop_dirty` and invalidate only the plans touching it.
+        """
+        self._dirty.add(handle)
+
+    def pop_dirty(self) -> Set[int]:
+        """Return and clear the set of handles touched since the last call."""
+        dirty = self._dirty
+        self._dirty = set()
+        return dirty
 
     # ------------------------------------------------------------------
     # node management
@@ -80,6 +109,8 @@ class Overlay:
         # Writers are always annotated push (Section 2.2.1); everything else
         # starts pull (safe: nothing is precomputed until decisions run).
         self.decisions.append(Decision.PUSH if kind is NodeKind.WRITER else Decision.PULL)
+        self.version += 1
+        self._dirty.add(handle)
         return handle
 
     def add_writer(self, node: NodeId) -> int:
@@ -163,6 +194,9 @@ class Overlay:
         self.inputs[dst][src] = sign
         self.outputs[src][dst] = None
         self._num_edges += 1
+        self.version += 1
+        self._dirty.add(src)
+        self._dirty.add(dst)
 
     def remove_edge(self, src: int, dst: int) -> int:
         """Remove ``src -> dst``; returns the sign it carried."""
@@ -172,6 +206,9 @@ class Overlay:
             raise OverlayError(f"edge {src}->{dst} not present") from None
         del self.outputs[src][dst]
         self._num_edges -= 1
+        self.version += 1
+        self._dirty.add(src)
+        self._dirty.add(dst)
         return sign
 
     def has_edge(self, src: int, dst: int) -> bool:
@@ -197,13 +234,23 @@ class Overlay:
     def set_decision(self, handle: int, decision: Decision) -> None:
         if self.kinds[handle] is NodeKind.WRITER and decision is not Decision.PUSH:
             raise OverlayError("writer nodes are always push")
+        if self.decisions[handle] is decision:
+            return
         self.decisions[handle] = decision
+        self.decision_version += 1
+        self._dirty.add(handle)
 
     def set_all_decisions(self, decision: Decision) -> None:
         """Annotate every non-writer node (all-push / all-pull baselines)."""
+        changed = False
         for handle in range(self.num_nodes):
             if self.kinds[handle] is not NodeKind.WRITER:
-                self.decisions[handle] = decision
+                if self.decisions[handle] is not decision:
+                    self.decisions[handle] = decision
+                    self._dirty.add(handle)
+                    changed = True
+        if changed:
+            self.decision_version += 1
 
     def decisions_consistent(self) -> bool:
         """True iff no edge runs from a pull node into a push node."""
@@ -362,6 +409,53 @@ class Overlay:
         return self.num_nodes * per_node + self.num_edges * per_edge
 
     # ------------------------------------------------------------------
+    # compiled representation
+    # ------------------------------------------------------------------
+
+    def to_csr(self) -> "OverlayCSR":
+        """Freeze the overlay into a CSR (compressed sparse row) snapshot.
+
+        Edge order within each row preserves the dicts' insertion order, so
+        anything compiled from the snapshot (propagation plans) replays the
+        exact merge order of the dict-based interpreter — important because
+        float merges are not associative.
+        """
+        n = self.num_nodes
+        in_indptr: List[int] = [0]
+        in_indices: List[int] = []
+        in_signs: List[int] = []
+        for dst in range(n):
+            for src, sign in self.inputs[dst].items():
+                in_indices.append(src)
+                in_signs.append(sign)
+            in_indptr.append(len(in_indices))
+        out_indptr: List[int] = [0]
+        out_indices: List[int] = []
+        out_signs: List[int] = []
+        for src in range(n):
+            for dst in self.outputs[src]:
+                out_indices.append(dst)
+                out_signs.append(self.inputs[dst][src])
+            out_indptr.append(len(out_indices))
+        push = [1 if d is Decision.PUSH else 0 for d in self.decisions]
+        kinds = [_KIND_CODES[k] for k in self.kinds]
+        fan_in = [in_indptr[h + 1] - in_indptr[h] for h in range(n)]
+        return OverlayCSR(
+            num_nodes=n,
+            in_indptr=in_indptr,
+            in_indices=in_indices,
+            in_signs=in_signs,
+            out_indptr=out_indptr,
+            out_indices=out_indices,
+            out_signs=out_signs,
+            push=push,
+            kinds=kinds,
+            fan_in=fan_in,
+            version=self.version,
+            decision_version=self.decision_version,
+        )
+
+    # ------------------------------------------------------------------
     # construction helpers
     # ------------------------------------------------------------------
 
@@ -392,6 +486,9 @@ class Overlay:
         clone.writer_of = dict(self.writer_of)
         clone.reader_of = dict(self.reader_of)
         clone._num_edges = self._num_edges
+        clone.version = self.version
+        clone.decision_version = self.decision_version
+        clone._dirty = set()
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -399,3 +496,84 @@ class Overlay:
             f"Overlay(writers={len(self.writer_of)}, readers={len(self.reader_of)}, "
             f"partials={self.num_partials}, edges={self.num_edges})"
         )
+
+
+#: Integer codes for :class:`NodeKind` in CSR snapshots.
+KIND_WRITER, KIND_READER, KIND_PARTIAL = 0, 1, 2
+_KIND_CODES = {
+    NodeKind.WRITER: KIND_WRITER,
+    NodeKind.READER: KIND_READER,
+    NodeKind.PARTIAL: KIND_PARTIAL,
+}
+
+
+class OverlayCSR:
+    """Immutable CSR snapshot of an overlay at a fixed (version, decisions).
+
+    ``in_indptr[v]:in_indptr[v+1]`` slices ``in_indices``/``in_signs`` to
+    give node ``v``'s inputs (and symmetrically for outputs); ``push`` and
+    ``kinds`` are dense bitmaps.  The plan compiler in
+    :mod:`repro.core.execution` walks these flat arrays instead of the
+    dict-of-dict representation; :meth:`numpy_arrays` exposes the same data
+    as numpy ``int32``/``uint8`` arrays for vectorized consumers.
+    """
+
+    __slots__ = (
+        "num_nodes", "in_indptr", "in_indices", "in_signs",
+        "out_indptr", "out_indices", "out_signs",
+        "push", "kinds", "fan_in", "version", "decision_version", "_np_cache",
+    )
+
+    def __init__(
+        self,
+        num_nodes: int,
+        in_indptr: Sequence[int],
+        in_indices: Sequence[int],
+        in_signs: Sequence[int],
+        out_indptr: Sequence[int],
+        out_indices: Sequence[int],
+        out_signs: Sequence[int],
+        push: Sequence[int],
+        kinds: Sequence[int],
+        fan_in: Sequence[int],
+        version: int = 0,
+        decision_version: int = 0,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.in_indptr = list(in_indptr)
+        self.in_indices = list(in_indices)
+        self.in_signs = list(in_signs)
+        self.out_indptr = list(out_indptr)
+        self.out_indices = list(out_indices)
+        self.out_signs = list(out_signs)
+        self.push = list(push)
+        self.kinds = list(kinds)
+        self.fan_in = list(fan_in)
+        self.version = version
+        self.decision_version = decision_version
+        self._np_cache = None
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.in_indices)
+
+    def numpy_arrays(self):
+        """The snapshot as numpy arrays (``None`` when numpy is missing)."""
+        if _np is None:  # pragma: no cover - the image ships numpy
+            return None
+        if self._np_cache is None:
+            self._np_cache = {
+                "in_indptr": _np.asarray(self.in_indptr, dtype=_np.int32),
+                "in_indices": _np.asarray(self.in_indices, dtype=_np.int32),
+                "in_signs": _np.asarray(self.in_signs, dtype=_np.int8),
+                "out_indptr": _np.asarray(self.out_indptr, dtype=_np.int32),
+                "out_indices": _np.asarray(self.out_indices, dtype=_np.int32),
+                "out_signs": _np.asarray(self.out_signs, dtype=_np.int8),
+                "push": _np.asarray(self.push, dtype=_np.uint8),
+                "kinds": _np.asarray(self.kinds, dtype=_np.uint8),
+                "fan_in": _np.asarray(self.fan_in, dtype=_np.int32),
+            }
+        return self._np_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OverlayCSR(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -96,6 +96,28 @@ class PartitionedEngine:
             self.writes_delivered += 1
             self.shards[shard_id].write(node, value, timestamp)
 
+    def write_batch(self, writes) -> int:
+        """Multicast a write batch: one sub-batch per shard.
+
+        Each shard receives its slice in stream order and coalesces it
+        through its own compiled plans, so the multicast costs one batched
+        ingestion per shard instead of one engine call per (write, shard).
+        """
+        from repro.core.execution import normalize_write
+
+        per_shard: Dict[int, List] = {}
+        count = 0
+        for item in writes:
+            node, value, timestamp = normalize_write(item)
+            count += 1
+            self.writes_sent += 1
+            for shard_id in self.writer_shards.get(node, ()):
+                self.writes_delivered += 1
+                per_shard.setdefault(shard_id, []).append((node, value, timestamp))
+        for shard_id, items in per_shard.items():
+            self.shards[shard_id].write_batch(items)
+        return count
+
     def read(self, node: NodeId) -> Any:
         """Route a read to the shard owning ``node``'s query."""
         shard_id = self.reader_shard.get(node)
@@ -103,6 +125,24 @@ class PartitionedEngine:
             aggregate = self.query.aggregate
             return aggregate.finalize(aggregate.identity())
         return self.shards[shard_id].read(node)
+
+    def read_batch(self, nodes) -> List[Any]:
+        """Route a batch of reads shard-by-shard, preserving input order."""
+        nodes = list(nodes)
+        results: List[Any] = [None] * len(nodes)
+        per_shard: Dict[int, List[int]] = {}
+        for position, node in enumerate(nodes):
+            shard_id = self.reader_shard.get(node)
+            if shard_id is None:
+                aggregate = self.query.aggregate
+                results[position] = aggregate.finalize(aggregate.identity())
+            else:
+                per_shard.setdefault(shard_id, []).append(position)
+        for shard_id, positions in per_shard.items():
+            values = self.shards[shard_id].read_batch([nodes[p] for p in positions])
+            for position, value in zip(positions, values):
+                results[position] = value
+        return results
 
     # ------------------------------------------------------------------
 

@@ -92,6 +92,16 @@ class OverlayMaintainer:
         """The maintained overlay (shared with the engine's runtime)."""
         return self.state.overlay
 
+    def consume_plan_dirty(self) -> Set[int]:
+        """Handles touched by overlay surgery since the last call.
+
+        Engines feed this to :meth:`repro.core.execution.Runtime.rebuild`
+        so that absorbing a structure event invalidates only the compiled
+        propagation plans whose traversal crosses the surgery site,
+        instead of dropping the whole plan cache.
+        """
+        return self.overlay.pop_dirty()
+
     # ------------------------------------------------------------------
 
     def _bootstrap_mirror(self) -> None:
@@ -206,6 +216,7 @@ class OverlayMaintainer:
         handle = self.overlay.reader_of.pop(reader, None)
         if handle is None:
             return
+        self.overlay.mark_dirty(handle)  # the pop bypasses edge bookkeeping
         self.state.remove_reader_inputs(handle)
         self._direct_counts.pop(reader, None)
 
@@ -311,6 +322,7 @@ class OverlayMaintainer:
                         self._drop_reader(reader)
                 self.state.prune_orphans(residual)
             self.overlay.writer_of.pop(node, None)
+            self.overlay.mark_dirty(writer_handle)  # ditto: direct pop
             self.state._unregister(writer_handle)
 
     # ------------------------------------------------------------------
