@@ -1,18 +1,22 @@
 """Hot-path write throughput: per-event loop vs batched compiled plans.
 
 Not a paper figure — this tracks the repo's own ingestion hot path.  For
-every system in ``SYSTEMS`` it measures write events/s two ways on the
+every system in ``SYSTEMS`` it measures write events/s four ways on the
 same warmed workload:
 
-* **per-event** — ``engine.write`` per event (each write runs one compiled
-  push-plan execution);
-* **batched** — ``engine.write_batch`` in chunks of ``BATCH_SIZE`` (writes
-  to the same writer coalesce into a single plan execution).
+* **seed interp** — the pre-plan-compiler dict-of-dict DFS;
+* **per-event** — ``engine.write`` per event on the object value store
+  (each write runs one compiled push-plan execution);
+* **batched (object)** — ``engine.write_batch`` in chunks of
+  ``BATCH_SIZE`` on the object store (the PR 1 batched path: one plan
+  execution per touched writer);
+* **batched (columnar)** — the same batches on the columnar numpy value
+  store (fold-then-scatter kernels; see ``repro/core/statestore.py``).
 
 Results are printed, persisted under ``benchmarks/results/``, and appended
 as JSON to ``BENCH_hotpath.json`` at the repo root so CI accumulates a
 perf trajectory.  Run as a script (``--smoke`` shrinks the workload for
-CI) or through pytest.
+CI and asserts columnar >= batched-object on SUM) or through pytest.
 """
 
 from __future__ import annotations
@@ -121,35 +125,45 @@ def run_bench(num_events: int = NUM_EVENTS, dataset: str = "livejournal-small"):
     for name, algorithm, dataflow in systems_for_sum():
         events = write_workload(graph, num_events)
 
-        def fresh_engine():
+        def fresh_engine(value_store="object"):
             return build_engine(
                 graph, aggregate_name="sum", algorithm=algorithm,
-                dataflow=dataflow, events=events,
+                dataflow=dataflow, events=events, value_store=value_store,
             )
 
         seed = measure(run_seed_interpreter(fresh_engine()), events)
         per_event = measure(run_per_event(fresh_engine()), events)
         batched_engine = fresh_engine()
         batched = measure(run_batched(batched_engine), events)
+        columnar_engine = fresh_engine("columnar")
+        columnar = measure(run_batched(columnar_engine), events)
         vs_seed = batched / seed if seed else 0.0
         results[name] = {
             "seed_interpreter_eps": round(seed),
             "per_event_eps": round(per_event),
             "batched_eps": round(batched),
+            "batched_columnar_eps": round(columnar),
             "speedup_vs_seed": round(vs_seed, 2),
             "speedup_vs_per_event": round(batched / per_event, 2) if per_event else 0.0,
+            "columnar_vs_batched": round(columnar / batched, 2) if batched else 0.0,
+            "columnar_vs_seed": round(columnar / seed, 2) if seed else 0.0,
             "plan_compiles": batched_engine.runtime.plan_compiles,
+            "columnar_backend": columnar_engine.value_store_backend,
         }
         rows.append(
             [
                 name, f"{seed:,.0f}", f"{per_event:,.0f}", f"{batched:,.0f}",
-                f"{vs_seed:.2f}x",
+                f"{columnar:,.0f}",
+                f"{(columnar / batched) if batched else 0.0:.2f}x",
             ]
         )
     emit_table(
         "hotpath_throughput",
         f"Hot path [SUM, batch={BATCH_SIZE}]: write throughput (events/s)",
-        ["system", "seed interp", "per-event", "batched", "batched/seed"],
+        [
+            "system", "seed interp", "per-event", "batched-obj",
+            "batched-col", "col/obj",
+        ],
         rows,
     )
     return results
@@ -189,12 +203,32 @@ def test_hotpath_batching_correct_and_cached():
         per_event_engine.write(event.node, event.value, event.timestamp)
     batched_engine = build_engine(graph, aggregate_name="sum", algorithm="vnm_a")
     run_batched(batched_engine)(events)
-    # One push-plan compile per touched writer, not per event.
-    touched_writers = len({e.node for e in events})
-    write_compiles = batched_engine.runtime.plan_compiles
-    assert 0 < write_compiles <= touched_writers
+    # Object batches compile one push plan per touched writer (not per
+    # event); columnar batches go through the global scatter table.
+    runtime = batched_engine.runtime
+    if batched_engine.value_store_backend == "columnar":
+        assert runtime.scatter_builds >= 1
+    else:
+        touched_writers = len({e.node for e in events})
+        assert 0 < runtime.plan_compiles <= touched_writers
     for node in list(graph.nodes())[:40]:
         assert batched_engine.read(node) == per_event_engine.read(node), node
+
+
+def test_hotpath_backends_agree():
+    """Object and columnar batched ingestion end in identical reads."""
+    graph = bench_graph("livejournal-small", scale=0.12)
+    events = write_workload(graph, 600)
+    engines = {
+        mode: build_engine(
+            graph, aggregate_name="sum", algorithm="vnm_a", value_store=mode
+        )
+        for mode in ("object", "columnar")
+    }
+    for engine in engines.values():
+        run_batched(engine)(events)
+    for node in list(graph.nodes())[:60]:
+        assert engines["object"].read(node) == engines["columnar"].read(node), node
 
 
 def test_hotpath_throughput_bench():
@@ -212,9 +246,17 @@ def main(argv):
     print(
         f"vnm_a+mincut SUM: {vnm_a.get('seed_interpreter_eps', 0):,} ev/s seed, "
         f"{vnm_a.get('per_event_eps', 0):,} ev/s per-event, "
-        f"{vnm_a.get('batched_eps', 0):,} ev/s batched "
-        f"({vnm_a.get('speedup_vs_seed', 0)}x vs seed); JSON -> {JSON_PATH}"
+        f"{vnm_a.get('batched_eps', 0):,} ev/s batched-object, "
+        f"{vnm_a.get('batched_columnar_eps', 0):,} ev/s batched-columnar "
+        f"({vnm_a.get('columnar_vs_batched', 0)}x over object batch); "
+        f"JSON -> {JSON_PATH}"
     )
+    if smoke and vnm_a.get("columnar_backend") == "columnar":
+        # CI guard: the columnar store must never lose to the object
+        # batched path on SUM.
+        assert (
+            vnm_a["batched_columnar_eps"] >= vnm_a["batched_eps"]
+        ), "columnar batched SUM slower than object batched"
 
 
 if __name__ == "__main__":

@@ -12,6 +12,10 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
-    python_requires=">=3.9",
-    install_requires=["numpy"],
+    # slots-based event dataclasses require dataclass(slots=True) (3.10+)
+    python_requires=">=3.10",
+    # numpy is optional: without it the value-store layer, CSR snapshots
+    # and window buffers degrade to pure-Python paths (CI runs both).
+    install_requires=[],
+    extras_require={"fast": ["numpy"]},
 )

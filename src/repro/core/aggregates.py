@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 #: Sentinel returned by :meth:`AggregateFunction.fast_update` when an O(1)
@@ -50,6 +51,73 @@ Raw = Any
 
 class AggregateError(Exception):
     """Raised on misuse of the aggregate API (e.g. subtracting a MAX)."""
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Declarative columnar layout of a PAO for the columnar value store.
+
+    An aggregate that publishes a ``column_spec`` states that its PAOs are
+    (tuples of) machine scalars, so the state layer may keep them in dense
+    numpy arrays — one column per field — and the batched execution kernels
+    may apply whole batches with ``np.add.at`` scatters and vectorized
+    segment reductions instead of per-PAO Python calls.
+
+    Fields
+    ------
+    dtypes / fills:
+        Per-column numpy dtype name and identity fill value.  A freshly
+        allocated column holds the aggregate's identity in every slot
+        (``nan`` encodes the lattice identity ``None``).
+    kind:
+        ``"delta"`` — PAOs form a group under ``+`` (merge is columnwise
+        addition, subtract is columnwise subtraction); propagation can be
+        coalesced into signed additive scatters.  ``"lattice"`` — merge is
+        an extremum ufunc; no subtraction exists.
+    merge_ufunc:
+        Name of the numpy ufunc realizing columnwise merge (``"add"``,
+        ``"maximum"``, ``"minimum"``).  For ``delta`` specs the subtract
+        kernel is derived by negating the operand.
+    sources:
+        ``delta`` only: what each column accumulates per raw stream value —
+        ``"value"`` (``float(raw)``, as :meth:`AggregateFunction.lift`
+        would) or ``"count"`` (``1`` per raw).  This is what lets a batched
+        writer step fold a whole added/evicted run into per-column deltas
+        without constructing intermediate PAOs.
+    scalar_raws:
+        True when every raw stream value this aggregate accepts is itself a
+        number, so per-writer window buffers may store raws in numpy ring
+        buffers (COUNT accepts arbitrary payloads and must keep object
+        buffers).
+    pack / unpack:
+        Convert one PAO to/from its tuple of column scalars.  ``unpack``
+        must return genuine Python scalars so reads are byte-identical to
+        the object backend.
+    """
+
+    dtypes: Tuple[str, ...]
+    fills: Tuple[Any, ...]
+    kind: str  # "delta" | "lattice"
+    merge_ufunc: str  # "add" | "maximum" | "minimum"
+    sources: Optional[Tuple[str, ...]] = None
+    scalar_raws: bool = True
+    pack: Callable[[PAO], Tuple[Any, ...]] = lambda pao: (pao,)
+    unpack: Callable[[Tuple[Any, ...]], PAO] = lambda cols: cols[0]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("delta", "lattice"):
+            raise ValueError("column spec kind must be 'delta' or 'lattice'")
+        if len(self.dtypes) != len(self.fills):
+            raise ValueError("dtypes and fills must align")
+        if self.kind == "delta":
+            if self.sources is None or len(self.sources) != len(self.dtypes):
+                raise ValueError("delta specs must give one source per column")
+            if any(source not in ("value", "count") for source in self.sources):
+                raise ValueError("column sources must be 'value' or 'count'")
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.dtypes)
 
 
 class AggregateFunction(ABC):
@@ -71,6 +139,10 @@ class AggregateFunction(ABC):
     #: ``negate == -`` (SUM, COUNT): enables the compiled push plans'
     #: scalar kernel (``values[dst] += sign * delta``).
     scalar_delta: bool = False
+    #: Declarative columnar layout (:class:`ColumnSpec`) enabling the dense
+    #: numpy value store and vectorized batch kernels; ``None`` means PAOs
+    #: are opaque objects and the state layer keeps them in the object store.
+    column_spec: Optional[ColumnSpec] = None
 
     # -- core PAO algebra ------------------------------------------------
 
@@ -148,6 +220,15 @@ class Sum(AggregateFunction):
     name = "sum"
     subtractable = True
     scalar_delta = True
+    column_spec = ColumnSpec(
+        dtypes=("float64",),
+        fills=(0.0,),
+        kind="delta",
+        merge_ufunc="add",
+        sources=("value",),
+        pack=lambda pao: (float(pao),),
+        unpack=lambda cols: float(cols[0]),
+    )
 
     def identity(self) -> float:
         return 0.0
@@ -171,6 +252,18 @@ class Count(AggregateFunction):
     name = "count"
     subtractable = True
     scalar_delta = True
+    # COUNT accepts arbitrary payloads (only their number matters), so raws
+    # must stay in object window buffers: scalar_raws=False.
+    column_spec = ColumnSpec(
+        dtypes=("int64",),
+        fills=(0,),
+        kind="delta",
+        merge_ufunc="add",
+        sources=("count",),
+        scalar_raws=False,
+        pack=lambda pao: (int(pao),),
+        unpack=lambda cols: int(cols[0]),
+    )
 
     def identity(self) -> int:
         return 0
@@ -189,10 +282,27 @@ class Count(AggregateFunction):
 
 
 class Mean(AggregateFunction):
-    """Arithmetic mean; PAO is the algebraic pair ``(sum, count)``."""
+    """Arithmetic mean; PAO is the algebraic pair ``(sum, count)``.
+
+    As a group (subtractable) aggregate MEAN never takes the lattice
+    propagation path, so the inherited :meth:`AggregateFunction.fast_update`
+    (which would return :data:`NEED_RECOMPUTE`) is unreachable from compiled
+    plans; its batched fast path is instead the two-column spec below, which
+    lets the columnar kernel carry ``(Δsum, Δcount)`` through one pair of
+    additive scatters.
+    """
 
     name = "mean"
     subtractable = True
+    column_spec = ColumnSpec(
+        dtypes=("float64", "int64"),
+        fills=(0.0, 0),
+        kind="delta",
+        merge_ufunc="add",
+        sources=("value", "count"),
+        pack=lambda pao: (float(pao[0]), int(pao[1])),
+        unpack=lambda cols: (float(cols[0]), int(cols[1])),
+    )
 
     def identity(self) -> Tuple[float, int]:
         return (0.0, 0)
@@ -325,6 +435,15 @@ class Max(AggregateFunction):
 
     name = "max"
     duplicate_insensitive = True
+    # Lattice-scalar: one float column with nan encoding the empty extremum.
+    column_spec = ColumnSpec(
+        dtypes=("float64",),
+        fills=(float("nan"),),
+        kind="lattice",
+        merge_ufunc="maximum",
+        pack=lambda pao: (float("nan") if pao is None else float(pao),),
+        unpack=lambda cols: None if cols[0] != cols[0] else float(cols[0]),
+    )
 
     def identity(self) -> Optional[float]:
         return None
@@ -362,6 +481,14 @@ class Min(AggregateFunction):
 
     name = "min"
     duplicate_insensitive = True
+    column_spec = ColumnSpec(
+        dtypes=("float64",),
+        fills=(float("nan"),),
+        kind="lattice",
+        merge_ufunc="minimum",
+        pack=lambda pao: (float("nan") if pao is None else float(pao),),
+        unpack=lambda cols: None if cols[0] != cols[0] else float(cols[0]),
+    )
 
     def identity(self) -> Optional[float]:
         return None

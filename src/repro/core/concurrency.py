@@ -42,6 +42,12 @@ class ThreadedEngine:
     mild read-write races ("we ignore the potential for such inconsistencies
     in this work").
 
+    The wrapped engine's value store carries over unchanged: micro-tasks
+    read and write PAOs through the store's element protocol, which is
+    backend-agnostic (numpy columns or object lists), so a ThreadedEngine
+    composes with either backend — the global batch scatter is *not* used
+    here because per-node locking requires node-granular application.
+
     Call :meth:`drain` to quiesce before asserting on state, and
     :meth:`shutdown` when done.
     """
@@ -60,6 +66,12 @@ class ThreadedEngine:
         ]
         for worker in self._workers:
             worker.start()
+
+    @property
+    def value_store_backend(self) -> str:
+        """Backend of the wrapped runtime's value store (same name and
+        meaning as :attr:`EAGrEngine.value_store_backend`)."""
+        return self.runtime.values.backend
 
     # -- write path (queueing model) -------------------------------------
 

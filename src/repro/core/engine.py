@@ -70,6 +70,12 @@ class EAGrEngine:
         structure stream.
     adaptive:
         Attach the Section 4.8 adaptive decision controller.
+    value_store:
+        Aggregate-state backend: ``auto`` (columnar numpy columns when the
+        aggregate declares a column spec and numpy imports, object lists
+        otherwise), or force ``object`` / ``columnar``.  Invisible to
+        callers — reads are byte-identical between backends for integer
+        streams.
     """
 
     def __init__(
@@ -87,6 +93,7 @@ class EAGrEngine:
         auto_redecide: bool = True,
         collect_trace: bool = False,
         overlay_params: Optional[Dict[str, Any]] = None,
+        value_store: str = "auto",
     ) -> None:
         if dataflow not in DATAFLOW_MODES:
             raise ValueError(f"dataflow must be one of {DATAFLOW_MODES}")
@@ -94,6 +101,7 @@ class EAGrEngine:
         self.query = query
         self.dataflow = dataflow
         self.overlay_algorithm = overlay_algorithm
+        self.value_store = value_store
         self.frequencies = frequencies or FrequencyModel.uniform(graph.nodes())
         self.cost_model = cost_model or CostModel.for_aggregate(query.aggregate)
         self.auto_redecide = auto_redecide
@@ -119,7 +127,9 @@ class EAGrEngine:
             )
 
         self.decision_stats = self._decide()
-        self.runtime = Runtime(self.overlay, query, collect_trace=collect_trace)
+        self.runtime = Runtime(
+            self.overlay, query, collect_trace=collect_trace, value_store=value_store
+        )
 
         self.maintainer: Optional[OverlayMaintainer] = None
         self._seen_version = 0
@@ -275,7 +285,11 @@ class EAGrEngine:
         self.overlay = self.construction.overlay
         self.decision_stats = self._decide()
         self.runtime = Runtime(
-            self.overlay, self.query, buffers=buffers, collect_trace=self._collect_trace
+            self.overlay,
+            self.query,
+            buffers=buffers,
+            collect_trace=self._collect_trace,
+            value_store=self.value_store,
         )
         if self.controller is not None:
             self.controller = AdaptiveController(
@@ -301,6 +315,12 @@ class EAGrEngine:
     def counters(self):
         """Operation counters (writes/reads/push/pull) of the runtime."""
         return self.runtime.counters
+
+    @property
+    def value_store_backend(self) -> str:
+        """The backend the ``value_store`` mode resolved to (``object`` /
+        ``columnar``) for this engine's aggregate on this host."""
+        return self.runtime.values.backend
 
     def sharing_index(self) -> float:
         """``1 − |overlay edges| / |AG edges|`` for the compiled overlay."""

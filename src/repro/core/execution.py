@@ -47,6 +47,32 @@ The batched entry points :meth:`Runtime.write_batch` /
 one plan execution per touched writer instead of one graph traversal per
 event.
 
+Columnar value store
+--------------------
+Aggregate state lives behind a pluggable value store
+(:mod:`repro.core.statestore`).  Aggregates that declare a
+:class:`~repro.core.aggregates.ColumnSpec` (SUM, COUNT, MEAN as a
+``(sum, count)`` column pair, MAX/MIN) keep their PAOs in dense numpy
+columns indexed by overlay handle; everything else keeps the seed's
+object-list semantics.  On the columnar backend:
+
+* a write batch folds each touched writer's added/evicted run into
+  per-column scalar deltas during ingestion, then applies the whole
+  batch through a precompiled **scatter table** — one ``np.add.at`` per
+  column over ragged per-writer frontier rows — instead of a Python loop
+  per plan step;
+* pull reads evaluate per-node **pull segments**: the node's direct push
+  inputs reduce as one vectorized gather-sum (or ``fmax``/``fmin`` for
+  the lattice extrema), nested pull inputs recurse, and
+  :meth:`Runtime.read_batch` memoizes evaluated segments keyed by
+  ``(node, plan stamp)`` so overlapping readers share subtree work.
+
+Backend choice is invisible: reads are byte-identical between backends
+for integer streams (asserted by ``tests/core/test_statestore.py``), and
+both the scatter table and the segments ride the existing dependency
+-indexed invalidation, so overlay surgery resizes and remaps columns
+through the same dirty-set machinery as the plans.
+
 The runtime also counts *observed* push and pull frequencies per node —
 including would-be pushes blocked at the frontier — which the adaptive
 controller (Section 4.8) consumes, and can record a micro-operation trace
@@ -57,6 +83,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from operator import attrgetter, itemgetter
 from typing import (
     Any,
     Dict,
@@ -70,10 +97,12 @@ from typing import (
     Tuple,
 )
 
+from repro.core import statestore as _statestore
 from repro.core.aggregates import NEED_RECOMPUTE
-from repro.core.overlay import Decision, NodeKind, Overlay, OverlayCSR, OverlayError
+from repro.core.overlay import Decision, KIND_WRITER, NodeKind, Overlay, OverlayCSR, OverlayError
 from repro.core.query import EgoQuery
-from repro.core.windows import TimeWindow, WindowBuffer
+from repro.core.statestore import make_value_store
+from repro.core.windows import NO_VALUE, TimeWindow, TupleWindow, WindowBuffer
 
 NodeId = Hashable
 PAO = Any
@@ -81,6 +110,17 @@ PAO = Any
 #: Pull-plan opcodes: merge a push source, enter a pull node, merge a
 #: finished pull node's accumulator into its parent.
 _OP_LEAF, _OP_ENTER, _OP_EXIT = 0, 1, 2
+
+#: Plan-kind codes for the dependency-indexed invalidation registry.
+_PLAN_PUSH, _PLAN_PULL, _PLAN_SEGMENT = 0, 1, 2
+
+#: Distinguishes "memo maps this key to None" from "no memo entry".
+_MISS = object()
+
+#: C-level batch extraction of WriteEvent-shaped items.
+_EVENT_FIELDS = attrgetter("node", "value", "timestamp")
+_TRIPLE_NV = itemgetter(0, 1)
+_TRIPLE_TS = itemgetter(2)
 
 
 def normalize_write(item) -> Tuple[NodeId, Any, Optional[float]]:
@@ -161,9 +201,17 @@ class PullPlan:
     accumulator-stack machine that replays the recursive pull's exact
     merge order (LEAF: merge a push source, ENTER: start a nested pull
     node's accumulator, EXIT: fold it into the parent with the edge sign).
+
+    For batch-aware memoization the plan also indexes its own nesting:
+    ``spans`` maps the program index of each nested ENTER to ``(matching
+    exit index, entered node, handles observed inside the span)`` so a
+    memo hit can skip the whole sub-program while still crediting the
+    observed-pull frequencies; ``exit_nodes`` names the node each EXIT
+    completes (the memo store point); ``observe_all`` is every handle the
+    full program observes (credited on a whole-plan hit).
     """
 
-    __slots__ = ("program", "pull_ops", "touched")
+    __slots__ = ("program", "pull_ops", "touched", "spans", "exit_nodes", "observe_all")
 
     def __init__(
         self, program: Tuple[Tuple[int, int, int], ...], touched: FrozenSet[int]
@@ -171,6 +219,100 @@ class PullPlan:
         self.program = program
         self.pull_ops = sum(1 for op, _, _ in program if op != _OP_ENTER)
         self.touched = touched
+        spans: Dict[int, Tuple[int, int, Tuple[int, ...]]] = {}
+        exit_nodes: Dict[int, int] = {}
+        enter_stack: List[Tuple[int, int]] = []
+        for index, (op, a, _b) in enumerate(program):
+            if op == _OP_ENTER:
+                enter_stack.append((index, a))
+            elif op == _OP_EXIT:
+                start, node = enter_stack.pop()
+                exit_nodes[index] = node
+                spans[start] = (
+                    index,
+                    node,
+                    tuple(
+                        sa for so, sa, _ in program[start:index] if so != _OP_EXIT
+                    ),
+                )
+        self.spans = spans
+        self.exit_nodes = exit_nodes
+        self.observe_all = tuple(a for op, a, _ in program if op != _OP_EXIT)
+
+
+class PullSegment:
+    """One pull node's direct frontier, compiled for vectorized reads.
+
+    ``leaf_idx``/``leaf_sign`` gather the node's *direct* push inputs (in
+    input order) for a single vectorized reduction; ``children`` are the
+    nested pull inputs, evaluated recursively (and shared through the
+    per-batch memo).  ``observe`` credits the handles this segment itself
+    observes, ``observe_deep`` the whole subtree (credited on a memo hit
+    so the adaptive controller's frequency estimates match unmemoized
+    execution); ``ops`` is the merge count a non-memoized evaluation of
+    the segment performs.
+    """
+
+    __slots__ = (
+        "node", "leaf_idx", "leaf_sign", "children",
+        "observe", "observe_deep", "ops", "touched",
+    )
+
+    def __init__(self, node, leaf_idx, leaf_sign, children, observe, observe_deep, ops, touched):
+        self.node = node
+        self.leaf_idx = leaf_idx
+        self.leaf_sign = leaf_sign
+        self.children = children
+        self.observe = observe
+        self.observe_deep = observe_deep
+        self.ops = ops
+        self.touched = touched
+
+
+class _ScatterTable:
+    """Ragged per-writer frontiers, frozen for whole-batch scatters.
+
+    ``indptr[w]:indptr[w+1]`` slices ``dst``/``coeff`` to every
+    destination writer ``w``'s compiled propagation observes, in the exact
+    order the per-writer plan would visit them.  ``coeff`` carries the
+    cumulative edge sign for push destinations and **0** for would-be
+    pushes stopping at the pull frontier — so one ragged expansion serves
+    both scatters of a batch: ``np.add.at(column, dst, coeff * delta)``
+    applies the value updates (pull-frontier rows contribute exact zeros)
+    and ``np.add.at(observed, dst, events)`` credits the observed-push
+    frequencies.  ``push_counts[w]`` is the number of real push
+    applications in ``w``'s row (the work-counter credit).
+    """
+
+    __slots__ = ("indptr", "dst", "coeff", "push_counts", "has_push")
+
+    def __init__(self, indptr, dst, coeff, push_counts):
+        self.indptr = indptr
+        self.dst = dst
+        self.coeff = coeff
+        self.push_counts = push_counts
+        # All-pull frontier right at the writers (pure on-demand systems):
+        # batches then skip the per-batch push-count gather entirely.
+        self.has_push = bool(push_counts.any())
+
+    def expand(self, np, w_arr):
+        """Ragged expansion of ``w_arr``'s frontier rows.
+
+        Returns ``(idx, counts)`` where ``idx`` indexes ``dst``/``coeff``
+        with every row of every writer in ``w_arr``, writers in input
+        order and steps in row order, or ``None`` when the rows are all
+        empty.
+        """
+        starts = self.indptr[w_arr]
+        counts = self.indptr[w_arr + 1] - starts
+        total = int(counts.sum())
+        if not total:
+            return None
+        prefix = np.cumsum(counts) - counts
+        idx = np.repeat(starts - prefix, counts) + np.arange(
+            total, dtype=np.int64
+        )
+        return idx, counts
 
 
 class Runtime:
@@ -182,6 +324,7 @@ class Runtime:
         query: EgoQuery,
         buffers: Optional[Dict[NodeId, WindowBuffer]] = None,
         collect_trace: bool = False,
+        value_store: str = "auto",
     ) -> None:
         self.overlay = overlay
         self.query = query
@@ -195,13 +338,42 @@ class Runtime:
         if not overlay.decisions_consistent():
             raise OverlayError("overlay decisions are inconsistent (pull feeds push)")
         self._time_window = isinstance(query.window, TimeWindow)
+        # ``ROWS 1`` (latest value per writer): a batch's net effect per
+        # writer telescopes to (last value - previous slot), unlocking the
+        # grouped columnar ingestion path.
+        self._unit_window = (
+            isinstance(query.window, TupleWindow) and query.window.size == 1
+        )
         # Per-writer sliding windows, keyed by *graph node id* so they can
         # survive overlay rebuilds.
         self.buffers: Dict[NodeId, WindowBuffer] = buffers if buffers is not None else {}
-        self.values: List[Optional[PAO]] = []
+        # -- pluggable value store ------------------------------------
+        self.value_store_mode = value_store
+        self.values = make_value_store(self.aggregate, overlay.num_nodes, value_store)
+        self._columnar = self.values.backend == "columnar"
+        self._spec = self.aggregate.column_spec if self._columnar else None
+        self._columnar_delta = self._columnar and self._spec.kind == "delta"
+        self._scalar_buffers = self._columnar and self._spec.scalar_raws
+        if self._columnar and self._spec.kind == "lattice":
+            self._seg_fold = (
+                _statestore._np.fmax
+                if self._spec.merge_ufunc == "maximum"
+                else _statestore._np.fmin
+            )
+        else:
+            self._seg_fold = None
         self.snapshots: List[Optional[Dict[int, PAO]]] = []
-        self.observed_push: List[int] = []
-        self.observed_pull: List[int] = []
+        self._observed_push_store = []
+        self.observed_pull = []
+        # Deferred observed-push credits from columnar batches: (writer,
+        # events) pairs expanded through the scatter table only when the
+        # counters are actually read (or before the table is invalidated).
+        # Tuple-window batches defer at batch granularity instead: the
+        # extracted event triples are retained whole (O(1) per batch) and
+        # counted per writer only at flush time.
+        self._obs_pending_handles: List[int] = []
+        self._obs_pending_events: List[int] = []
+        self._obs_raw_batches: List[List] = []
         self.counters = RuntimeCounters()
         self.clock = 0.0
         self._expiry_heap: List[Tuple[float, int]] = []
@@ -216,12 +388,16 @@ class Runtime:
         # -- compiled-plan caches -------------------------------------
         self._push_plans: Dict[int, PushPlan] = {}
         self._pull_plans: Dict[int, PullPlan] = {}
-        self._plan_deps: Dict[int, Set[Tuple[bool, int]]] = {}
+        self._pull_segments: Dict[int, PullSegment] = {}
+        self._plan_deps: Dict[int, Set[Tuple[int, int]]] = {}
         self._out_cache: Dict[int, List[Tuple[int, int, bool, int]]] = {}
         self._csr: Optional[OverlayCSR] = None
+        self._scatter: Optional[_ScatterTable] = None
         self._plan_stamp = (overlay.version, overlay.decision_version)
         self.plan_compiles = 0
         self.plan_invalidations = 0
+        self.scatter_builds = 0
+        self.pull_memo_hits = 0
         # Construction-time dirt predates any compiled plan; absorb it so
         # later pops only carry genuinely new mutations.
         overlay.pop_dirty()
@@ -235,17 +411,42 @@ class Runtime:
         overlay = self.overlay
         agg = self.aggregate
         n = overlay.num_nodes
-        self.values = [None] * n
+        # Overlay surgery may have changed the handle space: the store
+        # remaps its columns (or object slots) to the new ids and the loop
+        # below re-derives every live PAO.
+        self.values.resize(n)
         self.snapshots = [None] * n
-        self.observed_push = [0] * n
-        self.observed_pull = [0] * n
+        if self._columnar:
+            np = _statestore._np
+            self._observed_push_store = np.zeros(n, dtype=np.int64)
+            self.observed_pull = np.zeros(n, dtype=np.int64)
+        else:
+            self._observed_push_store = [0] * n
+            self.observed_pull = [0] * n
+        self._obs_pending_handles = []
+        self._obs_pending_events = []
+        self._obs_raw_batches = []
         for node, handle in overlay.writer_of.items():
             if node not in self.buffers:
-                self.buffers[node] = self.query.window.make_buffer()
+                self.buffers[node] = self.query.window.make_buffer(
+                    scalar=self._scalar_buffers
+                )
         # Drop buffers of writers no longer present (after node removals).
         live = set(overlay.writer_of)
         for node in [n_ for n_ in self.buffers if n_ not in live]:
             del self.buffers[node]
+        # Fused node -> [handle, bound push, entry, batch-marker, buffer]
+        # routing for the columnar batch ingestion loop: one dict probe
+        # per event resolves the writer handle, the buffer's append fast
+        # path and the batch's per-writer accumulator slot in one go.
+        self._ingest = {
+            node: [handle, self.buffers[node].push, None, None, self.buffers[node]]
+            for node, handle in overlay.writer_of.items()
+            if node in self.buffers
+        }
+        self._ingest_by_handle = {
+            route[0]: route for route in self._ingest.values()
+        }
         for handle in overlay.topological_order():
             kind = overlay.kinds[handle]
             if kind is NodeKind.WRITER:
@@ -278,6 +479,67 @@ class Runtime:
             self.snapshots[handle] = snaps
 
     # ------------------------------------------------------------------
+    # observed-push accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def observed_push(self):
+        """Observed push frequencies per handle (adaptive signal).
+
+        Columnar batches defer their credits — as ``(writer, events)``
+        pairs, or for tuple windows as whole retained event batches — and
+        expand them through the scatter table on first read, so the
+        batched hot path never pays for bookkeeping nobody is looking at.
+        One deliberate nuance: batch-granular deferral credits a writer's
+        stream traffic even when its batch delta sums to exactly zero —
+        the closer reading of the paper's ``f_h`` write-frequency
+        estimate.  Both the object kernel and the per-event
+        ``write()`` path skip identity-delta writers instead, so on the
+        columnar backend a zero-net-delta workload (e.g. COUNT over a
+        full tuple window) reports higher — stream-accurate — frequencies
+        through ``write_batch`` than through ``write``.
+        """
+        if self._obs_pending_handles or self._obs_raw_batches:
+            self._flush_observed()
+        return self._observed_push_store
+
+    def _flush_observed(self) -> None:
+        """Materialize deferred observed-push credits into the counters."""
+        raw = self._obs_raw_batches
+        if raw:
+            self._obs_raw_batches = []
+            ingest_get = self._ingest.get
+            tally: Dict[int, int] = {}
+            for batch in raw:
+                for node, _value, _timestamp in batch:
+                    route = ingest_get(node)
+                    if route is not None:
+                        handle = route[0]
+                        tally[handle] = tally.get(handle, 0) + 1
+            self._obs_pending_handles.extend(tally.keys())
+            self._obs_pending_events.extend(tally.values())
+        handles = self._obs_pending_handles
+        if not handles:
+            return
+        events = self._obs_pending_events
+        self._obs_pending_handles = []
+        self._obs_pending_events = []
+        np = _statestore._np
+        table = self._scatter
+        if table is None:
+            table = self._build_scatter_table()
+        w_arr = np.asarray(handles, dtype=np.int64)
+        expanded = table.expand(np, w_arr)
+        if expanded is None:
+            return
+        idx, counts = expanded
+        np.add.at(
+            self._observed_push_store,
+            table.dst[idx],
+            np.repeat(np.asarray(events, dtype=np.int64), counts),
+        )
+
+    # ------------------------------------------------------------------
     # plan compilation and invalidation
     # ------------------------------------------------------------------
 
@@ -293,15 +555,24 @@ class Runtime:
 
         With ``handles`` given, only plans whose traversal touches one of
         those handles are dropped (precise invalidation); without, the
-        whole cache is cleared.  The CSR snapshot and compiled adjacencies
-        are cheap to rebuild lazily and are always dropped.
+        whole cache is cleared.  The CSR snapshot, compiled adjacencies and
+        the batch scatter table are cheap to rebuild lazily and are always
+        dropped (any structural or decision change can reroute a frontier).
         """
+        # Deferred observed-push credits belong to the *outgoing* scatter
+        # table's frontier rows; settle them before dropping it.
+        if self._obs_pending_handles or self._obs_raw_batches:
+            self._flush_observed()
         self._csr = None
+        self._scatter = None
         self._out_cache.clear()
         if handles is None:
-            self.plan_invalidations += len(self._push_plans) + len(self._pull_plans)
+            self.plan_invalidations += (
+                len(self._push_plans) + len(self._pull_plans) + len(self._pull_segments)
+            )
             self._push_plans.clear()
             self._pull_plans.clear()
+            self._pull_segments.clear()
             self._plan_deps.clear()
             return
         deps = self._plan_deps
@@ -311,10 +582,16 @@ class Runtime:
                 for key in list(bucket):
                     self._drop_plan(key)
 
-    def _drop_plan(self, key: Tuple[bool, int]) -> None:
-        is_push, root = key
-        store = self._push_plans if is_push else self._pull_plans
-        plan = store.pop(root, None)
+    def _plan_store(self, kind: int) -> Dict[int, Any]:
+        if kind == _PLAN_PUSH:
+            return self._push_plans
+        if kind == _PLAN_PULL:
+            return self._pull_plans
+        return self._pull_segments
+
+    def _drop_plan(self, key: Tuple[int, int]) -> None:
+        kind, root = key
+        plan = self._plan_store(kind).pop(root, None)
         if plan is None:
             return
         self.plan_invalidations += 1
@@ -326,8 +603,8 @@ class Runtime:
                 if not bucket:
                     del deps[handle]
 
-    def _register_plan(self, is_push: bool, root: int, touched: FrozenSet[int]) -> None:
-        key = (is_push, root)
+    def _register_plan(self, kind: int, root: int, touched: FrozenSet[int]) -> None:
+        key = (kind, root)
         deps = self._plan_deps
         for handle in touched:
             bucket = deps.get(handle)
@@ -371,7 +648,7 @@ class Runtime:
                     stack.append((dst, sign))
         plan = PushPlan(tuple(steps), self._scalar_group, frozenset(touched))
         self._push_plans[handle] = plan
-        self._register_plan(True, handle, plan.touched)
+        self._register_plan(_PLAN_PUSH, handle, plan.touched)
         return plan
 
     def _compile_pull_plan(self, root: int) -> PullPlan:
@@ -411,8 +688,106 @@ class Runtime:
                     stack.append((_OP_ENTER, src, 0))
         plan = PullPlan(tuple(program), frozenset(touched))
         self._pull_plans[root] = plan
-        self._register_plan(False, root, plan.touched)
+        self._register_plan(_PLAN_PULL, root, plan.touched)
         return plan
+
+    def _compile_pull_segment(self, node: int) -> PullSegment:
+        """Compile one pull node's direct frontier for vectorized reads.
+
+        Children (nested pull inputs) are compiled recursively first so the
+        segment's deep observation list and dependency registration cover
+        the whole subtree — precise invalidation then matches the
+        monolithic pull plans exactly.
+        """
+        existing = self._pull_segments.get(node)
+        if existing is not None:
+            return existing
+        np = _statestore._np
+        overlay = self.overlay
+        decisions = overlay.decisions
+        leaves: List[int] = []
+        signs: List[int] = []
+        children: List[Tuple[int, int]] = []
+        touched = {node}
+        observe: List[int] = [node]
+        observe_deep: List[int] = [node]
+        for src, sign in overlay.inputs[node].items():
+            touched.add(src)
+            if decisions[src] is Decision.PUSH:
+                leaves.append(src)
+                signs.append(sign)
+                observe.append(src)
+                observe_deep.append(src)
+            else:
+                child = self._compile_pull_segment(src)
+                children.append((src, sign))
+                touched |= child.touched
+                observe_deep.extend(child.observe_deep.tolist())
+        segment = PullSegment(
+            node=node,
+            leaf_idx=np.asarray(leaves, dtype=np.int64),
+            leaf_sign=(
+                None
+                if all(sign > 0 for sign in signs)
+                else np.asarray(signs, dtype=np.int8)
+            ),
+            children=tuple(children),
+            observe=np.asarray(observe, dtype=np.int64),
+            observe_deep=np.asarray(observe_deep, dtype=np.int64),
+            ops=len(overlay.inputs[node]),
+            touched=frozenset(touched),
+        )
+        self._pull_segments[node] = segment
+        self._register_plan(_PLAN_SEGMENT, node, segment.touched)
+        return segment
+
+    def _build_scatter_table(self) -> _ScatterTable:
+        """Freeze every writer's compiled push frontier into ragged rows.
+
+        Rows replay the exact ``(dst, cumulative_sign)`` application order
+        of :meth:`_compile_push_plan`, so a whole-batch ``np.add.at`` over
+        concatenated rows performs the same additions, in the same order,
+        as the per-writer Python loop.
+        """
+        np = _statestore._np
+        csr = self._ensure_csr()
+        out_indptr = csr.out_indptr
+        out_indices = csr.out_indices
+        out_signs = csr.out_signs
+        push = csr.push
+        kinds = csr.kinds
+        n = self.overlay.num_nodes
+        indptr = [0] * (n + 1)
+        dsts: List[int] = []
+        coeffs: List[int] = []
+        push_counts = [0] * n
+        for handle in range(n):
+            if kinds[handle] == KIND_WRITER:
+                pushes = 0
+                stack: List[Tuple[int, int]] = [(handle, 1)]
+                while stack:
+                    node, carried = stack.pop()
+                    for i in range(out_indptr[node], out_indptr[node + 1]):
+                        dst = out_indices[i]
+                        sign = carried * out_signs[i]
+                        dsts.append(dst)
+                        if push[dst]:
+                            coeffs.append(sign)
+                            pushes += 1
+                            stack.append((dst, sign))
+                        else:
+                            coeffs.append(0)
+                push_counts[handle] = pushes
+            indptr[handle + 1] = len(dsts)
+        table = _ScatterTable(
+            indptr=np.asarray(indptr, dtype=np.int64),
+            dst=np.asarray(dsts, dtype=np.int64),
+            coeff=np.asarray(coeffs, dtype=np.int8),
+            push_counts=np.asarray(push_counts, dtype=np.int64),
+        )
+        self._scatter = table
+        self.scatter_builds += 1
+        return table
 
     def _compile_out(self, node: int) -> List[Tuple[int, int, bool, int]]:
         """Per-node compiled adjacency for data-dependent (lattice) DFS."""
@@ -465,6 +840,8 @@ class Runtime:
         the number of writes processed.
         """
         self._check_plans()
+        if self._columnar_delta and self.trace is None:
+            return self._write_batch_columnar(writes)
         overlay = self.overlay
         writer_of = overlay.writer_of
         buffers = self.buffers
@@ -534,7 +911,7 @@ class Runtime:
             identity = self._identity
             plans = self._push_plans
             observed = self.observed_push
-            values = self.values
+            values = self.values.data
             push_ops = 0
             for handle, (added, evicted) in pending.items():
                 delta = identity
@@ -560,6 +937,377 @@ class Runtime:
             message = self.writer_step(handle, added, evicted)
             if message is not None:
                 self._propagate(handle, message, len(added) or 1)
+
+    # ------------------------------------------------------------------
+    # columnar batched writes
+    # ------------------------------------------------------------------
+
+    def _write_batch_columnar(self, writes: Sequence) -> int:
+        """Columnar-backend write batch: fold-then-scatter.
+
+        Ingestion mirrors the generic loop event for event (same clock,
+        window and expiry semantics), but instead of materializing
+        added/evicted lists it folds each writer's run directly into a
+        running ``[value delta, count delta, coalesced events]``
+        accumulator on the writer's ingest route — exactly the sufficient
+        statistics for every delta column source — and the propagation
+        phase applies the whole batch through the scatter table in a
+        handful of numpy calls.  Tuple windows additionally take the
+        buffers' allocation-free
+        :meth:`~repro.core.windows.WindowBuffer.push` path, fusing the
+        steady-state (window full) event into a single ``+= value - old``.
+        """
+        time_window = self._time_window
+        use_value = "value" in self._spec.sources
+        clock = self.clock
+        if writes.__class__ is not list and not isinstance(writes, tuple):
+            # The fast paths re-iterate on extraction fallback; a one-shot
+            # iterator would silently lose the already-consumed prefix.
+            writes = list(writes)
+        if self._unit_window:
+            result = self._write_batch_unit(writes, clock, use_value)
+            if result is not None:
+                return result
+            # (fell through: heterogeneous items or None timestamps)
+        marker = object()  # tags routes touched by *this* batch
+        touched: List[List] = []  # touched routes, in first-touch order
+        touched_append = touched.append
+        ingest_get = self._ingest.get
+        count = 0
+        try:
+            if not time_window:
+                # Tuple windows never consult timestamps, so events can be
+                # unpacked in one C-level pass (uniform WriteEvent-shaped
+                # items; anything else falls back to per-item dispatch).
+                try:
+                    triples = list(map(_EVENT_FIELDS, writes))
+                except AttributeError:
+                    triples = [
+                        (
+                            (item[0], item[1], item[2])
+                            if item.__class__ is tuple and len(item) == 3
+                            else (item[0], item[1], None)
+                            if item.__class__ is tuple
+                            else (
+                                item.node,
+                                item.value,
+                                getattr(item, "timestamp", None),
+                            )
+                        )
+                        for item in writes
+                    ]
+                count = len(triples)
+                # Observed-push credits for the whole batch are deferred
+                # by retaining the extracted triples (O(1)); per-writer
+                # add counts are tallied only at flush time.  The cap
+                # bounds retained memory on read-free streams.
+                self._obs_raw_batches.append(triples)
+                if len(self._obs_raw_batches) >= 256:
+                    self._flush_observed()
+                if use_value:
+                    # Hyper path: SUM/MEAN-style value folding; the
+                    # steady-state event is one fused ``+= value - old``.
+                    for node, value, timestamp in triples:
+                        if timestamp is None:
+                            timestamp = clock = clock + 1.0
+                        elif timestamp > clock:
+                            clock = timestamp
+                        route = ingest_get(node)
+                        if route is None:
+                            continue  # no reader observes this node
+                        old = route[1](value, timestamp)
+                        if route[3] is marker:
+                            entry = route[2]
+                        else:
+                            entry = route[2] = [0.0, 0, 0]
+                            route[3] = marker
+                            touched_append(route)
+                        if old is NO_VALUE:
+                            entry[0] += value
+                            entry[1] += 1
+                        else:
+                            entry[0] += value - old
+                else:
+                    # COUNT-style: payloads are opaque, only arrivals fold.
+                    for node, value, timestamp in triples:
+                        if timestamp is None:
+                            timestamp = clock = clock + 1.0
+                        elif timestamp > clock:
+                            clock = timestamp
+                        route = ingest_get(node)
+                        if route is None:
+                            continue
+                        old = route[1](value, timestamp)
+                        if route[3] is marker:
+                            entry = route[2]
+                        else:
+                            entry = route[2] = [0.0, 0, 0]
+                            route[3] = marker
+                            touched_append(route)
+                        if old is NO_VALUE:
+                            entry[1] += 1
+            else:
+                duration = self.query.window.duration
+                heap = self._expiry_heap
+                for item in writes:
+                    if item.__class__ is tuple:
+                        if len(item) == 3:
+                            node, value, timestamp = item
+                        else:
+                            node, value = item
+                            timestamp = None
+                    else:
+                        node = item.node
+                        value = item.value
+                        timestamp = getattr(item, "timestamp", None)
+                    count += 1
+                    if timestamp is None:
+                        timestamp = clock = clock + 1.0
+                    elif timestamp > clock:
+                        clock = timestamp
+                    self.clock = clock
+                    self._advance_time_deferred_scalar(
+                        clock, marker, touched, use_value
+                    )
+                    route = ingest_get(node)
+                    if route is None:
+                        continue
+                    evicted = route[4].append(value, timestamp)
+                    heapq.heappush(heap, (timestamp + duration, route[0]))
+                    if route[3] is marker:
+                        entry = route[2]
+                    else:
+                        entry = route[2] = [0.0, 0, 0]
+                        route[3] = marker
+                        touched_append(route)
+                    if use_value:
+                        entry[0] += value
+                    entry[1] += 1
+                    entry[2] += 1
+                    if evicted:
+                        if use_value:
+                            for raw in evicted:
+                                entry[0] -= raw
+                        entry[1] -= len(evicted)
+        finally:
+            # Mirror the generic batch loop: values already absorbed into
+            # buffers must propagate even when an item raises.
+            self.clock = clock
+            self.counters.writes += count
+            self._apply_pending_columnar(touched, raw_observed=not time_window)
+        return count
+
+    def _write_batch_unit(
+        self, writes: Sequence, clock: float, use_value: bool
+    ) -> Optional[int]:
+        """Grouped columnar ingestion for ``ROWS 1`` windows.
+
+        With a one-slot window a batch's net effect per writer telescopes:
+        only the *last* value matters (``delta = last - previous slot``),
+        every intermediate write cancels.  The batch is therefore grouped
+        with a C-level ``dict(map(...))`` — keeping each writer's last
+        value — and the Python loop runs once per unique writer instead of
+        once per event.  Returns ``None`` (caller falls back to the
+        per-event loop) for heterogeneous items or ``None`` timestamps,
+        whose clock semantics need sequential treatment.
+        """
+        try:
+            triples = list(map(_EVENT_FIELDS, writes))
+        except AttributeError:
+            return None
+        count = len(triples)
+        if not count:
+            return 0
+        try:
+            ts_max = max(map(_TRIPLE_TS, triples))
+            if ts_max > clock:
+                clock = ts_max
+        except TypeError:  # a None timestamp: needs the sequential loop
+            return None
+        # Whole-batch observed-push deferral (tallied per writer at flush).
+        self._obs_raw_batches.append(triples)
+        if len(self._obs_raw_batches) >= 256:
+            self._flush_observed()
+        # C-level grouping: keep each writer's LAST value, in first-touch
+        # key order (matching the per-event loop's coalescing order).
+        last = dict(map(_TRIPLE_NV, triples))
+        ingest_get = self._ingest.get
+        use_count = "count" in self._spec.sources
+        writers: List[int] = []
+        value_deltas: List[float] = []
+        count_deltas: List[int] = []
+        try:
+            if use_value:  # SUM / MEAN
+                for node, value in last.items():
+                    route = ingest_get(node)
+                    if route is None:
+                        continue
+                    old = route[1](value, clock)
+                    if old is NO_VALUE:
+                        dv = value
+                        dc = 1
+                    else:
+                        dv = value - old
+                        dc = 0
+                    if dv or (dc and use_count):
+                        writers.append(route[0])
+                        value_deltas.append(dv)
+                        count_deltas.append(dc)
+            else:  # COUNT: only first-fill changes the count
+                for node, value in last.items():
+                    route = ingest_get(node)
+                    if route is None:
+                        continue
+                    if route[1](value, clock) is NO_VALUE:
+                        writers.append(route[0])
+                        count_deltas.append(1)
+        finally:
+            self.clock = clock
+            self.counters.writes += count
+            self._scatter_deltas(writers, value_deltas, count_deltas, None)
+        return count
+
+    def _advance_time_deferred_scalar(
+        self, now: float, marker: Any, touched: List[List], use_value: bool
+    ) -> None:
+        """Batch-mode expiry for the columnar path: evictions fold into the
+        touched routes' running delta accumulators."""
+        heap = self._expiry_heap
+        by_handle = self._ingest_by_handle
+        while heap and heap[0][0] <= now:
+            _, handle = heapq.heappop(heap)
+            route = by_handle.get(handle)
+            if route is None:
+                continue
+            evicted = route[4].evict_until(now)
+            if evicted:
+                if route[3] is marker:
+                    entry = route[2]
+                else:
+                    entry = route[2] = [0.0, 0, 0]
+                    route[3] = marker
+                    touched.append(route)
+                if use_value:
+                    for raw in evicted:
+                        entry[0] -= raw
+                entry[1] -= len(evicted)
+
+    def _apply_pending_columnar(
+        self, touched: List[List], raw_observed: bool = False
+    ) -> None:
+        """Propagation phase of a columnar batch: one scatter per column.
+
+        Per-writer column deltas come straight off the touched routes'
+        accumulators (``value`` columns from the folded value delta,
+        ``count`` columns from the count delta); zero-delta writers'
+        *state* is skipped exactly as the object kernel skips identity
+        deltas.  The concatenated ragged rows apply with ``np.add.at`` in
+        (writer, step) order — the same addition sequence as the
+        per-writer loop, so results match bit for bit.  With
+        ``raw_observed`` the observed-push credits were already deferred
+        at batch granularity by the ingestion loop; otherwise they are
+        recorded here as (writer, events) pairs.
+        """
+        if not touched:
+            return
+        sources = self._spec.sources
+        use_value = "value" in sources
+        use_count = "count" in sources
+        writers: List[int] = []
+        events_list: List[int] = []
+        value_deltas: List[float] = []
+        count_deltas: List[int] = []
+        if use_value and not use_count:  # SUM: single value column
+            if raw_observed:
+                for route in touched:
+                    dv = route[2][0]
+                    if not dv:
+                        continue
+                    writers.append(route[0])
+                    value_deltas.append(dv)
+            else:
+                for route in touched:
+                    entry = route[2]
+                    dv = entry[0]
+                    if not dv:
+                        continue
+                    writers.append(route[0])
+                    events_list.append(entry[2] or 1)  # eviction-only sweep
+                    value_deltas.append(dv)
+        else:
+            for route in touched:
+                entry = route[2]
+                dv = entry[0] if use_value else 0
+                dc = entry[1] if use_count else 0
+                if not dv and not dc:
+                    continue
+                writers.append(route[0])
+                if not raw_observed:
+                    events_list.append(entry[2] or 1)
+                if use_value:
+                    value_deltas.append(dv)
+                if use_count:
+                    count_deltas.append(dc)
+        self._scatter_deltas(
+            writers,
+            value_deltas,
+            count_deltas,
+            None if raw_observed else events_list,
+        )
+
+    def _scatter_deltas(
+        self,
+        writers: List[int],
+        value_deltas: List[float],
+        count_deltas: List[int],
+        events_list: Optional[List[int]],
+    ) -> None:
+        """Apply per-writer column deltas through the scatter table.
+
+        ``events_list`` of ``None`` means the observed-push credits for
+        these writers were already deferred at batch granularity.
+        """
+        if not writers:
+            return
+        np = _statestore._np
+        table = self._scatter
+        if table is None:
+            table = self._build_scatter_table()
+        sources = self._spec.sources
+        columns = self.values.columns
+        num_writers = len(writers)
+        w_arr = np.fromiter(writers, dtype=np.int64, count=num_writers)
+        deltas = tuple(
+            np.fromiter(
+                value_deltas if source == "value" else count_deltas,
+                dtype=column.dtype,
+                count=num_writers,
+            )
+            for source, column in zip(sources, columns)
+        )
+        push_total = (
+            int(table.push_counts[w_arr].sum()) if table.has_push else 0
+        )
+        if push_total:
+            # Pull-frontier rows carry coefficient 0 (see _ScatterTable).
+            idx, counts = table.expand(np, w_arr)
+            dsts = table.dst[idx]
+            coeff = table.coeff[idx]
+            reps = np.repeat(
+                np.arange(num_writers, dtype=np.int64), counts
+            )
+            for column, delta in zip(columns, deltas):
+                np.add.at(column, dsts, coeff * delta[reps])
+        # Writer-local state (writers never receive edges, so these slots
+        # are disjoint from every scatter destination).
+        for column, delta in zip(columns, deltas):
+            column[w_arr] += delta
+        # Observed-push credits are deferred (see the observed_push
+        # property); batch-granular deferral already retained its events.
+        if events_list is not None:
+            self._obs_pending_handles.extend(writers)
+            self._obs_pending_events.extend(events_list)
+        self.counters.push_ops += push_total
 
     def writer_step(
         self, handle: int, added: List[Any], evicted: List[Any]
@@ -651,14 +1399,19 @@ class Runtime:
         if plan is None:
             plan = self._compile_push_plan(source)
         observed = self.observed_push
-        values = self.values
+        values = self.values.data
         trace = self.trace
         scalar = plan.scalar_steps
         if scalar is not None and trace is None:
             for dst in plan.observe:
                 observed[dst] += events
-            for dst, sign in scalar:
-                values[dst] += sign * message
+            if self._columnar:
+                column = self.values.columns[0]
+                for dst, sign in scalar:
+                    column[dst] += sign * message
+            else:
+                for dst, sign in scalar:
+                    values[dst] += sign * message
             self.counters.push_ops += plan.push_count
             return
         agg = self.aggregate
@@ -682,7 +1435,7 @@ class Runtime:
     def _propagate_lattice(self, source: int, message: PAO, events: int = 1) -> None:
         """Lattice DFS over compiled adjacencies (data-dependent stops)."""
         agg = self.aggregate
-        values = self.values
+        values = self.values.data
         snapshots = self.snapshots
         observed = self.observed_push
         counters = self.counters
@@ -739,8 +1492,14 @@ class Runtime:
     # reads
     # ------------------------------------------------------------------
 
-    def read(self, node: NodeId) -> Any:
-        """Process one read: the current value of ``F(N(node))``."""
+    def read(self, node: NodeId, _memo: Optional[Dict] = None) -> Any:
+        """Process one read: the current value of ``F(N(node))``.
+
+        ``_memo`` is the per-batch pull cache :meth:`read_batch` threads
+        through its reads: evaluated pull subtrees are stored under
+        ``(overlay handle, plan stamp)`` so overlapping readers in the
+        same batch do not re-reduce shared subtrees.
+        """
         self.counters.reads += 1
         if self._time_window:
             self._advance_time(self.clock)
@@ -754,22 +1513,161 @@ class Runtime:
                 self.trace.append(TraceOp(handle, "read", 1))
             return agg.finalize(self.values[handle])
         self._check_plans()
+        if self._columnar and self.trace is None:
+            return agg.finalize(
+                self._spec.unpack(self._pull_segment_eval(handle, _memo))
+            )
         plan = self._pull_plans.get(handle)
         if plan is None:
             plan = self._compile_pull_plan(handle)
-        return agg.finalize(self._run_pull_plan(plan))
+        if _memo is None:
+            return agg.finalize(self._run_pull_plan(plan))
+        return agg.finalize(self._run_pull_plan_memo(plan, handle, _memo))
 
     def read_batch(self, nodes: Sequence[NodeId]) -> List[Any]:
-        """Process many reads; exactly a per-node :meth:`read` loop (the
-        batching win is upstream: one engine sync, warm pull plans)."""
-        return [self.read(node) for node in nodes]
+        """Process many reads, memoizing shared pull subtrees.
+
+        One memo dict spans the batch: every completed pull node's
+        accumulator is cached under ``(handle, plan stamp)``, so readers
+        whose pull plans overlap evaluate each shared subtree once.  The
+        saving shows up in ``counters.pull_ops`` (work actually performed)
+        while ``observed_pull`` — the adaptive controller's traffic signal
+        — is still credited as if every reader evaluated alone.
+        """
+        memo: Dict = {}
+        read = self.read
+        return [read(node, _memo=memo) for node in nodes]
+
+    def _pull_segment_eval(self, node: int, memo: Optional[Dict]) -> Tuple:
+        """Columnar pull: vectorized per-segment reduction with sharing.
+
+        Returns the node's accumulator as a tuple of column scalars.  The
+        node's direct push inputs reduce in one gather (signed sum for
+        delta columns, nan-ignoring ``fmax``/``fmin`` for the lattice
+        extremum); nested pull inputs recurse through the same memo.
+        """
+        np = _statestore._np
+        if memo is not None:
+            key = (node, self._plan_stamp)
+            cached = memo.get(key, _MISS)
+            if cached is not _MISS:
+                segment = self._pull_segments.get(node)
+                if segment is None:
+                    segment = self._compile_pull_segment(node)
+                np.add.at(self.observed_pull, segment.observe_deep, 1)
+                self.pull_memo_hits += 1
+                return cached
+        segment = self._pull_segments.get(node)
+        if segment is None:
+            segment = self._compile_pull_segment(node)
+        np.add.at(self.observed_pull, segment.observe, 1)
+        self.counters.pull_ops += segment.ops
+        columns = self.values.columns
+        leaf_idx = segment.leaf_idx
+        if self._seg_fold is None:  # delta columns: signed sums
+            totals = []
+            for column in columns:
+                if leaf_idx.size:
+                    gathered = column[leaf_idx]
+                    if segment.leaf_sign is not None:
+                        gathered = gathered * segment.leaf_sign
+                    totals.append(gathered.sum())
+                else:
+                    totals.append(column.dtype.type(0))
+            for child, sign in segment.children:
+                child_cols = self._pull_segment_eval(child, memo)
+                if sign > 0:
+                    totals = [t + c for t, c in zip(totals, child_cols)]
+                else:
+                    totals = [t - c for t, c in zip(totals, child_cols)]
+            result = tuple(totals)
+        else:  # lattice extremum: nan encodes the empty identity
+            fold = self._seg_fold
+            best = (
+                fold.reduce(columns[0][leaf_idx])
+                if leaf_idx.size
+                else float("nan")
+            )
+            for child, _sign in segment.children:
+                best = fold(best, self._pull_segment_eval(child, memo)[0])
+            result = (best,)
+        if memo is not None:
+            memo[(node, self._plan_stamp)] = result
+        return result
+
+    def _run_pull_plan_memo(self, plan: PullPlan, root: int, memo: Dict) -> PAO:
+        """Interpreted pull with per-batch subtree memoization.
+
+        Identical merge order to :meth:`_run_pull_plan`, except that a
+        nested span whose node is already in the memo folds the cached
+        accumulator and skips its sub-program (crediting the skipped
+        handles' observed-pull frequencies), and every completed span
+        stores its accumulator for later readers in the batch.
+        """
+        stamp = self._plan_stamp
+        observed = self.observed_pull
+        cached = memo.get((root, stamp), _MISS)
+        if cached is not _MISS:
+            for h in plan.observe_all:
+                observed[h] += 1
+            self.pull_memo_hits += 1
+            return cached
+        agg = self.aggregate
+        merge = agg.merge
+        subtract = agg.subtract
+        values = self.values.data
+        trace = self.trace
+        spans = plan.spans
+        exit_nodes = plan.exit_nodes
+        program = plan.program
+        length = len(program)
+        acc: PAO = None
+        acc_stack: List[PAO] = []
+        ops = 0
+        index = 0
+        while index < length:
+            op, a, b = program[index]
+            if op == _OP_LEAF:
+                observed[a] += 1
+                value = values[a]
+                acc = merge(acc, value) if b > 0 else subtract(acc, value)
+                ops += 1
+            elif op == _OP_ENTER:
+                span = spans.get(index)
+                if span is not None:
+                    exit_index, span_node, span_observe = span
+                    hit = memo.get((span_node, stamp), _MISS)
+                    if hit is not _MISS:
+                        for h in span_observe:
+                            observed[h] += 1
+                        sign = program[exit_index][1]
+                        acc = merge(acc, hit) if sign > 0 else subtract(acc, hit)
+                        ops += 1
+                        self.pull_memo_hits += 1
+                        index = exit_index + 1
+                        continue
+                observed[a] += 1
+                if trace is not None:
+                    trace.append(TraceOp(a, "pull", b))
+                acc_stack.append(acc)
+                acc = self._identity
+            else:  # _OP_EXIT
+                child = acc
+                memo[(exit_nodes[index], stamp)] = child
+                acc = acc_stack.pop()
+                acc = merge(acc, child) if a > 0 else subtract(acc, child)
+                ops += 1
+            index += 1
+        self.counters.pull_ops += ops
+        memo[(root, stamp)] = acc
+        return acc
 
     def _run_pull_plan(self, plan: PullPlan) -> PAO:
         """Run a compiled pull program: no recursion, no dict lookups."""
         agg = self.aggregate
         merge = agg.merge
         subtract = agg.subtract
-        values = self.values
+        values = self.values.data
         observed = self.observed_pull
         trace = self.trace
         acc: PAO = None

@@ -42,6 +42,10 @@ class PartitionedEngine:
         Optional reader→shard assignment function; defaults to a stable
         hash.  Graph-partitioning-aware assignments (communities to the
         same shard) reduce the write replication factor.
+    value_store:
+        Aggregate-state backend for every shard (``auto`` / ``object`` /
+        ``columnar``); shards resolve it independently but identically,
+        so the deployment stays homogeneous.
     engine_kwargs:
         Forwarded to every shard's :class:`EAGrEngine` (overlay algorithm,
         dataflow mode, frequencies, ...).
@@ -53,6 +57,7 @@ class PartitionedEngine:
         query: EgoQuery,
         num_shards: int = 4,
         assign: Optional[Callable[[NodeId], int]] = None,
+        value_store: str = "auto",
         **engine_kwargs: Any,
     ) -> None:
         if num_shards < 1:
@@ -60,6 +65,7 @@ class PartitionedEngine:
         self.graph = graph
         self.query = query
         self.num_shards = num_shards
+        self.value_store = value_store
         self._assign = assign or (lambda node: _stable_hash(node) % num_shards)
 
         self.reader_shard: Dict[NodeId, int] = {}
@@ -77,7 +83,9 @@ class PartitionedEngine:
                 predicate=_ShardPredicate(self.reader_shard, shard_id, base_predicate),
                 mode=query.mode,
             )
-            self.shards.append(EAGrEngine(graph, shard_query, **engine_kwargs))
+            self.shards.append(
+                EAGrEngine(graph, shard_query, value_store=value_store, **engine_kwargs)
+            )
 
         # Multicast routing table: writer -> shards that consume it.
         self.writer_shards: Dict[NodeId, List[int]] = {}

@@ -1,0 +1,192 @@
+"""Pluggable value stores for runtime PAO state.
+
+The runtime (:mod:`repro.core.execution`) holds one partial aggregate
+object per overlay node.  This module abstracts *where* those PAOs live
+behind a small list-like protocol so two backends can coexist:
+
+* :class:`ObjectStore` — a plain Python list of PAOs.  Exact seed
+  semantics for arbitrary aggregates (TOP-K counter tables, distinct
+  sets, user-defined aggregates) and the only backend available when
+  numpy is not importable.
+* :class:`ColumnarStore` — dense numpy columns, one per field of the
+  aggregate's :class:`~repro.core.aggregates.ColumnSpec` (SUM/COUNT one
+  column, MEAN a ``(sum, count)`` pair, MAX/MIN one nan-encoded extremum
+  column), indexed by overlay handle — the same dense ids the CSR
+  snapshot (:meth:`repro.core.overlay.Overlay.to_csr`) exposes, so the
+  batched execution kernels can scatter whole batches with ``np.add.at``
+  and reduce pull frontiers with vectorized segment sums.
+
+Backend choice is invisible to callers: both stores answer
+``store[handle]`` with exactly the PAO the object backend would hold
+(``ColumnarStore.__getitem__`` unpacks columns back into Python scalars),
+and ``store[handle] = pao`` / ``store[handle] = None`` round-trip.  The
+property tests in ``tests/core/test_statestore.py`` assert read-for-read
+equivalence between the backends on integer streams.
+
+Selection is by :func:`make_value_store`: ``"auto"`` picks columnar
+exactly when the aggregate declares a column spec and numpy imports,
+``"object"`` forces the seed behavior, ``"columnar"`` requests columns
+but degrades to the object store when unsupported (missing numpy or an
+aggregate without a spec) so deployments stay portable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.core.aggregates import AggregateFunction, ColumnSpec
+
+try:  # numpy is optional: the store layer degrades to ObjectStore without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via the masked-import test
+    _np = None
+
+PAO = Any
+
+#: Valid ``value_store`` modes accepted throughout the stack.
+VALUE_STORE_MODES = ("auto", "object", "columnar")
+
+
+class ValueStoreError(Exception):
+    """Raised on invalid value-store configuration."""
+
+
+class ObjectStore:
+    """PAOs as a plain Python list (the seed representation).
+
+    ``data`` exposes the raw list so hot loops can bypass the wrapper's
+    ``__getitem__`` indirection entirely — the compiled-plan kernels bind
+    ``store.data`` to a local and run at exactly the seed's speed.
+    """
+
+    __slots__ = ("data",)
+
+    backend = "object"
+    columns: Optional[Tuple] = None
+
+    def __init__(self, num_handles: int = 0) -> None:
+        self.data: List[Optional[PAO]] = [None] * num_handles
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __getitem__(self, handle: int) -> Optional[PAO]:
+        return self.data[handle]
+
+    def __setitem__(self, handle: int, pao: Optional[PAO]) -> None:
+        self.data[handle] = pao
+
+    def resize(self, num_handles: int) -> "ObjectStore":
+        """Reset to ``num_handles`` empty slots (state is re-derived by the
+        runtime's materialization pass, so nothing is preserved)."""
+        self.data = [None] * num_handles
+        return self
+
+
+class ColumnarStore:
+    """PAOs as dense numpy columns indexed by overlay handle.
+
+    One array per column of the aggregate's spec, identity-filled.  A
+    handle whose PAO is logically ``None`` (pull nodes hold no state) is
+    tracked in the ``_cleared`` bool mask (1 byte per handle); assigning
+    a PAO clears its bit, assigning ``None`` sets it.  The batched
+    kernels write straight into ``columns`` — they only ever touch push
+    handles, which are always materialized.
+
+    ``data`` returns the store itself: kernels written against
+    ``store.data`` fall back to per-element ``__getitem__``/``__setitem__``
+    access (used by the interpreted lattice/trace paths), which converts
+    between column scalars and Python PAOs at the boundary so arithmetic
+    stays IEEE-identical to the object backend.
+    """
+
+    __slots__ = ("spec", "columns", "_cleared", "_num_handles", "_unpack", "_pack")
+
+    backend = "columnar"
+
+    def __init__(self, spec: ColumnSpec, num_handles: int = 0) -> None:
+        if _np is None:
+            raise ValueStoreError("ColumnarStore requires numpy")
+        self.spec = spec
+        self._unpack = spec.unpack
+        self._pack = spec.pack
+        self._num_handles = num_handles
+        self.columns = tuple(
+            _np.full(num_handles, fill, dtype=dtype)
+            for dtype, fill in zip(spec.dtypes, spec.fills)
+        )
+        self._cleared = _np.ones(num_handles, dtype=bool)
+
+    @property
+    def data(self) -> "ColumnarStore":
+        return self
+
+    def __len__(self) -> int:
+        return self._num_handles
+
+    def __getitem__(self, handle: int) -> Optional[PAO]:
+        if self._cleared[handle]:
+            return None
+        columns = self.columns
+        if len(columns) == 1:
+            return self._unpack((columns[0][handle],))
+        return self._unpack(tuple(column[handle] for column in columns))
+
+    def __setitem__(self, handle: int, pao: Optional[PAO]) -> None:
+        if pao is None:
+            self.clear(handle)
+            return
+        for column, value in zip(self.columns, self._pack(pao)):
+            column[handle] = value
+        self._cleared[handle] = False
+
+    def clear(self, handle: int) -> None:
+        """Drop ``handle``'s PAO (reads return ``None``); refill identity."""
+        for column, fill in zip(self.columns, self.spec.fills):
+            column[handle] = fill
+        self._cleared[handle] = True
+
+    def resize(self, num_handles: int) -> "ColumnarStore":
+        """Remap the columns to ``num_handles`` overlay handles.
+
+        Called from the runtime's materialization pass after overlay
+        surgery: the arrays are reallocated only when the handle space
+        actually changed size, every slot reverts to the identity fill and
+        to the cleared (``None``) state, and the runtime then re-derives
+        live PAOs — matching :class:`ObjectStore.resize` exactly.
+        """
+        if num_handles != self._num_handles:
+            self._num_handles = num_handles
+            self.columns = tuple(
+                _np.full(num_handles, fill, dtype=dtype)
+                for dtype, fill in zip(self.spec.dtypes, self.spec.fills)
+            )
+            self._cleared = _np.ones(num_handles, dtype=bool)
+        else:
+            for column, fill in zip(self.columns, self.spec.fills):
+                column.fill(fill)
+            self._cleared.fill(True)
+        return self
+
+
+def resolve_value_store(aggregate: AggregateFunction, mode: str = "auto") -> str:
+    """The backend ``mode`` resolves to for ``aggregate`` on this host."""
+    if mode not in VALUE_STORE_MODES:
+        raise ValueStoreError(
+            f"value_store must be one of {VALUE_STORE_MODES}, got {mode!r}"
+        )
+    if mode == "object":
+        return "object"
+    spec = getattr(aggregate, "column_spec", None)
+    if spec is None or _np is None:
+        return "object"
+    return "columnar"
+
+
+def make_value_store(
+    aggregate: AggregateFunction, num_handles: int, mode: str = "auto"
+):
+    """Instantiate the value store ``mode`` resolves to (see module doc)."""
+    if resolve_value_store(aggregate, mode) == "columnar":
+        return ColumnarStore(aggregate.column_spec, num_handles)
+    return ObjectStore(num_handles)

@@ -7,6 +7,15 @@ the overlay owns a :class:`WindowBuffer` holding its live values; evicted
 values generate "removal" updates that flow through the overlay exactly like
 insertions (Section 2.2.2: "...or if the sliding windows shift and values
 drop out of the window").
+
+Buffers come in two flavors per policy: the deque-backed object buffers
+(any payload) and preallocated **ring buffers** for scalar raws
+(``make_buffer(scalar=True)``), which the columnar runtime requests for
+aggregates whose column spec declares numeric streams.  Ring buffers keep
+their live values in fixed slots that are overwritten in place, expose the
+allocation-free :meth:`WindowBuffer.push` fast path (evicted value or the
+:data:`NO_VALUE` sentinel, no per-event list), and so compute eviction
+deltas without any per-event container churn.
 """
 
 from __future__ import annotations
@@ -16,13 +25,23 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Deque, List, Optional, Tuple
 
+#: Sentinel returned by :meth:`WindowBuffer.push` when nothing was evicted
+#: (distinguishable from a legitimately stored ``None`` payload).
+NO_VALUE = object()
+
 
 class Window(ABC):
     """Specification of a sliding window (shared by all writers of a query)."""
 
     @abstractmethod
-    def make_buffer(self) -> "WindowBuffer":
-        """Create a fresh per-writer buffer implementing this policy."""
+    def make_buffer(self, scalar: bool = False) -> "WindowBuffer":
+        """Create a fresh per-writer buffer implementing this policy.
+
+        ``scalar=True`` requests ring-buffer storage for numeric raws;
+        callers should only pass it when every stream value is a number
+        (the columnar runtime keys this off the aggregate's
+        ``column_spec.scalar_raws``).
+        """
 
     @abstractmethod
     def expected_size(self, write_rate: float = 1.0) -> float:
@@ -41,7 +60,11 @@ class TupleWindow(Window):
         if self.size < 1:
             raise ValueError("window size must be >= 1")
 
-    def make_buffer(self) -> "WindowBuffer":
+    def make_buffer(self, scalar: bool = False) -> "WindowBuffer":
+        if scalar:
+            if self.size == 1:
+                return _ScalarUnitBuffer()
+            return _ScalarTupleBuffer(self.size)
         return _TupleBuffer(self.size)
 
     def expected_size(self, write_rate: float = 1.0) -> float:
@@ -58,7 +81,9 @@ class TimeWindow(Window):
         if self.duration <= 0:
             raise ValueError("window duration must be positive")
 
-    def make_buffer(self) -> "WindowBuffer":
+    def make_buffer(self, scalar: bool = False) -> "WindowBuffer":
+        if scalar:
+            return _ScalarTimeBuffer(self.duration)
         return _TimeBuffer(self.duration)
 
     def expected_size(self, write_rate: float = 1.0) -> float:
@@ -89,6 +114,18 @@ class WindowBuffer(ABC):
     @abstractmethod
     def next_expiry(self) -> Optional[float]:
         """Timestamp at which the oldest live value expires, if any."""
+
+    def push(self, value: Any, timestamp: float) -> Any:
+        """Allocation-free append for tuple-window buffers.
+
+        Returns the single evicted value, or :data:`NO_VALUE` when the
+        insertion evicted nothing.  Only valid for policies that evict at
+        most one value per insertion (tuple windows); time-window callers
+        must use :meth:`append`.  Ring buffers override this with a
+        zero-allocation implementation.
+        """
+        evicted = self.append(value, timestamp)
+        return evicted[0] if evicted else NO_VALUE
 
     def __len__(self) -> int:
         return len(self.values())
@@ -147,3 +184,161 @@ class _TimeBuffer(WindowBuffer):
 
     def __len__(self) -> int:
         return len(self._items)
+
+
+class _ScalarUnitBuffer(WindowBuffer):
+    """``ROWS 1`` (latest value per writer): a one-slot swap.
+
+    The degenerate but very common tuple window — every insertion simply
+    replaces the previous value, so :meth:`push` is a two-operation swap.
+    """
+
+    __slots__ = ("_slot",)
+
+    def __init__(self) -> None:
+        self._slot: Any = NO_VALUE
+
+    def push(self, value: Any, timestamp: float) -> Any:
+        old = self._slot
+        self._slot = value
+        return old
+
+    def append(self, value: Any, timestamp: float) -> List[Any]:
+        old = self.push(value, timestamp)
+        return [] if old is NO_VALUE else [old]
+
+    def evict_until(self, timestamp: float) -> List[Any]:
+        return []
+
+    def values(self) -> List[Any]:
+        return [] if self._slot is NO_VALUE else [self._slot]
+
+    def next_expiry(self) -> Optional[float]:
+        return None
+
+    def __len__(self) -> int:
+        return 0 if self._slot is NO_VALUE else 1
+
+
+class _ScalarTupleBuffer(WindowBuffer):
+    """Tuple window over scalar raws: a fixed-capacity slot ring.
+
+    Live values occupy preallocated slots overwritten in place, so the
+    :meth:`push` fast path performs zero container allocation per event —
+    the win over the deque buffer is no eviction-list construction and no
+    deque block management on the ingestion hot path.
+    """
+
+    __slots__ = ("_size", "_slots", "_start", "_count")
+
+    def __init__(self, size: int) -> None:
+        self._size = size
+        self._slots: List[Any] = [None] * size
+        self._start = 0
+        self._count = 0
+
+    def push(self, value: Any, timestamp: float) -> Any:
+        if self._count == self._size:
+            start = self._start
+            slots = self._slots
+            old = slots[start]
+            slots[start] = value
+            start += 1
+            self._start = 0 if start == self._size else start
+            return old
+        self._slots[(self._start + self._count) % self._size] = value
+        self._count += 1
+        return NO_VALUE
+
+    def append(self, value: Any, timestamp: float) -> List[Any]:
+        evicted = self.push(value, timestamp)
+        return [] if evicted is NO_VALUE else [evicted]
+
+    def evict_until(self, timestamp: float) -> List[Any]:
+        return []
+
+    def values(self) -> List[Any]:
+        slots = self._slots
+        size = self._size
+        start = self._start
+        return [slots[(start + i) % size] for i in range(self._count)]
+
+    def next_expiry(self) -> Optional[float]:
+        return None
+
+    def __len__(self) -> int:
+        return self._count
+
+
+class _ScalarTimeBuffer(WindowBuffer):
+    """Time window over scalar raws: a growable slot ring of (ts, value).
+
+    Semantics mirror :class:`_TimeBuffer` exactly — non-decreasing
+    timestamps enforced, an append first evicts everything at or past the
+    cutoff — but entries live in amortized-doubling preallocated slots
+    instead of per-entry deque tuples.
+    """
+
+    __slots__ = ("_duration", "_ts", "_vals", "_start", "_count")
+
+    def __init__(self, duration: float) -> None:
+        self._duration = duration
+        self._ts: List[float] = [0.0] * 16
+        self._vals: List[Any] = [None] * 16
+        self._start = 0
+        self._count = 0
+
+    def _grow(self) -> None:
+        capacity = len(self._ts)
+        start = self._start
+        order = [(start + i) % capacity for i in range(self._count)]
+        self._ts = [self._ts[i] for i in order] + [0.0] * capacity
+        self._vals = [self._vals[i] for i in order] + [None] * capacity
+        self._start = 0
+
+    def append(self, value: Any, timestamp: float) -> List[Any]:
+        count = self._count
+        if count:
+            last = self._ts[(self._start + count - 1) % len(self._ts)]
+            if timestamp < last:
+                raise ValueError(
+                    "timestamps must be non-decreasing within a writer's stream"
+                )
+        evicted = self.evict_until(timestamp)
+        if self._count == len(self._ts):
+            self._grow()
+        slot = (self._start + self._count) % len(self._ts)
+        self._ts[slot] = timestamp
+        self._vals[slot] = value
+        self._count += 1
+        return evicted
+
+    def evict_until(self, timestamp: float) -> List[Any]:
+        cutoff = timestamp - self._duration
+        evicted: List[Any] = []
+        ts = self._ts
+        vals = self._vals
+        capacity = len(ts)
+        start = self._start
+        count = self._count
+        while count and ts[start] <= cutoff:
+            evicted.append(vals[start])
+            start = (start + 1) % capacity
+            count -= 1
+        self._start = start
+        self._count = count
+        return evicted
+
+    def values(self) -> List[Any]:
+        vals = self._vals
+        capacity = len(vals)
+        start = self._start
+        return [vals[(start + i) % capacity] for i in range(self._count)]
+
+    def next_expiry(self) -> Optional[float]:
+        if not self._count:
+            return None
+        return self._ts[self._start] + self._duration
+
+    def __len__(self) -> int:
+        return self._count

@@ -31,7 +31,7 @@ class StructureOp(enum.Enum):
     REMOVE_EDGE = "remove_edge"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class StructureEvent:
     """One entry of the structure stream ``S_G``."""
 
@@ -46,7 +46,7 @@ class StructureEvent:
             raise ValueError(f"{self.op} requires both endpoints")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteEvent:
     """A content update ("write on v"): node ``node`` emitted ``value``."""
 
@@ -55,7 +55,7 @@ class WriteEvent:
     timestamp: float = 0.0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadEvent:
     """A read on ``node``: request for the current value of F(N(node))."""
 

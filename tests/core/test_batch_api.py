@@ -170,8 +170,11 @@ def test_batch_with_interleaved_structure_events(aggregate_name):
             num_events=300,
             structure_fraction=0.08,
         )
-        # Plans were actually exercised and actually invalidated.
-        assert engine_b.runtime.plan_compiles > 0
+        # Plans were actually exercised and actually invalidated (the
+        # columnar backend batches through the scatter table instead of
+        # per-writer plans).
+        runtime = engine_b.runtime
+        assert runtime.plan_compiles > 0 or runtime.scatter_builds > 0
 
 
 def test_batch_with_adaptive_decision_flips():
@@ -268,7 +271,8 @@ def test_batched_observed_push_matches_per_event():
         engine_a.write(node, value, timestamp)
     for start in range(0, len(writes), 32):
         engine_b.write_batch(writes[start : start + 32])
-    assert engine_a.runtime.observed_push == engine_b.runtime.observed_push
+    # (list() both sides: the columnar backend keeps these as numpy arrays)
+    assert list(engine_a.runtime.observed_push) == list(engine_b.runtime.observed_push)
     # ...while the *work* counter reflects the coalescing savings
     assert engine_b.counters.push_ops <= engine_a.counters.push_ops
 

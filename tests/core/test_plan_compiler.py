@@ -35,11 +35,18 @@ class TestPlanCaching:
         assert rt.plan_compiles == 2
 
     def test_pull_plan_compiled_once_per_reader(self):
+        # The object backend compiles one monolithic pull plan; the
+        # columnar backend compiles one segment per pull node on the path.
+        # Either way the first read pays for compilation and later reads
+        # hit the cache.
         ov, w, (r1, r2), pa = shared_overlay()
         rt = Runtime(ov, EgoQuery(aggregate=Sum()))
-        for _ in range(4):
+        rt.read("r1")
+        after_first = rt.plan_compiles
+        assert after_first >= 1
+        for _ in range(3):
             rt.read("r1")
-        assert rt.plan_compiles == 1
+        assert rt.plan_compiles == after_first
 
     def test_plan_replays_interpreter_exactly(self):
         """Compiled execution matches the uncompiled micro-step reference
@@ -64,9 +71,14 @@ class TestPlanCaching:
                 message = reference.writer_step(handle, [value], evicted)
                 if message is not None:
                     reference.propagate_from(handle, message)
-            assert compiled.values == reference.values
+            # element-wise: the store may be a columnar wrapper, and the
+            # observed counters numpy arrays
+            n = compiled.overlay.num_nodes
+            assert [compiled.values[h] for h in range(n)] == [
+                reference.values[h] for h in range(n)
+            ]
             assert compiled.counters.push_ops == reference.counters.push_ops
-            assert compiled.observed_push == reference.observed_push
+            assert list(compiled.observed_push) == list(reference.observed_push)
 
     def test_compiled_pull_matches_reference_pull(self):
         ov, w, (r1, r2), pa = shared_overlay()
