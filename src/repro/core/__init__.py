@@ -27,6 +27,7 @@ from repro.core.execution import Runtime, RuntimeCounters, TraceOp
 from repro.core.overlay import Decision, NodeKind, Overlay, OverlayError
 from repro.core.partitioned import PartitionedEngine, community_assignment
 from repro.core.query import EgoQuery, QueryMode
+from repro.core.shards import ShardExecution
 from repro.core.windows import TimeWindow, TupleWindow, Window, WindowBuffer
 
 __all__ = [
@@ -62,6 +63,7 @@ __all__ = [
     "community_assignment",
     "EgoQuery",
     "QueryMode",
+    "ShardExecution",
     "TimeWindow",
     "TupleWindow",
     "Window",

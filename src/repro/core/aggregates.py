@@ -53,6 +53,53 @@ class AggregateError(Exception):
     """Raised on misuse of the aggregate API (e.g. subtracting a MAX)."""
 
 
+# -- column pack/unpack kernels ---------------------------------------------
+# Module-level named functions (not lambdas) so ColumnSpec instances — and
+# everything holding one, e.g. a ColumnarStore travelling to a shard worker
+# process — survive pickling.
+
+
+def _pack_identity(pao: PAO) -> Tuple[Any, ...]:
+    return (pao,)
+
+
+def _unpack_identity(cols: Tuple[Any, ...]) -> PAO:
+    return cols[0]
+
+
+def _pack_float(pao: PAO) -> Tuple[float]:
+    return (float(pao),)
+
+
+def _unpack_float(cols: Tuple[Any, ...]) -> float:
+    return float(cols[0])
+
+
+def _pack_int(pao: PAO) -> Tuple[int]:
+    return (int(pao),)
+
+
+def _unpack_int(cols: Tuple[Any, ...]) -> int:
+    return int(cols[0])
+
+
+def _pack_float_int(pao: PAO) -> Tuple[float, int]:
+    return (float(pao[0]), int(pao[1]))
+
+
+def _unpack_float_int(cols: Tuple[Any, ...]) -> Tuple[float, int]:
+    return (float(cols[0]), int(cols[1]))
+
+
+def _pack_optional_float(pao: PAO) -> Tuple[float]:
+    return (float("nan") if pao is None else float(pao),)
+
+
+def _unpack_optional_float(cols: Tuple[Any, ...]) -> Optional[float]:
+    # nan != nan encodes the lattice identity (empty window) as None.
+    return None if cols[0] != cols[0] else float(cols[0])
+
+
 @dataclass(frozen=True)
 class ColumnSpec:
     """Declarative columnar layout of a PAO for the columnar value store.
@@ -101,8 +148,8 @@ class ColumnSpec:
     merge_ufunc: str  # "add" | "maximum" | "minimum"
     sources: Optional[Tuple[str, ...]] = None
     scalar_raws: bool = True
-    pack: Callable[[PAO], Tuple[Any, ...]] = lambda pao: (pao,)
-    unpack: Callable[[Tuple[Any, ...]], PAO] = lambda cols: cols[0]
+    pack: Callable[[PAO], Tuple[Any, ...]] = _pack_identity
+    unpack: Callable[[Tuple[Any, ...]], PAO] = _unpack_identity
 
     def __post_init__(self) -> None:
         if self.kind not in ("delta", "lattice"):
@@ -226,8 +273,8 @@ class Sum(AggregateFunction):
         kind="delta",
         merge_ufunc="add",
         sources=("value",),
-        pack=lambda pao: (float(pao),),
-        unpack=lambda cols: float(cols[0]),
+        pack=_pack_float,
+        unpack=_unpack_float,
     )
 
     def identity(self) -> float:
@@ -261,8 +308,8 @@ class Count(AggregateFunction):
         merge_ufunc="add",
         sources=("count",),
         scalar_raws=False,
-        pack=lambda pao: (int(pao),),
-        unpack=lambda cols: int(cols[0]),
+        pack=_pack_int,
+        unpack=_unpack_int,
     )
 
     def identity(self) -> int:
@@ -300,8 +347,8 @@ class Mean(AggregateFunction):
         kind="delta",
         merge_ufunc="add",
         sources=("value", "count"),
-        pack=lambda pao: (float(pao[0]), int(pao[1])),
-        unpack=lambda cols: (float(cols[0]), int(cols[1])),
+        pack=_pack_float_int,
+        unpack=_unpack_float_int,
     )
 
     def identity(self) -> Tuple[float, int]:
@@ -441,8 +488,8 @@ class Max(AggregateFunction):
         fills=(float("nan"),),
         kind="lattice",
         merge_ufunc="maximum",
-        pack=lambda pao: (float("nan") if pao is None else float(pao),),
-        unpack=lambda cols: None if cols[0] != cols[0] else float(cols[0]),
+        pack=_pack_optional_float,
+        unpack=_unpack_optional_float,
     )
 
     def identity(self) -> Optional[float]:
@@ -486,8 +533,8 @@ class Min(AggregateFunction):
         fills=(float("nan"),),
         kind="lattice",
         merge_ufunc="minimum",
-        pack=lambda pao: (float("nan") if pao is None else float(pao),),
-        unpack=lambda cols: None if cols[0] != cols[0] else float(cols[0]),
+        pack=_pack_optional_float,
+        unpack=_unpack_optional_float,
     )
 
     def identity(self) -> Optional[float]:

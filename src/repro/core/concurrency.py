@@ -60,6 +60,16 @@ class ThreadedEngine:
         self._locks = [threading.Lock() for _ in range(self.runtime.overlay.num_nodes)]
         self._tasks: "queue.Queue[Optional[Tuple]]" = queue.Queue()
         self._clock_lock = threading.Lock()
+        self._closed = False
+        # Serializes the closed-check + enqueue against shutdown's flag
+        # flip: without it a submission racing close() could land behind
+        # the worker sentinels — silently dropped, and a later drain()
+        # would block forever on its unfinished-task count.
+        self._submit_lock = threading.Lock()
+        # Writer handles touched by accepted submissions; changed_readers()
+        # maps them through the runtime's compiled reader closures.
+        self._touched_writers: Dict[int, None] = {}
+        self._touched_lock = threading.Lock()
         self._workers = [
             threading.Thread(target=self._worker, daemon=True)
             for _ in range(write_threads)
@@ -79,7 +89,10 @@ class ThreadedEngine:
         self, node: NodeId, value: Any, timestamp: Optional[float] = None
     ) -> None:
         """Enqueue a write; pool workers process it asynchronously."""
-        self._tasks.put(("write", node, value, timestamp))
+        self._track_writer(node)
+        with self._submit_lock:
+            self._check_open()
+            self._tasks.put(("write", node, value, timestamp))
 
     def submit_write_batch(self, writes: Sequence) -> None:
         """Enqueue a batch of writes as one micro-task.
@@ -90,7 +103,34 @@ class ThreadedEngine:
         costs one queue round-trip and one writer-lock acquisition per
         writer instead of per event.
         """
-        self._tasks.put(("write_batch", list(writes)))
+        items = list(writes)
+        writer_of = self.runtime.overlay.writer_of
+        with self._touched_lock:
+            touched = self._touched_writers
+            for item in items:
+                node = item[0] if item.__class__ is tuple else item.node
+                handle = writer_of.get(node)
+                if handle is not None:
+                    touched[handle] = None
+        with self._submit_lock:
+            self._check_open()
+            self._tasks.put(("write_batch", items))
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("ThreadedEngine is closed")
+
+    def _track_writer(self, node: NodeId) -> None:
+        handle = self.runtime.overlay.writer_of.get(node)
+        if handle is not None:
+            with self._touched_lock:
+                self._touched_writers[handle] = None
+
+    def write_batch(self, writes: Sequence) -> int:
+        """Shard-protocol batch write: accept asynchronously, return count."""
+        items = list(writes)
+        self.submit_write_batch(items)
+        return len(items)
 
     def _worker(self) -> None:
         while True:
@@ -205,6 +245,35 @@ class ThreadedEngine:
             runtime.counters.pull_ops += 1
         return acc
 
+    def read_batch(self, nodes: Sequence[NodeId]) -> List[Any]:
+        """Shard-protocol batch read: drain pending writes, then read.
+
+        The protocol requires reads to observe every *accepted* write, so
+        the queue quiesces first; individual reads then run under the
+        usual per-node locks.
+        """
+        self.drain()
+        read = self.read
+        return [read(node) for node in nodes]
+
+    def changed_readers(self) -> List[NodeId]:
+        """Readers downstream of any writer touched since the last call.
+
+        A *candidate* set (as the shard protocol allows): submission-time
+        tracking cannot see which micro-tasks were value no-ops, so every
+        reader downstream of a touched writer is reported; consumers diff
+        values before acting.  Drains first so reported readers reflect
+        fully-applied state.
+        """
+        self.drain()
+        with self._touched_lock:
+            touched = list(self._touched_writers)
+            self._touched_writers.clear()
+        # The runtime's own report (fed by per-event paths) is superseded
+        # by submission tracking here; drop it so it cannot grow unbounded.
+        self.runtime.pop_changed_writers()
+        return self.runtime.changed_readers(touched)
+
     # -- lifecycle ---------------------------------------------------------
 
     def drain(self) -> None:
@@ -212,12 +281,26 @@ class ThreadedEngine:
         self._tasks.join()
 
     def shutdown(self) -> None:
-        """Drain outstanding writes and stop the worker threads."""
+        """Drain outstanding writes and stop the worker threads.
+
+        Flushes rather than drops: every write accepted before the call is
+        applied before the workers exit.  Idempotent.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+        # Every submission either enqueued before the flag flipped (the
+        # drain below applies it) or observes the flag and raises.
         self.drain()
         for _ in self._workers:
             self._tasks.put(None)
         for worker in self._workers:
             worker.join(timeout=5)
+
+    def close(self) -> None:
+        """Shard-protocol alias for :meth:`shutdown` (flush, then stop)."""
+        self.shutdown()
 
 
 # ---------------------------------------------------------------------------

@@ -227,6 +227,26 @@ class EAGrEngine:
             self.controller.tick(len(results))
         return results
 
+    # ------------------------------------------------------------------
+    # shard-execution protocol (repro.core.shards.ShardExecution)
+    # ------------------------------------------------------------------
+
+    def changed_readers(self) -> List[NodeId]:
+        """Reader nodes whose value changed since the last call.
+
+        Consumes the runtime's changed-writer report and maps it through
+        the compiled per-writer reader closures — O(affected readers).
+        The serve layer's subscription diffing is built on this.
+        """
+        self._sync()
+        return self.runtime.changed_readers()
+
+    def drain(self) -> None:
+        """Synchronous engine: every accepted write is already applied."""
+
+    def close(self) -> None:
+        """Synchronous engine: nothing to flush or release."""
+
     def apply_structure_event(self, event: StructureEvent) -> None:
         """Apply one structure-stream event to the data graph.
 
@@ -273,8 +293,10 @@ class EAGrEngine:
 
     def _recompile(self) -> None:
         """Full re-compilation (no maintainer): rebuild AG, overlay,
-        decisions and runtime, preserving writer window buffers."""
+        decisions and runtime, preserving writer window buffers and the
+        pending changed-writer report (both keyed by graph node id)."""
         buffers = self.runtime.buffers
+        pending_changes = self.runtime._changed_writers
         self._oracle_members.clear()
         self.ag = build_bipartite(
             self.graph, self.query.neighborhood, self.query.predicate
@@ -291,6 +313,7 @@ class EAGrEngine:
             collect_trace=self._collect_trace,
             value_store=self.value_store,
         )
+        self.runtime._changed_writers.update(pending_changes)
         if self.controller is not None:
             self.controller = AdaptiveController(
                 self.runtime, self.cost_model, self.controller.config

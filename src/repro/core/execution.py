@@ -73,6 +73,17 @@ both the scatter table and the segments ride the existing dependency
 -indexed invalidation, so overlay surgery resizes and remaps columns
 through the same dirty-set machinery as the plans.
 
+Changed-reader reporting
+------------------------
+Every write path records the writers whose value actually moved;
+:meth:`Runtime.changed_readers` maps that pending set through compiled
+per-writer **reader closures** (the full downstream reader set, push and
+pull alike, cached and invalidated through the same dependency index as
+the plans) and returns the reader nodes whose aggregates may have
+changed.  The serving layer (:mod:`repro.serve`) diffs exactly these
+candidates after each batch, which keeps continuous-subscription
+notification work O(affected readers) instead of O(subscribers).
+
 The runtime also counts *observed* push and pull frequencies per node —
 including would-be pushes blocked at the frontier — which the adaptive
 controller (Section 4.8) consumes, and can record a micro-operation trace
@@ -99,7 +110,15 @@ from typing import (
 
 from repro.core import statestore as _statestore
 from repro.core.aggregates import NEED_RECOMPUTE
-from repro.core.overlay import Decision, KIND_WRITER, NodeKind, Overlay, OverlayCSR, OverlayError
+from repro.core.overlay import (
+    Decision,
+    KIND_READER,
+    KIND_WRITER,
+    NodeKind,
+    Overlay,
+    OverlayCSR,
+    OverlayError,
+)
 from repro.core.query import EgoQuery
 from repro.core.statestore import make_value_store
 from repro.core.windows import NO_VALUE, TimeWindow, TupleWindow, WindowBuffer
@@ -112,7 +131,7 @@ PAO = Any
 _OP_LEAF, _OP_ENTER, _OP_EXIT = 0, 1, 2
 
 #: Plan-kind codes for the dependency-indexed invalidation registry.
-_PLAN_PUSH, _PLAN_PULL, _PLAN_SEGMENT = 0, 1, 2
+_PLAN_PUSH, _PLAN_PULL, _PLAN_SEGMENT, _PLAN_READERS = 0, 1, 2, 3
 
 #: Distinguishes "memo maps this key to None" from "no memo entry".
 _MISS = object()
@@ -269,6 +288,25 @@ class PullSegment:
         self.touched = touched
 
 
+class ReaderClosure:
+    """One writer's downstream reader set, compiled for change reporting.
+
+    ``readers`` holds the *data-graph node ids* of every reader reachable
+    from the writer in the overlay — regardless of push/pull decisions,
+    because a pull reader's value changes just as much when an upstream
+    writer moves (it is merely computed on demand).  ``touched`` indexes
+    the closure into the same dependency-indexed invalidation registry as
+    the propagation plans, so overlay surgery drops exactly the closures
+    it reroutes.
+    """
+
+    __slots__ = ("readers", "touched")
+
+    def __init__(self, readers: Tuple[NodeId, ...], touched: FrozenSet[int]) -> None:
+        self.readers = readers
+        self.touched = touched
+
+
 class _ScatterTable:
     """Ragged per-writer frontiers, frozen for whole-batch scatters.
 
@@ -389,6 +427,15 @@ class Runtime:
         self._push_plans: Dict[int, PushPlan] = {}
         self._pull_plans: Dict[int, PullPlan] = {}
         self._pull_segments: Dict[int, PullSegment] = {}
+        self._reader_closures: Dict[int, ReaderClosure] = {}
+        # Writers whose value changed since the last pop_changed_writers()
+        # (dict-as-ordered-set: first-touch order), keyed by *graph node
+        # id* — like the window buffers — so the pending report survives
+        # overlay rebuilds that remap the handle space.  The serve layer
+        # turns this into the set of egos to diff for subscription
+        # notifications, which is what keeps notification work O(affected
+        # readers) instead of O(subscribers).
+        self._changed_writers: Dict[NodeId, None] = {}
         self._plan_deps: Dict[int, Set[Tuple[int, int]]] = {}
         self._out_cache: Dict[int, List[Tuple[int, int, bool, int]]] = {}
         self._csr: Optional[OverlayCSR] = None
@@ -568,11 +615,15 @@ class Runtime:
         self._out_cache.clear()
         if handles is None:
             self.plan_invalidations += (
-                len(self._push_plans) + len(self._pull_plans) + len(self._pull_segments)
+                len(self._push_plans)
+                + len(self._pull_plans)
+                + len(self._pull_segments)
+                + len(self._reader_closures)
             )
             self._push_plans.clear()
             self._pull_plans.clear()
             self._pull_segments.clear()
+            self._reader_closures.clear()
             self._plan_deps.clear()
             return
         deps = self._plan_deps
@@ -587,7 +638,9 @@ class Runtime:
             return self._push_plans
         if kind == _PLAN_PULL:
             return self._pull_plans
-        return self._pull_segments
+        if kind == _PLAN_SEGMENT:
+            return self._pull_segments
+        return self._reader_closures
 
     def _drop_plan(self, key: Tuple[int, int]) -> None:
         kind, root = key
@@ -741,6 +794,85 @@ class Runtime:
         self._register_plan(_PLAN_SEGMENT, node, segment.touched)
         return segment
 
+    def _compile_reader_closure(self, writer: int) -> ReaderClosure:
+        """Freeze the set of reader nodes downstream of ``writer``.
+
+        The traversal follows *every* overlay edge (not just push edges):
+        a changed writer affects each reachable reader's value whether that
+        reader materializes it eagerly or computes it on demand.  Reader
+        node ids are collected in visit order and deduplicated.
+        """
+        csr = self._ensure_csr()
+        out_indptr = csr.out_indptr
+        out_indices = csr.out_indices
+        kinds = csr.kinds
+        labels = self.overlay.labels
+        touched = {writer}
+        readers: Dict[NodeId, None] = {}
+        stack = [writer]
+        while stack:
+            node = stack.pop()
+            for i in range(out_indptr[node], out_indptr[node + 1]):
+                dst = out_indices[i]
+                if dst in touched:
+                    continue
+                touched.add(dst)
+                if kinds[dst] == KIND_READER:
+                    readers[labels[dst]] = None
+                else:
+                    stack.append(dst)
+        closure = ReaderClosure(tuple(readers), frozenset(touched))
+        self._reader_closures[writer] = closure
+        self._register_plan(_PLAN_READERS, writer, closure.touched)
+        return closure
+
+    # ------------------------------------------------------------------
+    # changed-reader reporting (continuous subscriptions)
+    # ------------------------------------------------------------------
+
+    def pop_changed_writers(self) -> List[int]:
+        """Writer handles whose value changed since the last pop.
+
+        Every write path records the writers it actually moved (zero-delta
+        writers are skipped exactly where propagation skips them).  The
+        pending set is keyed by graph node id, so it survives overlay
+        rebuilds: stale entries map to the writer's *current* handle, and
+        writers removed from the overlay drop out silently.
+        """
+        if not self._changed_writers:
+            return []
+        writer_of = self.overlay.writer_of
+        changed = [
+            writer_of[node]
+            for node in self._changed_writers
+            if node in writer_of
+        ]
+        self._changed_writers.clear()
+        return changed
+
+    def changed_readers(self, writers: Optional[Iterable[int]] = None) -> List[NodeId]:
+        """Reader nodes whose aggregate may have changed.
+
+        Maps ``writers`` (default: :meth:`pop_changed_writers`) through the
+        compiled per-writer reader closures and deduplicates, so the cost is
+        O(affected readers), not O(all readers).  The result is a *candidate*
+        set: a reader is included when an upstream writer moved, even if
+        cancellation (e.g. a MAX that did not grow) leaves its final value
+        unchanged — consumers diff actual values before notifying.
+        """
+        if writers is None:
+            writers = self.pop_changed_writers()
+        self._check_plans()
+        closures = self._reader_closures
+        result: Dict[NodeId, None] = {}
+        for writer in writers:
+            closure = closures.get(writer)
+            if closure is None:
+                closure = self._compile_reader_closure(writer)
+            for reader in closure.readers:
+                result[reader] = None
+        return list(result)
+
     def _build_scatter_table(self) -> _ScatterTable:
         """Freeze every writer's compiled push frontier into ragged rows.
 
@@ -826,6 +958,7 @@ class Runtime:
             self.trace.append(TraceOp(handle, "write", 1))
         message = self.writer_step(handle, [value], evicted)
         if message is not None:
+            self._changed_writers[node] = None
             self._propagate(handle, message)
 
     def write_batch(self, writes: Sequence) -> int:
@@ -912,6 +1045,8 @@ class Runtime:
             plans = self._push_plans
             observed = self.observed_push
             values = self.values.data
+            changed = self._changed_writers
+            labels = self.overlay.labels
             push_ops = 0
             for handle, (added, evicted) in pending.items():
                 delta = identity
@@ -921,6 +1056,7 @@ class Runtime:
                     delta = delta - lift(raw)
                 if delta == identity:
                     continue
+                changed[labels[handle]] = None
                 values[handle] = values[handle] + delta
                 plan = plans.get(handle)
                 if plan is None:
@@ -933,9 +1069,11 @@ class Runtime:
                 push_ops += plan.push_count
             self.counters.push_ops += push_ops
             return
+        labels = self.overlay.labels
         for handle, (added, evicted) in pending.items():
             message = self.writer_step(handle, added, evicted)
             if message is not None:
+                self._changed_writers[labels[handle]] = None
                 self._propagate(handle, message, len(added) or 1)
 
     # ------------------------------------------------------------------
@@ -1269,6 +1407,10 @@ class Runtime:
         """
         if not writers:
             return
+        changed = self._changed_writers
+        labels = self.overlay.labels
+        for writer in writers:
+            changed[labels[writer]] = None
         np = _statestore._np
         table = self._scatter
         if table is None:
@@ -1486,6 +1628,7 @@ class Runtime:
     ) -> None:
         message = self.writer_step(handle, added, evicted)
         if message is not None:
+            self._changed_writers[self.overlay.labels[handle]] = None
             self._propagate(handle, message)
 
     # ------------------------------------------------------------------

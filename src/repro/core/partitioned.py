@@ -66,12 +66,7 @@ class PartitionedEngine:
         self.query = query
         self.num_shards = num_shards
         self.value_store = value_store
-        self._assign = assign or (lambda node: _stable_hash(node) % num_shards)
-
-        self.reader_shard: Dict[NodeId, int] = {}
-        for node in graph.nodes():
-            if query.predicate is None or query.predicate(node):
-                self.reader_shard[node] = self._assign(node) % num_shards
+        self.reader_shard = partition_readers(graph, query, num_shards, assign)
 
         base_predicate = query.predicate
         self.shards: List[EAGrEngine] = []
@@ -153,6 +148,31 @@ class PartitionedEngine:
         return results
 
     # ------------------------------------------------------------------
+    # shard-execution protocol (repro.core.shards.ShardExecution)
+    # ------------------------------------------------------------------
+
+    def changed_readers(self) -> List[NodeId]:
+        """Union of every shard's changed-reader report, shard order.
+
+        Reader partitions are disjoint, so no cross-shard deduplication is
+        needed; each shard consumes its own runtime report.
+        """
+        changed: List[NodeId] = []
+        for shard in self.shards:
+            changed.extend(shard.changed_readers())
+        return changed
+
+    def drain(self) -> None:
+        """In-process shards apply writes synchronously; nothing pends."""
+        for shard in self.shards:
+            shard.drain()
+
+    def close(self) -> None:
+        """Close every shard (synchronous engines: a no-op flush)."""
+        for shard in self.shards:
+            shard.close()
+
+    # ------------------------------------------------------------------
 
     @property
     def replication_factor(self) -> float:
@@ -204,6 +224,27 @@ def _stable_hash(node: NodeId) -> int:
     import zlib
 
     return zlib.crc32(repr(node).encode())
+
+
+def partition_readers(
+    graph: DynamicGraph,
+    query: EgoQuery,
+    num_shards: int,
+    assign: Optional[Callable[[NodeId], int]] = None,
+) -> Dict[NodeId, int]:
+    """Reader node → owning shard for every pred-selected graph node.
+
+    The single source of the reader partition, shared by
+    :class:`PartitionedEngine` and the serving layer's ``EAGrServer`` so
+    the predicate/assignment semantics cannot drift apart.  ``assign``
+    defaults to the process-independent stable hash.
+    """
+    assign = assign or (lambda node: _stable_hash(node) % num_shards)
+    reader_shard: Dict[NodeId, int] = {}
+    for node in graph.nodes():
+        if query.predicate is None or query.predicate(node):
+            reader_shard[node] = assign(node) % num_shards
+    return reader_shard
 
 
 def community_assignment(

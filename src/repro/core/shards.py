@@ -1,0 +1,60 @@
+"""The shard-execution protocol: one interface for every shard backend.
+
+A *shard* is anything that can stand behind a slice of the reader space and
+absorb the serving layer's traffic: the single-process
+:class:`~repro.core.engine.EAGrEngine`, the thread-pool
+:class:`~repro.core.concurrency.ThreadedEngine`, the in-process multi-shard
+:class:`~repro.core.partitioned.PartitionedEngine`, and the serve layer's
+in-process and worker-process shard hosts (:mod:`repro.serve.shard`) all
+implement this protocol, so routing and subscription code is written once
+against it.
+
+The contract:
+
+* ``write_batch(writes) -> int`` — absorb a batch of content updates (the
+  usual ``(node, value[, timestamp])`` tuples or WriteEvent-like objects)
+  and return how many were accepted.  Asynchronous backends may defer the
+  actual application; ``drain()`` is the barrier.
+* ``read_batch(nodes) -> list`` — evaluate the standing query at each node,
+  observing every write the backend has *accepted* before this call (an
+  asynchronous backend drains first).
+* ``changed_readers() -> list`` — reader nodes whose aggregate value may
+  have changed since the previous call (a superset is allowed — consumers
+  diff values before acting; an empty list means "nothing changed").  This
+  is the signal continuous subscriptions are built on.
+* ``drain()`` — block until every accepted write is applied.
+* ``close()`` — flush pending work, then release resources.  ``close`` on
+  an already-closed shard is a no-op.  Closing **flushes rather than
+  drops**: writes accepted before ``close`` are visible to a final read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Protocol, Sequence, runtime_checkable
+
+NodeId = Hashable
+
+
+@runtime_checkable
+class ShardExecution(Protocol):
+    """Structural interface every shard backend satisfies (see module doc)."""
+
+    def write_batch(self, writes: Sequence) -> int:
+        """Accept a batch of writes; returns the number accepted."""
+        ...
+
+    def read_batch(self, nodes: Sequence[NodeId]) -> List[Any]:
+        """Evaluate the query at each node (after draining pending writes)."""
+        ...
+
+    def changed_readers(self) -> List[NodeId]:
+        """Reader nodes possibly changed since the last call (consumed)."""
+        ...
+
+    def drain(self) -> None:
+        """Block until every accepted write has been applied."""
+        ...
+
+    def close(self) -> None:
+        """Flush pending writes, then release resources (idempotent)."""
+        ...

@@ -129,6 +129,17 @@ class DynamicGraph:
     def unsubscribe(self, listener: Callable[[StructureEvent], None]) -> None:
         self._listeners.remove(listener)
 
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the structure only: listeners are process-local callbacks
+        (e.g. an attached overlay maintainer) and never travel — a shard
+        worker process receiving this graph re-attaches its own."""
+        state = self.__dict__.copy()
+        state["_listeners"] = []
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+
     def _emit(self, op: StructureOp, u: NodeId, v: Optional[NodeId] = None) -> None:
         self._clock += 1
         if not self._listeners:

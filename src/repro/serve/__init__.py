@@ -1,0 +1,41 @@
+"""The sharded serving layer: continuous ego-centric aggregates as a service.
+
+EAGr's queries are *standing* queries: a subscriber wants ``F(N(ego))``
+pushed whenever the graph's content moves it (paper Section 2.1's
+continuous mode).  This package turns the single-process engine into a
+serving tier:
+
+* :class:`~repro.serve.server.EAGrServer` — the front-end.  Partitions the
+  reader space over shards, multicasts write batches to the shards that
+  need them through message-coalescing queues with bounded backpressure,
+  routes reads, and manages subscriptions.
+* :mod:`~repro.serve.shard` — the shard side: a picklable
+  :class:`~repro.serve.shard.ShardSpec` describing one shard's slice, and
+  the :class:`~repro.serve.shard.ShardHost` that builds the shard's engine
+  (columnar store + compiled plans) and serves its message loop.
+* :mod:`~repro.serve.executors` — where a shard runs: in a worker
+  **process** (``multiprocessing`` spawn, true multi-core) or in-process
+  (deterministic, for tests and CI smoke).
+
+Subscriptions are diff-based: after each applied write batch a shard asks
+its runtime for the changed-reader report (O(affected readers)), re-reads
+exactly the watched egos among them, and pushes a
+:class:`~repro.serve.messages.Notification` for every value that actually
+moved — at-least-once, monotonically stamped per subscriber.
+"""
+
+from repro.serve.executors import InProcessShardExecutor, ProcessShardExecutor
+from repro.serve.messages import Notification
+from repro.serve.server import EAGrServer, ServeError, Subscription
+from repro.serve.shard import ShardHost, ShardSpec
+
+__all__ = [
+    "EAGrServer",
+    "InProcessShardExecutor",
+    "Notification",
+    "ProcessShardExecutor",
+    "ServeError",
+    "ShardHost",
+    "ShardSpec",
+    "Subscription",
+]

@@ -1,0 +1,221 @@
+"""Where a shard runs: worker process or in-process, one interface.
+
+Both executors push request tuples at a shard and deliver reply tuples to
+an ``on_reply`` callback:
+
+* :class:`ProcessShardExecutor` — the real deployment shape.  The shard
+  host lives in its own **worker process** (``multiprocessing``, spawn
+  context by default so the shard is fully reconstructed from pickled
+  state — no fork-inherited locks or caches), fed by a *bounded* request
+  queue: :meth:`try_submit` refuses instead of blocking when the shard is
+  backed up (the front-end then coalesces), :meth:`submit` blocks — the
+  deployment's backpressure.  A drainer thread pumps the reply queue into
+  ``on_reply`` so the front-end never polls.
+* :class:`InProcessShardExecutor` — same protocol, zero processes: every
+  request executes synchronously on the caller's thread and the reply is
+  delivered before ``submit`` returns.  Deterministic and dependency-free,
+  this is the executor tests and CI smoke jobs run on.
+
+``on_reply`` may be invoked from a drainer thread (process executor) or
+the submitting thread (in-process); the front-end's handler is written to
+be thread-safe either way.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.serve.messages import OP_STOP, R_STOPPED
+from repro.serve.shard import ShardSpec, shard_worker
+
+OnReply = Callable[[Tuple], None]
+
+
+class InProcessShardExecutor:
+    """Run a shard synchronously inside the calling process."""
+
+    kind = "inprocess"
+
+    def __init__(self, spec: ShardSpec, on_reply: OnReply, queue_depth: int = 0) -> None:
+        self.shard_id = spec.shard_id
+        self._host = spec.build()
+        self._on_reply = on_reply
+        self._stopped = False
+
+    @property
+    def host(self):
+        """The live shard host (introspection for tests and examples)."""
+        return self._host
+
+    def try_submit(self, request: Tuple) -> bool:
+        """Execute immediately; an in-process shard is never backed up."""
+        self.submit(request)
+        return True
+
+    def submit(self, request: Tuple) -> None:
+        if self._stopped:
+            raise RuntimeError(f"shard {self.shard_id} executor is stopped")
+        reply = self._host.handle(request)
+        if reply[0] == R_STOPPED:
+            self._stopped = True
+        self._on_reply(reply)
+
+    def stop(self, seq: int, timeout: float = 10.0) -> None:
+        """Acknowledge a stop request (idempotent)."""
+        if not self._stopped:
+            self.submit((OP_STOP, seq))
+
+    def alive(self) -> bool:
+        return not self._stopped
+
+
+class ProcessShardExecutor:
+    """Run a shard in a dedicated worker process (spawn-safe).
+
+    Parameters
+    ----------
+    spec:
+        Pickled to the worker, which builds the shard there.
+    on_reply:
+        Invoked on this executor's drainer thread for every reply.
+    queue_depth:
+        Bound of the request queue — the backpressure window.  ``0`` means
+        unbounded (not recommended for write-heavy streams).
+    mp_context:
+        ``multiprocessing`` start method.  ``spawn`` (default) is the
+        portable, state-clean choice; ``fork`` starts faster on POSIX but
+        inherits the parent's whole heap.
+    """
+
+    kind = "process"
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        on_reply: OnReply,
+        queue_depth: int = 8,
+        mp_context: str = "spawn",
+    ) -> None:
+        import multiprocessing
+
+        self.shard_id = spec.shard_id
+        self._on_reply = on_reply
+        ctx = multiprocessing.get_context(mp_context)
+        self._requests = ctx.Queue(queue_depth) if queue_depth else ctx.Queue()
+        self._replies = ctx.Queue()
+        self._process = ctx.Process(
+            target=shard_worker,
+            args=(spec, self._requests, self._replies),
+            name=f"eagr-shard-{spec.shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        self._drainer = threading.Thread(
+            target=self._drain_replies,
+            name=f"eagr-shard-{spec.shard_id}-drainer",
+            daemon=True,
+        )
+        self._drainer.start()
+        self._stopped = False
+
+    def _drain_replies(self) -> None:
+        import queue as _queue
+
+        while True:
+            try:
+                reply = self._replies.get(timeout=0.5)
+            except _queue.Empty:
+                # A worker that died without acknowledging OP_STOP sends
+                # nothing more; once it is gone and the queue is drained,
+                # parking here forever would stall stop()'s join.
+                if not self._process.is_alive():
+                    return
+                continue
+            self._on_reply(reply)
+            if reply[0] == R_STOPPED:
+                return
+
+    def try_submit(self, request: Tuple) -> bool:
+        """Non-blocking submit; ``False`` when the shard is backed up."""
+        import queue as _queue
+
+        if self._stopped:
+            raise RuntimeError(f"shard {self.shard_id} executor is stopped")
+        try:
+            self._requests.put_nowait(request)
+            return True
+        except _queue.Full:
+            return False
+
+    def submit(self, request: Tuple) -> None:
+        """Blocking submit: waits for queue space (backpressure).
+
+        Re-checks worker liveness once a second so a crashed shard (OOM,
+        killed mid-apply) surfaces as an error instead of an unbounded
+        hang on its never-draining queue.
+        """
+        import queue as _queue
+
+        if self._stopped:
+            raise RuntimeError(f"shard {self.shard_id} executor is stopped")
+        while True:
+            try:
+                self._requests.put(request, timeout=1.0)
+                return
+            except _queue.Full:
+                if not self._process.is_alive():
+                    raise RuntimeError(
+                        f"shard {self.shard_id} worker died with a full "
+                        "request queue"
+                    ) from None
+
+    def stop(self, seq: int, timeout: float = 10.0) -> None:
+        """Send ``OP_STOP``, join worker and drainer (idempotent).
+
+        The stop request rides the same FIFO queue as everything else, so
+        the worker flushes all earlier requests before acknowledging.
+        """
+        import queue as _queue
+
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._process.is_alive():
+            try:
+                self._requests.put((OP_STOP, seq), timeout=timeout)
+            except _queue.Full:  # dead/wedged worker: fall through to kill
+                pass
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=1.0)
+        self._drainer.join(timeout=timeout)
+
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+
+EXECUTOR_KINDS = {
+    "process": ProcessShardExecutor,
+    "inprocess": InProcessShardExecutor,
+}
+
+
+def make_executor(
+    kind: str,
+    spec: ShardSpec,
+    on_reply: OnReply,
+    queue_depth: int = 8,
+    mp_context: str = "spawn",
+):
+    """Instantiate the executor ``kind`` for ``spec`` (see module doc)."""
+    if kind == "process":
+        return ProcessShardExecutor(
+            spec, on_reply, queue_depth=queue_depth, mp_context=mp_context
+        )
+    if kind == "inprocess":
+        return InProcessShardExecutor(spec, on_reply, queue_depth=queue_depth)
+    raise ValueError(
+        f"executor must be one of {sorted(EXECUTOR_KINDS)}, got {kind!r}"
+    )

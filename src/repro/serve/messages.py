@@ -1,0 +1,88 @@
+"""Wire protocol between the serving front-end and its shards.
+
+Messages are plain tuples (cheap to pickle across the process boundary, a
+few machine words in-process):
+
+Requests — ``(op, seq, *payload)``:
+
+* ``(OP_WRITE, seq, items)`` — apply a write batch; ``items`` is a list of
+  ``(node, value, timestamp)`` triples in stream order.
+* ``(OP_READ, seq, nodes)`` — evaluate the query at each node.
+* ``(OP_SUBSCRIBE, seq, subscriber, nodes)`` — start watching egos;
+  the reply carries the baseline snapshot ``{node: value}``.
+* ``(OP_UNSUBSCRIBE, seq, subscriber, nodes_or_None)`` — stop watching
+  the listed egos (``None``: all of the subscriber's egos on this shard).
+* ``(OP_DRAIN, seq)`` — barrier: the reply proves every earlier request on
+  this queue has been fully applied (the queue is FIFO and the shard loop
+  is single-threaded).
+* ``(OP_STATS, seq)`` — operational counters snapshot.
+* ``(OP_STOP, seq)`` — flush, acknowledge, exit the loop.
+
+Replies:
+
+* ``(R_WRITE, seq, count, notices)`` — write batch applied; ``notices``
+  is a list of ``(subscriber, ego, value, shard_batch)`` for every watched
+  ego whose value actually changed.
+* ``(R_OK, seq, payload)`` — success for every other op.
+* ``(R_ERR, seq, message)`` — the request raised; ``message`` is the
+  stringified error (exceptions themselves may not pickle).
+* ``(R_STOPPED, seq, None)`` — final reply after ``OP_STOP``; reply
+  drainers exit on it.
+
+``seq`` values are allocated by the front-end and unique per server, so
+replies can be matched to waiting callers from any shard's drainer thread.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+NodeId = Hashable
+
+# -- request opcodes --------------------------------------------------------
+OP_WRITE = 0
+OP_READ = 1
+OP_SUBSCRIBE = 2
+OP_UNSUBSCRIBE = 3
+OP_DRAIN = 4
+OP_STATS = 5
+OP_STOP = 6
+
+# -- reply kinds ------------------------------------------------------------
+R_OK = 0
+R_WRITE = 1
+R_ERR = 2
+R_STOPPED = 3
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    """One pushed update of a standing query: ``F(N(ego))`` changed.
+
+    Attributes
+    ----------
+    subscriber:
+        The subscriber this delivery belongs to.
+    ego:
+        The query node whose aggregate changed.
+    value:
+        The new (finalized) aggregate value.
+    stamp:
+        Per-subscriber delivery stamp, strictly monotonically increasing —
+        a consumer that sees stamp ``n`` has seen every earlier delivery
+        (at-least-once: after a shard restart the same change may be
+        delivered again under a fresh stamp).
+    shard:
+        The shard that produced the change.
+    batch:
+        The shard-local write-batch sequence number that caused it
+        (monotone per shard; useful for correlating with ingestion).
+    """
+
+    subscriber: Hashable
+    ego: NodeId
+    value: Any
+    stamp: int
+    shard: int
+    batch: int

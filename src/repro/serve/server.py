@@ -1,0 +1,623 @@
+"""EAGrServer: the sharded front-end for continuous ego-centric queries.
+
+The server partitions the reader space over shards (each a full EAGr
+engine behind an executor — worker process or in-process), then serves
+four verbs:
+
+* :meth:`EAGrServer.write_batch` — multicast each write to the shards
+  whose readers need it.  Writes land in per-shard *outboxes* and flush
+  through the executor's bounded queue; when a shard is backed up, the
+  flush refuses instead of blocking and consecutive batches **coalesce**
+  in the outbox until either the queue frees up or the coalescing cap
+  forces a blocking submit — bounded memory, bounded latency, no drops.
+* :meth:`EAGrServer.read_batch` — route reads to owning shards.  The
+  per-shard FIFO queue orders them after every previously accepted write
+  (read-your-writes per shard).
+* :meth:`EAGrServer.subscribe` / :meth:`EAGrServer.unsubscribe` — standing
+  queries: shards diff watched egos after each applied batch (via the
+  runtime's O(affected) changed-reader report) and push
+  :class:`~repro.serve.messages.Notification` events, which reply-drainer
+  threads deliver into per-subscriber queues with strictly monotone
+  per-subscriber stamps (at-least-once).
+* :meth:`EAGrServer.drain` / :meth:`EAGrServer.close` — barrier and
+  clean shutdown (flushes, never drops).
+
+Write ingestion is designed for one producer thread (the order of two
+racing ``write_batch`` calls is undefined anyway); reads, subscriptions
+and notifications are thread-safe.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.execution import normalize_write
+from repro.core.query import EgoQuery
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.serve.executors import make_executor
+from repro.serve.messages import (
+    Notification,
+    OP_DRAIN,
+    OP_READ,
+    OP_STATS,
+    OP_SUBSCRIBE,
+    OP_UNSUBSCRIBE,
+    OP_WRITE,
+    R_ERR,
+    R_OK,
+    R_STOPPED,
+    R_WRITE,
+)
+from repro.serve.shard import ShardSpec
+
+NodeId = Hashable
+
+
+class ServeError(Exception):
+    """Raised when a shard reports an error or a reply times out."""
+
+
+class _Call:
+    """One awaited request: an event plus its result-or-error slot."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Any = None
+        self.error: Optional[str] = None
+
+
+class _SubState:
+    """Server-side per-subscriber delivery state."""
+
+    __slots__ = ("queue", "stamp", "subscription")
+
+    def __init__(self, subscription: "Subscription") -> None:
+        self.queue = subscription._queue
+        self.stamp = 0
+        self.subscription = subscription
+
+
+class Subscription:
+    """A subscriber's handle: baseline snapshot + delivery queue.
+
+    Notifications arrive in per-subscriber stamp order;
+    :attr:`snapshot` holds the value of every subscribed ego at
+    subscription time (the diffing baseline).
+    """
+
+    def __init__(self, subscriber: Hashable) -> None:
+        self.subscriber = subscriber
+        self.snapshot: Dict[NodeId, Any] = {}
+        self._queue: "_queue.Queue[Notification]" = _queue.Queue()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Notification]:
+        """Next notification, blocking up to ``timeout`` (``None``: forever);
+        returns ``None`` on timeout."""
+        try:
+            return self._queue.get(timeout=timeout)
+        except _queue.Empty:
+            return None
+
+    def poll(self) -> List[Notification]:
+        """Drain everything currently queued without blocking."""
+        drained: List[Notification] = []
+        while True:
+            try:
+                drained.append(self._queue.get_nowait())
+            except _queue.Empty:
+                return drained
+
+    @property
+    def pending(self) -> int:
+        """Number of undelivered notifications currently queued."""
+        return self._queue.qsize()
+
+
+class EAGrServer:
+    """Front-end over K shard executors (see module docstring).
+
+    Parameters
+    ----------
+    graph / query:
+        As for :class:`~repro.core.engine.EAGrEngine`; the query's
+        predicate (if any) is folded into the reader partition.
+    num_shards:
+        Number of shards.
+    executor:
+        ``"process"`` — one worker process per shard (true multi-core);
+        ``"inprocess"`` — shards run synchronously in the caller
+        (deterministic; tests/CI).
+    assign:
+        Optional reader→shard assignment (defaults to a stable hash);
+        locality-aware assignments cut the write replication factor.
+    queue_depth:
+        Request-queue bound per shard — the backpressure window.
+    coalesce_max:
+        Outbox size that forces a blocking flush on a backed-up shard.
+    mp_context:
+        Start method for process executors (``spawn`` default).
+    reply_timeout:
+        Seconds to wait for any single shard reply before raising
+        :class:`ServeError`.
+    value_store / engine_kwargs:
+        Forwarded to every shard's engine.
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        query: EgoQuery,
+        num_shards: int = 2,
+        executor: str = "process",
+        assign: Optional[Callable[[NodeId], int]] = None,
+        queue_depth: int = 8,
+        coalesce_max: int = 8192,
+        mp_context: str = "spawn",
+        reply_timeout: float = 120.0,
+        value_store: str = "auto",
+        **engine_kwargs: Any,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        from repro.core.partitioned import partition_readers
+
+        self.graph = graph
+        self.query = query
+        self.num_shards = num_shards
+        self.executor_kind = executor
+        self._coalesce_max = coalesce_max
+        self._reply_timeout = reply_timeout
+
+        #: reader node -> owning shard (the user predicate already applied;
+        #: same partition semantics as PartitionedEngine).
+        self.reader_shard = partition_readers(graph, query, num_shards, assign)
+        shard_readers: List[set] = [set() for _ in range(num_shards)]
+        for node, shard_id in self.reader_shard.items():
+            shard_readers[shard_id].add(node)
+
+        # writer node -> shards whose readers aggregate it (multicast table).
+        routing: Dict[NodeId, Dict[int, None]] = {}
+        for reader, shard_id in self.reader_shard.items():
+            for writer in query.neighborhood(graph, reader):
+                routing.setdefault(writer, {})[shard_id] = None
+        self.writer_shards: Dict[NodeId, Tuple[int, ...]] = {
+            w: tuple(s) for w, s in routing.items()
+        }
+
+        # -- per-request bookkeeping (shared with drainer threads) -------
+        self._seq = 0
+        self._seq_lock = threading.Lock()
+        self._pending: Dict[int, _Call] = {}
+        self._pending_lock = threading.Lock()
+        self._subs: Dict[Hashable, _SubState] = {}
+        self._subs_lock = threading.Lock()
+        self._async_errors: List[str] = []
+        self._outbox: List[List[Tuple]] = [[] for _ in range(num_shards)]
+        self._route_lock = threading.Lock()
+        # One flush lock per shard, held across outbox-pop *and* submit:
+        # without it a reader's blocking flush could observe an empty
+        # outbox while a preempted producer still holds popped-but-not-
+        # submitted writes, breaking read-your-writes (and two racing
+        # flushes could enqueue batches out of acceptance order).
+        self._flush_locks = [threading.Lock() for _ in range(num_shards)]
+        self._clock = 0.0
+        self._closed = False
+
+        self.writes_sent = 0
+        self.writes_delivered = 0
+        self.notifications_delivered = 0
+        self.coalesced_flushes = 0
+
+        self.specs = [
+            ShardSpec(
+                graph,
+                query,
+                shard_id=shard_id,
+                num_shards=num_shards,
+                readers=frozenset(shard_readers[shard_id]),
+                value_store=value_store,
+                engine_kwargs=engine_kwargs,
+            )
+            for shard_id in range(num_shards)
+        ]
+        self._executors = [
+            make_executor(
+                executor,
+                spec,
+                self._reply_handler(spec.shard_id),
+                queue_depth=queue_depth,
+                mp_context=mp_context,
+            )
+            for spec in self.specs
+        ]
+        # Background flusher: a refused non-blocking flush parks writes in
+        # the outbox; without a retry they would sit there until the next
+        # caller-driven flush, stalling notifications for an idle
+        # producer.  This thread retries non-empty outboxes every
+        # ``flush_interval`` seconds, bounding coalescing latency.
+        self._flush_interval = 0.05
+        self._stop_flusher = threading.Event()
+        self._flusher = threading.Thread(
+            target=self._flush_loop, name="eagr-server-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    def _flush_loop(self) -> None:
+        failed: set = set()
+        while not self._stop_flusher.wait(self._flush_interval):
+            for shard_id in range(self.num_shards):
+                if shard_id in failed or not self._outbox[shard_id]:
+                    continue
+                try:
+                    self._flush_shard(shard_id, block=False)
+                except Exception:  # noqa: BLE001 - surfaced via drain/close
+                    # One dead shard must not disable retries for the
+                    # healthy ones; stop touching it, keep flushing the rest.
+                    failed.add(shard_id)
+                    self._async_errors.append(
+                        f"shard {shard_id}: background flush failed"
+                    )
+
+    # ------------------------------------------------------------------
+    # request plumbing
+    # ------------------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        with self._seq_lock:
+            self._seq += 1
+            return self._seq
+
+    def _reply_handler(self, shard_id: int) -> Callable[[Tuple], None]:
+        def handle(reply: Tuple) -> None:
+            kind = reply[0]
+            if kind == R_WRITE:
+                self._deliver(shard_id, reply[3])
+                return
+            if kind == R_STOPPED:
+                return
+            seq = reply[1]
+            with self._pending_lock:
+                call = self._pending.pop(seq, None)
+            if call is None:
+                if kind == R_ERR:
+                    # A fire-and-forget write batch failed; surface it on
+                    # the next drain()/close() instead of losing it.
+                    self._async_errors.append(f"shard {shard_id}: {reply[2]}")
+                return
+            if kind == R_ERR:
+                call.error = f"shard {shard_id}: {reply[2]}"
+            else:
+                call.result = reply[2]
+            call.event.set()
+
+        return handle
+
+    def _deliver(self, shard_id: int, notices: Sequence[Tuple]) -> None:
+        """Route shard notices into subscriber queues, stamping monotonically."""
+        if not notices:
+            return
+        with self._subs_lock:
+            for subscriber, ego, value, batch in notices:
+                state = self._subs.get(subscriber)
+                if state is None:  # unsubscribed while the notice was in flight
+                    continue
+                state.stamp += 1
+                state.queue.put(
+                    Notification(
+                        subscriber=subscriber,
+                        ego=ego,
+                        value=value,
+                        stamp=state.stamp,
+                        shard=shard_id,
+                        batch=batch,
+                    )
+                )
+                self.notifications_delivered += 1
+
+    def _submit_call(self, shard_id: int, op: int, *payload: Any) -> _Call:
+        seq = self._next_seq()
+        call = _Call()
+        with self._pending_lock:
+            self._pending[seq] = call
+        self._executors[shard_id].submit((op, seq, *payload))
+        return call
+
+    def _await(self, calls: Sequence[_Call]) -> List[Any]:
+        results = []
+        for call in calls:
+            if not call.event.wait(timeout=self._reply_timeout):
+                raise ServeError("timed out waiting for a shard reply")
+            if call.error is not None:
+                raise ServeError(call.error)
+            results.append(call.result)
+        return results
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("EAGrServer is closed")
+
+    # ------------------------------------------------------------------
+    # writes (multicast, coalescing, backpressure)
+    # ------------------------------------------------------------------
+
+    def write_batch(self, writes: Sequence) -> int:
+        """Accept a batch of writes; returns the number accepted.
+
+        Each write is stamped with a server-monotone timestamp when it
+        carries none (so cross-shard time windows stay coherent), then
+        multicast into the outboxes of every shard whose readers need its
+        writer.  Outboxes flush without blocking; a backed-up shard's
+        writes coalesce until :attr:`coalesce_max` forces backpressure.
+        """
+        self._check_open()
+        writer_shards = self.writer_shards
+        touched: Dict[int, None] = {}
+        count = 0
+        with self._route_lock:
+            outbox = self._outbox
+            clock = self._clock
+            for item in writes:
+                node, value, timestamp = normalize_write(item)
+                count += 1
+                if timestamp is None:
+                    timestamp = clock = clock + 1.0
+                elif timestamp > clock:
+                    clock = timestamp
+                shards = writer_shards.get(node)
+                if not shards:
+                    continue  # no reader anywhere aggregates this writer
+                triple = (node, value, timestamp)
+                for shard_id in shards:
+                    outbox[shard_id].append(triple)
+                    touched[shard_id] = None
+            self._clock = clock
+            self.writes_sent += count
+        for shard_id in touched:
+            self._flush_shard(shard_id, block=False)
+        return count
+
+    def _flush_shard(self, shard_id: int, block: bool) -> None:
+        with self._flush_locks[shard_id]:
+            items = self._take_outbox(shard_id)
+            if items is None:
+                return
+            request = (OP_WRITE, self._next_seq(), items)
+            ex = self._executors[shard_id]
+            if block:
+                ex.submit(request)
+                return
+            if ex.try_submit(request):
+                return
+            # Shard backed up: coalesce into the outbox; later flushes (or
+            # the cap) carry these items in one bigger batch.
+            with self._route_lock:
+                self._outbox[shard_id] = items + self._outbox[shard_id]
+                self.writes_delivered -= len(items)
+                pending = len(self._outbox[shard_id])
+            self.coalesced_flushes += 1
+            if pending >= self._coalesce_max:
+                items = self._take_outbox(shard_id)
+                if items is not None:
+                    ex.submit((OP_WRITE, self._next_seq(), items))
+
+    def _take_outbox(self, shard_id: int) -> Optional[List[Tuple]]:
+        """Pop a shard's outbox (caller holds that shard's flush lock)."""
+        with self._route_lock:
+            items = self._outbox[shard_id]
+            if not items:
+                return None
+            self._outbox[shard_id] = []
+            self.writes_delivered += len(items)
+        return items
+
+    def flush(self) -> None:
+        """Force every outbox into its shard queue (blocking on full queues)."""
+        for shard_id in range(self.num_shards):
+            self._flush_shard(shard_id, block=True)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def read(self, node: NodeId) -> Any:
+        """Evaluate the query at one node."""
+        return self.read_batch([node])[0]
+
+    def read_batch(self, nodes: Sequence[NodeId]) -> List[Any]:
+        """Evaluate the query at each node, preserving input order.
+
+        Flushes the involved shards' outboxes first, so a read observes
+        every write this server accepted before the call (per-shard FIFO
+        read-your-writes).
+        """
+        self._check_open()
+        nodes = list(nodes)
+        aggregate = self.query.aggregate
+        identity = aggregate.finalize(aggregate.identity())
+        results: List[Any] = [identity] * len(nodes)
+        per_shard: Dict[int, List[int]] = {}
+        for position, node in enumerate(nodes):
+            shard_id = self.reader_shard.get(node)
+            if shard_id is not None:
+                per_shard.setdefault(shard_id, []).append(position)
+        calls = []
+        for shard_id, positions in per_shard.items():
+            self._flush_shard(shard_id, block=True)
+            calls.append(
+                (
+                    positions,
+                    self._submit_call(
+                        shard_id, OP_READ, [nodes[p] for p in positions]
+                    ),
+                )
+            )
+        for positions, call in calls:
+            values = self._await([call])[0]
+            for position, value in zip(positions, values):
+                results[position] = value
+        return results
+
+    # ------------------------------------------------------------------
+    # subscriptions
+    # ------------------------------------------------------------------
+
+    def subscribe(self, subscriber: Hashable, nodes: Sequence[NodeId]) -> Subscription:
+        """Turn reads on ``nodes`` into a standing query for ``subscriber``.
+
+        Returns the subscriber's :class:`Subscription` (one per subscriber
+        id; repeated calls extend it).  Its :attr:`~Subscription.snapshot`
+        carries each ego's value at subscribe time — notifications then
+        fire exactly for later changes.  Egos that no shard owns (filtered
+        out by the query predicate or absent from the graph) appear in the
+        snapshot with the identity value and never notify.
+        """
+        self._check_open()
+        nodes = list(nodes)
+        with self._subs_lock:
+            state = self._subs.get(subscriber)
+            if state is None:
+                state = _SubState(Subscription(subscriber))
+                self._subs[subscriber] = state
+            subscription = state.subscription
+        aggregate = self.query.aggregate
+        identity = aggregate.finalize(aggregate.identity())
+        per_shard: Dict[int, List[NodeId]] = {}
+        for node in nodes:
+            shard_id = self.reader_shard.get(node)
+            if shard_id is None:
+                subscription.snapshot[node] = identity
+            else:
+                per_shard.setdefault(shard_id, []).append(node)
+        calls = []
+        for shard_id, shard_nodes in per_shard.items():
+            self._flush_shard(shard_id, block=True)
+            calls.append(
+                self._submit_call(shard_id, OP_SUBSCRIBE, subscriber, shard_nodes)
+            )
+        for snapshot in self._await(calls):
+            subscription.snapshot.update(snapshot)
+        return subscription
+
+    def unsubscribe(
+        self, subscriber: Hashable, nodes: Optional[Sequence[NodeId]] = None
+    ) -> int:
+        """Cancel ``subscriber``'s watches on ``nodes`` (``None``: all).
+
+        Returns the number of (ego, shard) watches removed.  With
+        ``nodes=None`` the subscriber's delivery queue is also retired —
+        in-flight notifications for it are dropped.
+        """
+        self._check_open()
+        calls = []
+        if nodes is None:
+            for shard_id in range(self.num_shards):
+                calls.append(
+                    self._submit_call(shard_id, OP_UNSUBSCRIBE, subscriber, None)
+                )
+        else:
+            per_shard: Dict[int, List[NodeId]] = {}
+            for node in nodes:
+                shard_id = self.reader_shard.get(node)
+                if shard_id is not None:
+                    per_shard.setdefault(shard_id, []).append(node)
+            for shard_id, shard_nodes in per_shard.items():
+                calls.append(
+                    self._submit_call(
+                        shard_id, OP_UNSUBSCRIBE, subscriber, shard_nodes
+                    )
+                )
+        removed = sum(self._await(calls))
+        if nodes is None:
+            with self._subs_lock:
+                self._subs.pop(subscriber, None)
+        return removed
+
+    # ------------------------------------------------------------------
+    # lifecycle and introspection
+    # ------------------------------------------------------------------
+
+    def drain(self) -> None:
+        """Barrier: every accepted write is applied on every shard.
+
+        Raises :class:`ServeError` if any fire-and-forget write batch
+        failed since the previous barrier.
+        """
+        self._check_open()
+        self.flush()
+        calls = [
+            self._submit_call(shard_id, OP_DRAIN)
+            for shard_id in range(self.num_shards)
+        ]
+        self._await(calls)
+        if self._async_errors:
+            errors, self._async_errors = self._async_errors, []
+            raise ServeError("; ".join(errors))
+
+    def stats(self) -> List[Dict[str, Any]]:
+        """Per-shard operational snapshots (counters, registry sizes)."""
+        self._check_open()
+        self.flush()
+        calls = [
+            self._submit_call(shard_id, OP_STATS)
+            for shard_id in range(self.num_shards)
+        ]
+        return self._await(calls)
+
+    @property
+    def replication_factor(self) -> float:
+        """Average shards per accepted write (the multicast overhead)."""
+        if self.writes_sent == 0:
+            total = sum(len(s) for s in self.writer_shards.values())
+            return total / max(1, len(self.writer_shards))
+        return self.writes_delivered / self.writes_sent
+
+    def shard_sizes(self) -> List[int]:
+        """Number of readers owned per shard."""
+        sizes = [0] * self.num_shards
+        for shard_id in self.reader_shard.values():
+            sizes[shard_id] += 1
+        return sizes
+
+    def close(self) -> None:
+        """Flush, stop every shard, release resources (idempotent).
+
+        Closing flushes rather than drops: writes accepted before the
+        call are applied before the shard workers exit (the stop request
+        rides the same FIFO queue).  Raises :class:`ServeError` after the
+        shutdown completes if any fire-and-forget write batch failed
+        since the last :meth:`drain` — those writes were lost and the
+        caller must learn about it.
+        """
+        if self._closed:
+            return
+        self._stop_flusher.set()
+        self._flusher.join(timeout=5.0)
+        try:
+            self.flush()
+        finally:
+            self._closed = True
+            for ex in self._executors:
+                ex.stop(self._next_seq())
+        if self._async_errors:
+            # Fire-and-forget write failures since the last drain():
+            # shutdown completed, but the caller must learn about them.
+            errors, self._async_errors = self._async_errors, []
+            raise ServeError("; ".join(errors))
+
+    def __enter__(self) -> "EAGrServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        """One-line summary of the deployment."""
+        return (
+            f"EAGrServer(shards={self.num_shards}, executor={self.executor_kind}, "
+            f"readers={self.shard_sizes()}, "
+            f"replication={self.replication_factor:.2f})"
+        )

@@ -1,0 +1,292 @@
+"""Shard side of the serving layer: spec, host, and worker loop.
+
+A :class:`ShardSpec` is the *picklable* description of one shard's slice of
+the deployment — the data graph, the query's components, the shard's reader
+set, and the engine configuration.  It travels to a worker process (spawn
+context: nothing is inherited, everything arrives by pickle) where
+:meth:`ShardSpec.build` constructs the actual :class:`ShardHost`: a full
+:class:`~repro.core.engine.EAGrEngine` compiled for exactly this shard's
+readers (the paper's Conclusions partitioning: "for each machine, an
+overlay can be constructed for the readers assigned to that machine"),
+plus the shard-local subscription state.
+
+The host is transport-agnostic: :meth:`ShardHost.handle` maps one request
+tuple to one reply tuple (see :mod:`repro.serve.messages`), and
+:func:`shard_worker` is the process entry point that pumps a request queue
+through it.  The in-process executor calls ``handle`` directly — same code
+path, no queues — which is what the CI smoke tests run on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from repro.core.query import EgoQuery
+from repro.serve.messages import (
+    OP_DRAIN,
+    OP_READ,
+    OP_STATS,
+    OP_STOP,
+    OP_SUBSCRIBE,
+    OP_UNSUBSCRIBE,
+    OP_WRITE,
+    R_ERR,
+    R_OK,
+    R_STOPPED,
+    R_WRITE,
+)
+
+NodeId = Hashable
+
+
+class _ReaderMembership:
+    """Picklable reader predicate: membership in the shard's reader set.
+
+    The front-end evaluates the user's own predicate *once* when it
+    partitions the reader space, so the set already encodes it — no user
+    callable (potentially an unpicklable lambda) needs to travel.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: FrozenSet[NodeId]) -> None:
+        self.nodes = nodes
+
+    def __call__(self, node: NodeId) -> bool:
+        return node in self.nodes
+
+
+class ShardSpec:
+    """Everything a worker process needs to stand up one shard.
+
+    Parameters
+    ----------
+    graph:
+        The data graph (pickled whole; listeners are dropped in transit —
+        see :meth:`repro.graph.dynamic_graph.DynamicGraph.__getstate__`).
+    query:
+        The deployment-wide query.  The shard rebuilds it with a
+        membership predicate over ``readers`` (the user predicate is
+        already folded into the partition).
+    shard_id / num_shards:
+        This shard's position in the deployment.
+    readers:
+        The reader nodes assigned to this shard.
+    value_store / engine_kwargs:
+        Forwarded to the shard's :class:`~repro.core.engine.EAGrEngine`
+        (overlay algorithm, dataflow mode, ...).  Unpicklable engine
+        options (e.g. a calibrated cost model holding lambdas) cannot
+        travel to worker processes; configure those per-shard via
+        defaults instead.
+    """
+
+    def __init__(
+        self,
+        graph,
+        query: EgoQuery,
+        shard_id: int,
+        num_shards: int,
+        readers: FrozenSet[NodeId],
+        value_store: str = "auto",
+        engine_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.graph = graph
+        # The user's predicate is already folded into ``readers`` by the
+        # front-end's partition pass; strip it here so an unpicklable
+        # callable (a lambda) never travels to the worker process.
+        if query.predicate is not None:
+            query = EgoQuery(
+                aggregate=query.aggregate,
+                window=query.window,
+                neighborhood=query.neighborhood,
+                predicate=None,
+                mode=query.mode,
+            )
+        self.query = query
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        self.readers = frozenset(readers)
+        self.value_store = value_store
+        self.engine_kwargs = dict(engine_kwargs or {})
+
+    def shard_query(self) -> EgoQuery:
+        """The deployment query restricted to this shard's readers."""
+        return EgoQuery(
+            aggregate=self.query.aggregate,
+            window=self.query.window,
+            neighborhood=self.query.neighborhood,
+            predicate=_ReaderMembership(self.readers),
+            mode=self.query.mode,
+        )
+
+    def build(self) -> "ShardHost":
+        """Construct the live shard (engine + subscription state)."""
+        return ShardHost(self)
+
+
+class ShardHost:
+    """One shard's engine plus its slice of the subscription registry.
+
+    After every applied write batch the host diffs *exactly* the watched
+    egos in the runtime's changed-reader report against their last
+    notified values — so a quiet batch costs one empty report, a busy
+    batch costs O(affected watched egos), and no batch ever scans the full
+    subscriber table.
+    """
+
+    def __init__(self, spec: ShardSpec) -> None:
+        from repro.core.engine import EAGrEngine
+
+        self.spec = spec
+        self.shard_id = spec.shard_id
+        self.engine = EAGrEngine(
+            spec.graph,
+            spec.shard_query(),
+            value_store=spec.value_store,
+            **spec.engine_kwargs,
+        )
+        #: ego -> subscribers watching it (dict-as-ordered-set).
+        self.watchers: Dict[NodeId, Dict[Hashable, None]] = {}
+        #: ego -> last value delivered (or baselined at subscribe time).
+        self.baseline: Dict[NodeId, Any] = {}
+        #: Monotone count of write batches applied on this shard.
+        self.batches = 0
+        self.notices_emitted = 0
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+
+    def apply_write_batch(
+        self, items: List[Tuple]
+    ) -> Tuple[int, List[Tuple[Hashable, NodeId, Any, int]]]:
+        """Apply one write batch; returns ``(count, notices)``.
+
+        ``notices`` holds ``(subscriber, ego, value, batch)`` for every
+        watched ego whose aggregate value actually changed — candidates
+        come from the O(affected) changed-reader report, and a re-read
+        (batched, pull subtrees shared) filters out cancellations.
+        """
+        engine = self.engine
+        count = engine.write_batch(items)
+        self.batches += 1
+        watchers = self.watchers
+        if not watchers:
+            # Nobody is listening: consume the pending changed-writer set
+            # (keeping it bounded) without compiling reader closures.
+            engine.runtime.pop_changed_writers()
+            return count, []
+        changed = engine.changed_readers()
+        candidates = [node for node in changed if node in watchers]
+        if not candidates:
+            return count, []
+        notices: List[Tuple[Hashable, NodeId, Any, int]] = []
+        baseline = self.baseline
+        for node, value in zip(candidates, engine.read_batch(candidates)):
+            if value == baseline.get(node, _MISSING):
+                continue
+            baseline[node] = value
+            for subscriber in watchers[node]:
+                notices.append((subscriber, node, value, self.batches))
+        self.notices_emitted += len(notices)
+        return count, notices
+
+    def subscribe(
+        self, subscriber: Hashable, nodes: List[NodeId]
+    ) -> Dict[NodeId, Any]:
+        """Watch ``nodes`` for ``subscriber``; returns the baseline snapshot.
+
+        The baseline equals the current value, so notifications fire
+        exactly for changes *after* the subscription (no spurious initial
+        delivery).
+        """
+        snapshot: Dict[NodeId, Any] = {}
+        fresh = [node for node in nodes if node not in self.baseline]
+        if fresh:
+            for node, value in zip(fresh, self.engine.read_batch(fresh)):
+                self.baseline[node] = value
+        for node in nodes:
+            self.watchers.setdefault(node, {})[subscriber] = None
+            snapshot[node] = self.baseline[node]
+        return snapshot
+
+    def unsubscribe(
+        self, subscriber: Hashable, nodes: Optional[List[NodeId]] = None
+    ) -> int:
+        """Stop watching ``nodes`` (``None``: everything); returns removals."""
+        targets = list(self.watchers) if nodes is None else nodes
+        removed = 0
+        for node in targets:
+            watching = self.watchers.get(node)
+            if watching is not None and watching.pop(subscriber, _MISSING) is not _MISSING:
+                removed += 1
+                if not watching:
+                    del self.watchers[node]
+                    self.baseline.pop(node, None)
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational snapshot (counters, backend, registry sizes)."""
+        counters = self.engine.counters
+        return {
+            "shard": self.shard_id,
+            "readers": len(self.engine.overlay.reader_of),
+            "batches": self.batches,
+            "writes": counters.writes,
+            "reads": counters.reads,
+            "push_ops": counters.push_ops,
+            "pull_ops": counters.pull_ops,
+            "watched_egos": len(self.watchers),
+            "notices_emitted": self.notices_emitted,
+            "value_store_backend": self.engine.value_store_backend,
+        }
+
+    # ------------------------------------------------------------------
+    # message dispatch
+    # ------------------------------------------------------------------
+
+    def handle(self, request: Tuple) -> Tuple:
+        """Map one request tuple to one reply tuple (never raises)."""
+        op = request[0]
+        seq = request[1]
+        try:
+            if op == OP_WRITE:
+                count, notices = self.apply_write_batch(request[2])
+                return (R_WRITE, seq, count, notices)
+            if op == OP_READ:
+                return (R_OK, seq, self.engine.read_batch(request[2]))
+            if op == OP_SUBSCRIBE:
+                return (R_OK, seq, self.subscribe(request[2], request[3]))
+            if op == OP_UNSUBSCRIBE:
+                return (R_OK, seq, self.unsubscribe(request[2], request[3]))
+            if op == OP_DRAIN:
+                return (R_OK, seq, self.batches)
+            if op == OP_STATS:
+                return (R_OK, seq, self.stats())
+            if op == OP_STOP:
+                return (R_STOPPED, seq, None)
+            return (R_ERR, seq, f"unknown op {op!r}")
+        except Exception as error:  # noqa: BLE001 - reply, don't kill the loop
+            return (R_ERR, seq, f"{type(error).__name__}: {error}")
+
+
+#: Sentinel distinguishing "no baseline yet" from a stored None value.
+_MISSING = object()
+
+
+def shard_worker(spec: ShardSpec, requests, replies) -> None:
+    """Process entry point: pump ``requests`` through a fresh shard host.
+
+    Spawn-safe: everything arrives via the pickled ``spec`` and the two
+    queues.  The loop is single-threaded, so request order *is* apply
+    order — the front-end's FIFO queues give per-shard read-your-writes.
+    Exits after acknowledging ``OP_STOP`` (the ``R_STOPPED`` reply also
+    tells the front-end's drainer thread to finish).
+    """
+    host = spec.build()
+    while True:
+        request = requests.get()
+        reply = host.handle(request)
+        replies.put(reply)
+        if reply[0] == R_STOPPED:
+            break

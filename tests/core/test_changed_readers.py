@@ -1,0 +1,152 @@
+"""The runtime's changed-reader report (the subscription diffing signal)."""
+
+import pytest
+
+from repro.core.aggregates import Max, Sum
+from repro.core.engine import EAGrEngine
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.graph.generators import paper_figure1, random_graph
+from repro.graph.neighborhoods import Neighborhood
+
+try:
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+STORES = ["object"] + (["columnar"] if HAVE_NUMPY else [])
+
+
+def build(graph=None, aggregate=None, value_store="auto", **kwargs):
+    return EAGrEngine(
+        graph if graph is not None else paper_figure1(),
+        EgoQuery(
+            aggregate=aggregate or Sum(),
+            window=kwargs.pop("window", TupleWindow(1)),
+            neighborhood=Neighborhood.in_neighbors(),
+        ),
+        overlay_algorithm=kwargs.pop("overlay_algorithm", "vnm_a"),
+        value_store=value_store,
+        **kwargs,
+    )
+
+
+def downstream_readers(engine, writer_node):
+    """Oracle: readers whose neighborhood contains ``writer_node``."""
+    return {
+        reader
+        for reader, handle in engine.overlay.reader_of.items()
+        if writer_node in engine.query.neighborhood(engine.graph, reader)
+    }
+
+
+@pytest.mark.parametrize("value_store", STORES)
+class TestChangedReaders:
+    def test_report_covers_downstream_readers(self, value_store):
+        engine = build(value_store=value_store)
+        engine.write_batch([("c", 5.0)])
+        changed = set(engine.changed_readers())
+        assert changed == downstream_readers(engine, "c")
+
+    def test_report_is_consumed(self, value_store):
+        engine = build(value_store=value_store)
+        engine.write_batch([("c", 5.0)])
+        assert engine.changed_readers()
+        assert engine.changed_readers() == []
+
+    def test_zero_delta_batch_reports_nothing(self, value_store):
+        engine = build(value_store=value_store)
+        engine.write_batch([("c", 5.0)])
+        engine.changed_readers()
+        # ROWS 1 window: rewriting the same value telescopes to delta 0.
+        engine.write_batch([("c", 5.0)])
+        assert engine.changed_readers() == []
+
+    def test_multi_writer_batch_unions_closures(self, value_store):
+        graph = random_graph(25, 110, seed=31)
+        engine = build(graph=graph, value_store=value_store)
+        nodes = list(graph.nodes())[:6]
+        engine.write_batch([(n, 3.0) for n in nodes])
+        changed = set(engine.changed_readers())
+        expected = set()
+        for node in nodes:
+            expected |= downstream_readers(engine, node)
+        assert changed == expected
+
+    def test_per_event_write_also_reports(self, value_store):
+        engine = build(value_store=value_store)
+        engine.write("d", 2.0)
+        assert set(engine.changed_readers()) == downstream_readers(engine, "d")
+
+    def test_report_matches_across_batch_sizes(self, value_store):
+        graph = random_graph(25, 110, seed=33)
+        whole = build(graph=graph, value_store=value_store)
+        chunked = build(graph=graph, value_store=value_store)
+        writes = [(n, float(i % 4)) for i, n in enumerate(graph.nodes())]
+        whole.write_batch(writes)
+        for start in range(0, len(writes), 5):
+            chunked.write_batch(writes[start : start + 5])
+        assert set(whole.changed_readers()) == set(chunked.changed_readers())
+
+
+class TestLatticeCandidates:
+    def test_noop_writer_update_reports_nothing(self):
+        """MAX: a write that leaves the writer's window max alone is silent."""
+        engine = build(aggregate=Max(), window=TupleWindow(2), dataflow="all_push")
+        engine.write_batch([("c", 9.0)])
+        engine.changed_readers()
+        engine.write_batch([("c", 1.0)])  # window max still 9: no message
+        assert engine.changed_readers() == []
+
+    def test_lattice_report_is_candidate_superset(self):
+        """MAX: a moved writer reports its readers even when a dominating
+        sibling keeps every reader's final value unchanged — consumers diff
+        values, so candidates are allowed, drops are not."""
+        engine = build(aggregate=Max(), window=TupleWindow(1), dataflow="all_push")
+        engine.write_batch([("c", 9.0), ("d", 5.0)])
+        engine.changed_readers()
+        before = {n: engine.read(n) for n in downstream_readers(engine, "d")}
+        engine.write_batch([("d", 7.0)])  # writer moves; maxes may not
+        changed = set(engine.changed_readers())
+        assert changed == downstream_readers(engine, "d")
+        # At least one shared reader's value is dominated by c's 9.0 —
+        # reported as a candidate although its value is unchanged.
+        shared = downstream_readers(engine, "c") & downstream_readers(engine, "d")
+        if shared:
+            for node in shared:
+                assert engine.read(node) == max(9.0, before[node])
+
+
+class TestInvalidationAndRebuild:
+    def test_closures_survive_precise_invalidation(self):
+        engine = build()
+        engine.write_batch([("c", 5.0)])
+        engine.changed_readers()
+        compiles_before = engine.runtime.plan_compiles
+        engine.write_batch([("c", 6.0)])
+        engine.changed_readers()
+        # Second report reuses the cached closure: no new compilations of
+        # the reader closure beyond what other plans needed.
+        assert engine.runtime.plan_compiles == compiles_before
+
+    @pytest.mark.parametrize("maintain", [False, True])
+    def test_pending_report_survives_structure_change(self, maintain):
+        """The report is keyed by node id, so overlay rebuilds (lazy full
+        recompile and incremental maintainer surgery alike) cannot lose a
+        change accepted before the mutation."""
+        from repro.graph.streams import StructureEvent, StructureOp
+
+        engine = build(maintain=maintain)
+        engine.write_batch([("c", 5.0)])
+        engine.apply_structure_event(
+            StructureEvent(StructureOp.ADD_EDGE, "c", "g")
+        )
+        # Mapped through the *current* overlay: c's downstream now
+        # includes g as well.
+        assert set(engine.changed_readers()) == downstream_readers(engine, "c")
+        assert "g" in downstream_readers(engine, "c")
+        # Fresh writes keep reporting against the new overlay.
+        engine.write_batch([("c", 7.0)])
+        assert "g" in set(engine.changed_readers())

@@ -70,6 +70,57 @@ class TestThreadedEngine:
         with pytest.raises(ValueError):
             ThreadedEngine(build_engine(), write_threads=0)
 
+    def test_close_flushes_pending_batches(self):
+        """close() right after submit_write_batch applies, never drops."""
+        serial = build_engine(dataflow="all_push")
+        threaded_engine = build_engine(dataflow="all_push")
+        threaded = ThreadedEngine(threaded_engine, write_threads=3)
+        events = make_events(list("abcdefg"), 600, write_fraction=1.0, seed=47)
+        for start in range(0, len(events), 32):
+            chunk = [
+                (e.node, e.value, e.timestamp)
+                for e in events[start : start + 32]
+            ]
+            serial.write_batch(chunk)
+            threaded.submit_write_batch(chunk)
+        threaded.close()  # no drain() first: close itself must flush
+        for node in "abcdefg":
+            assert threaded_engine.read(node) == serial.read(node), node
+
+    def test_close_is_idempotent_and_guards_submission(self):
+        threaded = ThreadedEngine(build_engine(dataflow="all_push"))
+        threaded.close()
+        threaded.close()
+        threaded.shutdown()
+        with pytest.raises(RuntimeError):
+            threaded.submit_write("a", 1.0)
+        with pytest.raises(RuntimeError):
+            threaded.submit_write_batch([("a", 1.0)])
+
+    def test_shard_protocol_write_read_changed(self):
+        """ThreadedEngine satisfies the shard-execution protocol."""
+        from repro.core.shards import ShardExecution
+
+        engine = build_engine(dataflow="all_push")
+        threaded = ThreadedEngine(engine, write_threads=2)
+        try:
+            assert isinstance(threaded, ShardExecution)
+            count = threaded.write_batch([("c", 5.0), ("d", 7.0), ("zz", 1.0)])
+            assert count == 3
+            changed = set(threaded.changed_readers())
+            expected = {
+                reader
+                for reader in engine.overlay.reader_of
+                if {"c", "d"}
+                & set(engine.query.neighborhood(engine.graph, reader))
+            }
+            assert changed == expected
+            assert threaded.changed_readers() == []
+            results = threaded.read_batch(["a", "g"])
+            assert results == [engine.reference_read("a"), engine.reference_read("g")]
+        finally:
+            threaded.close()
+
 
 class TestSimulatedExecutor:
     def make_tasks(self, count=400):

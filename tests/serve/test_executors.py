@@ -1,0 +1,138 @@
+"""The real multi-process deployment shape, kept intentionally small.
+
+Worker processes use the spawn context (full pickle round-trip of the
+shard spec), so these tests double as end-to-end evidence for the pickle
+surface; they are sized to boot in a couple of seconds on one core.
+"""
+
+import pytest
+
+from repro.core.aggregates import Sum
+from repro.core.engine import EAGrEngine
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.graph.generators import random_graph
+from repro.serve import EAGrServer, ServeError
+
+
+class TestLambdaPredicate:
+    def test_process_executor_accepts_lambda_predicate(self):
+        """The user predicate folds into the partition; no lambda travels."""
+        graph = random_graph(12, 40, seed=98)
+        keep = set(list(graph.nodes())[:6])
+        query = EgoQuery(aggregate=Sum(), predicate=lambda node: node in keep)
+        with EAGrServer(
+            graph, query, num_shards=2, executor="process",
+            overlay_algorithm="identity", dataflow="all_push",
+        ) as server:
+            assert set(server.reader_shard) == keep
+            server.write_batch([(n, 1.0) for n in graph.nodes()])
+            values = server.read_batch(sorted(keep, key=repr))
+            assert len(values) == len(keep)
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """One 2-shard process server shared by the module (boot is the cost)."""
+    graph = random_graph(24, 110, seed=95)
+    query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+    server = EAGrServer(
+        graph,
+        query,
+        num_shards=2,
+        executor="process",
+        queue_depth=4,
+        overlay_algorithm="vnm_a",
+    )
+    yield graph, query, server
+    server.close()
+
+
+class TestProcessDeployment:
+    def test_reads_byte_identical_to_single_engine(self, deployment):
+        graph, query, server = deployment
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        writes = [(n, float(i % 7)) for i, n in enumerate(nodes)] * 4
+        for start in range(0, len(writes), 16):
+            chunk = writes[start : start + 16]
+            server.write_batch(chunk)
+            single.write_batch(chunk)
+        server.drain()
+        assert server.read_batch(nodes) == single.read_batch(nodes)
+
+    def test_subscription_across_process_boundary(self, deployment):
+        graph, query, server = deployment
+        nodes = list(graph.nodes())
+        sub = server.subscribe("remote-watcher", nodes)
+        assert set(sub.snapshot) == set(nodes)
+        before = dict(sub.snapshot)
+        server.write_batch([(nodes[0], 123.0)])
+        server.drain()
+        # Replies (and thus notifications) are drained asynchronously;
+        # drain() only barriers the request queues, so poll with patience.
+        note = sub.get(timeout=10.0)
+        assert note is not None
+        seen = [note] + sub.poll()
+        assert all(n.subscriber == "remote-watcher" for n in seen)
+        stamps = [n.stamp for n in seen]
+        assert stamps == sorted(stamps)
+        changed = {n.ego for n in seen}
+        assert changed  # the write moved at least one ego
+        for n in seen:
+            assert n.value != before.get(n.ego)
+        server.unsubscribe("remote-watcher")
+
+    def test_backpressure_bounded_queue_no_loss(self, deployment):
+        graph, query, server = deployment
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        # Blast many small batches at a depth-4 queue: some flushes must
+        # coalesce or block, none may drop.
+        writes = [(n, float(i % 11)) for i, n in enumerate(nodes)] * 30
+        for start in range(0, len(writes), 8):
+            chunk = writes[start : start + 8]
+            server.write_batch(chunk)
+            single.write_batch(chunk)
+        server.drain()
+        assert server.read_batch(nodes) == single.read_batch(nodes)
+        stats = server.stats()
+        assert sum(s["writes"] for s in stats) == server.writes_delivered
+
+    def test_dead_worker_surfaces_instead_of_hanging(self):
+        """A killed shard worker turns into an error, not an infinite hang."""
+        graph = random_graph(10, 30, seed=97)
+        query = EgoQuery(aggregate=Sum())
+        server = EAGrServer(
+            graph, query, num_shards=1, executor="process", queue_depth=1,
+            overlay_algorithm="identity", dataflow="all_push",
+        )
+        try:
+            ex = server._executors[0]
+            ex._process.terminate()
+            ex._process.join(timeout=10.0)
+            with pytest.raises(RuntimeError):
+                for _ in range(50):  # fill the dead queue, then submit blocks
+                    server.write_batch([(n, 1.0) for n in graph.nodes()])
+                    server.flush()
+        finally:
+            # Must not hang; may surface the lost writes as ServeError.
+            try:
+                server.close()
+            except ServeError:
+                pass
+
+    def test_clean_shutdown_boots_again(self):
+        graph = random_graph(12, 40, seed=96)
+        query = EgoQuery(aggregate=Sum())
+        with EAGrServer(
+            graph, query, num_shards=2, executor="process",
+            overlay_algorithm="identity", dataflow="all_push",
+        ) as server:
+            server.write_batch([(n, 1.0) for n in graph.nodes()])
+            values = server.read_batch(list(graph.nodes()))
+            assert len(values) == 12
+        # exiting the context manager closed it; executors are stopped
+        assert all(not ex.alive() for ex in server._executors)
+        with pytest.raises(RuntimeError):
+            server.read("anything")

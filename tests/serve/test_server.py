@@ -1,0 +1,320 @@
+"""EAGrServer behavior on the deterministic in-process executor.
+
+Everything here runs without worker processes: the in-process executor
+dispatches each request synchronously, so these tests pin down routing,
+equivalence, subscription, coalescing and shutdown semantics with no
+scheduling nondeterminism.  The process-boundary behavior of the same
+code paths is covered in ``test_executors.py``.
+"""
+
+import pytest
+
+from repro.core.aggregates import Mean, Sum, TopK
+from repro.core.engine import EAGrEngine
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.graph.generators import paper_figure1, random_graph
+from repro.serve import EAGrServer, ServeError
+from repro.serve.messages import OP_READ
+
+from tests.conftest import make_events
+
+
+def make_server(graph, query, num_shards=2, **kwargs):
+    kwargs.setdefault("executor", "inprocess")
+    kwargs.setdefault("overlay_algorithm", "vnm_a")
+    return EAGrServer(graph, query, num_shards=num_shards, **kwargs)
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    def test_reads_match_single_engine(self, num_shards):
+        graph = random_graph(30, 140, seed=81)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(2))
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        with make_server(graph, query, num_shards=num_shards) as server:
+            events = make_events(list(graph.nodes()), 400, seed=82)
+            batch = []
+            for event in events:
+                if hasattr(event, "value"):
+                    batch.append((event.node, event.value, event.timestamp))
+                else:
+                    if batch:
+                        server.write_batch(batch)
+                        single.write_batch(batch)
+                        batch = []
+                    assert server.read(event.node) == single.read(event.node)
+            if batch:
+                server.write_batch(batch)
+                single.write_batch(batch)
+            nodes = list(graph.nodes())
+            assert server.read_batch(nodes) == single.read_batch(nodes)
+
+    def test_object_aggregate_across_shards(self):
+        graph = random_graph(25, 100, seed=83)
+        query = EgoQuery(aggregate=TopK(3), window=TupleWindow(3))
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        with make_server(graph, query, num_shards=3) as server:
+            writes = [
+                (n, float(i % 5)) for i, n in enumerate(graph.nodes())
+            ] * 3
+            server.write_batch(writes)
+            single.write_batch(writes)
+            nodes = list(graph.nodes())
+            assert server.read_batch(nodes) == single.read_batch(nodes)
+
+    def test_unknown_reader_returns_identity(self):
+        graph = paper_figure1()
+        with make_server(graph, EgoQuery(aggregate=Sum())) as server:
+            assert server.read("ghost") == 0.0
+            assert server.read_batch(["ghost", "a"])[0] == 0.0
+
+    def test_user_predicate_folds_into_partition(self):
+        graph = paper_figure1()
+        query = EgoQuery(aggregate=Sum(), predicate=lambda v: v in ("a", "b"))
+        with make_server(graph, query) as server:
+            assert set(server.reader_shard) == {"a", "b"}
+            server.write_batch([("d", 5.0)])
+            assert server.read("a") == 5.0
+            assert server.read("g") == 0.0  # filtered reader
+
+
+class TestSubscriptions:
+    def test_notifies_exactly_changed_egos(self):
+        graph = random_graph(30, 140, seed=85)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        oracle = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=3) as server:
+            warm = [(n, 1.0) for n in nodes]
+            server.write_batch(warm)
+            oracle.write_batch(warm)
+            server.drain()
+            sub = server.subscribe("watcher", nodes)
+            assert sub.snapshot == dict(zip(nodes, oracle.read_batch(nodes)))
+            assert sub.poll() == []  # baseline produces no notifications
+
+            before = dict(zip(nodes, oracle.read_batch(nodes)))
+            batch = [(nodes[0], 4.0), (nodes[7], 2.5)]
+            server.write_batch(batch)
+            oracle.write_batch(batch)
+            server.drain()
+            after = dict(zip(nodes, oracle.read_batch(nodes)))
+            expected = {n for n in nodes if before[n] != after[n]}
+
+            notes = sub.poll()
+            assert {note.ego for note in notes} == expected
+            for note in notes:
+                assert note.value == after[note.ego]
+                assert note.subscriber == "watcher"
+
+    def test_stamps_strictly_monotone_per_subscriber(self):
+        graph = random_graph(30, 140, seed=86)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=4) as server:
+            sub = server.subscribe("w", nodes)
+            for round_ in range(5):
+                server.write_batch([(n, float(round_ + 2)) for n in nodes[:9]])
+            server.drain()
+            notes = sub.poll()
+            assert notes
+            stamps = [note.stamp for note in notes]
+            assert stamps == sorted(stamps)
+            assert len(set(stamps)) == len(stamps)
+
+    def test_unsubscribe_stops_delivery(self):
+        graph = random_graph(20, 80, seed=87)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query) as server:
+            sub = server.subscribe("w", nodes)
+            server.write_batch([(nodes[0], 2.0)])
+            server.drain()
+            assert sub.poll()
+            server.unsubscribe("w")
+            server.write_batch([(nodes[0], 9.0)])
+            server.drain()
+            assert sub.poll() == []
+
+    def test_partial_unsubscribe_keeps_other_egos(self):
+        graph = random_graph(20, 80, seed=88)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query) as server:
+            server.write_batch([(n, 1.0) for n in nodes])
+            server.drain()
+            sub = server.subscribe("w", nodes)
+            server.unsubscribe("w", [nodes[0]])
+            server.write_batch([(n, 5.0) for n in nodes])
+            server.drain()
+            egos = {note.ego for note in sub.poll()}
+            assert nodes[0] not in egos
+            assert egos  # other egos still notify
+
+    def test_two_subscribers_stamped_independently(self):
+        graph = random_graph(20, 80, seed=89)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query) as server:
+            sub_a = server.subscribe("a", nodes)
+            sub_b = server.subscribe("b", nodes[:5])
+            server.write_batch([(n, 3.0) for n in nodes])
+            server.drain()
+            notes_a, notes_b = sub_a.poll(), sub_b.poll()
+            assert notes_a and notes_b
+            assert [n.stamp for n in notes_a] == list(
+                range(1, len(notes_a) + 1)
+            )
+            assert [n.stamp for n in notes_b] == list(
+                range(1, len(notes_b) + 1)
+            )
+
+    def test_mean_notification_values_finalized(self):
+        graph = random_graph(20, 80, seed=90)
+        query = EgoQuery(aggregate=Mean(), window=TupleWindow(2))
+        oracle = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        with make_server(graph, query) as server:
+            sub = server.subscribe("w", nodes)
+            batch = [(n, float(i % 3)) for i, n in enumerate(nodes)]
+            server.write_batch(batch)
+            oracle.write_batch(batch)
+            server.drain()
+            after = dict(zip(nodes, oracle.read_batch(nodes)))
+            for note in sub.poll():
+                assert note.value == after[note.ego]
+
+
+class TestCoalescingAndBackpressure:
+    def test_backed_up_shard_coalesces_without_loss(self):
+        graph = random_graph(25, 100, seed=91)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=2) as server:
+            # Simulate a backed-up shard: refuse N non-blocking submits.
+            refusals = {"left": 3}
+            ex = server._executors[0]
+            original = ex.try_submit
+
+            def flaky_try_submit(request):
+                if refusals["left"] > 0:
+                    refusals["left"] -= 1
+                    return False
+                return original(request)
+
+            ex.try_submit = flaky_try_submit
+            try:
+                for i in range(6):
+                    batch = [(n, float(i + 1)) for n in nodes]
+                    server.write_batch(batch)
+                    single.write_batch(batch)
+                assert server.coalesced_flushes >= 1
+                # Reads force a blocking flush: nothing was dropped.
+                assert server.read_batch(nodes) == single.read_batch(nodes)
+            finally:
+                ex.try_submit = original
+
+    def test_background_flusher_delivers_parked_writes(self):
+        """A refused flush retries from the flusher thread: an idle
+        producer's subscribers still get notified without further calls."""
+        graph = random_graph(20, 80, seed=95)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=1) as server:
+            sub = server.subscribe("w", nodes)
+            ex = server._executors[0]
+            original = ex.try_submit
+            refusals = {"left": 2}
+
+            def flaky_try_submit(request):
+                if refusals["left"] > 0:
+                    refusals["left"] -= 1
+                    return False
+                return original(request)
+
+            ex.try_submit = flaky_try_submit
+            try:
+                server.write_batch([(nodes[0], 42.0)])
+                # No further server calls: only the flusher can deliver.
+                note = sub.get(timeout=5.0)
+                assert note is not None
+            finally:
+                ex.try_submit = original
+
+    def test_coalesce_cap_forces_blocking_flush(self):
+        graph = random_graph(20, 80, seed=92)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(
+            graph, query, num_shards=1, coalesce_max=4
+        ) as server:
+            ex = server._executors[0]
+            original = ex.try_submit
+            ex.try_submit = lambda request: False  # permanently backed up
+            try:
+                for i in range(12):
+                    server.write_batch([(nodes[0], float(i))])
+                # The cap bounded the outbox: a blocking flush happened.
+                assert len(server._outbox[0]) < 12
+            finally:
+                ex.try_submit = original
+                server.flush()
+
+
+class TestLifecycle:
+    def test_close_flushes_pending_writes(self):
+        graph = random_graph(20, 80, seed=93)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        server = make_server(graph, query, num_shards=2)
+        nodes = list(graph.nodes())
+        ex = server._executors[0]
+        ex.try_submit = lambda request: False  # trap writes in the outbox
+        server.write_batch([(n, 2.0) for n in nodes])
+        assert any(server._outbox)
+        ex.try_submit = lambda request: (ex.submit(request), True)[1]
+        server.close()
+        # In-process executors keep their host alive after close: the
+        # trapped writes must have reached the shard engines.
+        applied = sum(h.engine.counters.writes for h in
+                      (e.host for e in server._executors))
+        assert applied > 0
+        server.close()  # idempotent
+
+    def test_closed_server_rejects_requests(self):
+        graph = paper_figure1()
+        server = make_server(graph, EgoQuery(aggregate=Sum()))
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.write_batch([("c", 1.0)])
+        with pytest.raises(RuntimeError):
+            server.read("a")
+        with pytest.raises(RuntimeError):
+            server.subscribe("w", ["a"])
+
+    def test_async_write_error_surfaces_on_drain(self):
+        graph = paper_figure1()
+        server = make_server(graph, EgoQuery(aggregate=Sum()))
+        # Inject a malformed read request directly: the shard replies
+        # R_ERR with no waiting caller, which drain() must surface.
+        server._executors[0].submit((OP_READ, server._next_seq(), None))
+        with pytest.raises(ServeError):
+            server.drain()
+        server.drain()  # errors were consumed; barrier is clean again
+        server.close()
+
+
+class TestIntrospection:
+    def test_stats_and_describe(self):
+        graph = random_graph(25, 100, seed=94)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        with make_server(graph, query, num_shards=3) as server:
+            server.write_batch([(n, 1.0) for n in graph.nodes()])
+            server.drain()
+            stats = server.stats()
+            assert len(stats) == 3
+            assert sum(s["writes"] for s in stats) == server.writes_delivered
+            assert sum(server.shard_sizes()) == len(server.reader_shard)
+            assert server.replication_factor >= 1.0
+            assert "EAGrServer" in server.describe()
