@@ -108,6 +108,21 @@ def main(argv) -> None:
             n for n in watched if final[n] != feed.snapshot[n]
         }
         assert {note.ego for note in notes} >= changed_watched
+        # Durable resume: drop the connection mid-stream, reconnect with
+        # a resume token, and the journal replays the missed suffix with
+        # the original stamps — exactly once, gap-free.
+        last_seen = notes[len(notes) // 2].stamp if notes else 0
+        server.disconnect("feed-widget")
+        server.write_batch([(nodes[10], 999.0, None)])
+        server.drain()
+        resumed = server.subscribe("feed-widget", resume_from=last_seen)
+        replayed = resumed.poll()
+        got = [n.stamp for n in replayed]
+        assert got == list(range(last_seen + 1, last_seen + 1 + len(got))), (
+            "resume replay is not the contiguous missed suffix"
+        )
+        print(f"resumed from stamp {last_seen}: {len(replayed)} "
+              "notifications replayed, stream gap-free")
         server.close()
         assert all(not ex.alive() or ex.kind == "inprocess"
                    for ex in server._executors)

@@ -153,6 +153,7 @@ class ThreadedEngine:
         overlay = runtime.overlay
         with self._clock_lock:
             runtime.counters.writes += 1
+            runtime.stamp += 1
             if timestamp is None:
                 timestamp = runtime.clock + 1.0
             runtime.clock = max(runtime.clock, timestamp)
@@ -173,6 +174,7 @@ class ThreadedEngine:
         overlay = runtime.overlay
         normalized = []
         with self._clock_lock:
+            runtime.stamp += 1  # one ingestion tick per batch task
             for item in writes:
                 node, value, timestamp = normalize_write(item)
                 runtime.counters.writes += 1
@@ -273,6 +275,17 @@ class ThreadedEngine:
         # by submission tracking here; drop it so it cannot grow unbounded.
         self.runtime.pop_changed_writers()
         return self.runtime.changed_readers(touched)
+
+    def changed_report(self):
+        """``(stamp, readers)`` — the stamped protocol extension.
+
+        The stamp is the runtime's global write stamp (ingestion tasks
+        bump it under the clock lock), monotone for the engine's
+        lifetime.  Drains first (via :meth:`changed_readers`) so the
+        stamp covers every reader in the report.
+        """
+        readers = self.changed_readers()
+        return self.runtime.stamp, readers
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -241,6 +241,18 @@ class EAGrEngine:
         self._sync()
         return self.runtime.changed_readers()
 
+    def changed_report(self):
+        """``(stamp, readers)``: the changed-reader set plus the global
+        write stamp (see :meth:`repro.core.execution.Runtime.changed_report`).
+
+        The stamp is stable across overlay rebuilds and — when the engine
+        is restored from checkpointed window buffers, as the serve layer's
+        shard restart does — across process restarts, so it can version
+        change notifications durably.
+        """
+        self._sync()
+        return self.runtime.changed_report()
+
     def drain(self) -> None:
         """Synchronous engine: every accepted write is already applied."""
 
@@ -297,6 +309,7 @@ class EAGrEngine:
         pending changed-writer report (both keyed by graph node id)."""
         buffers = self.runtime.buffers
         pending_changes = self.runtime._changed_writers
+        stamp = self.runtime.stamp
         self._oracle_members.clear()
         self.ag = build_bipartite(
             self.graph, self.query.neighborhood, self.query.predicate
@@ -312,6 +325,7 @@ class EAGrEngine:
             buffers=buffers,
             collect_trace=self._collect_trace,
             value_store=self.value_store,
+            stamp=stamp,
         )
         self.runtime._changed_writers.update(pending_changes)
         if self.controller is not None:

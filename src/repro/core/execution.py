@@ -363,6 +363,7 @@ class Runtime:
         buffers: Optional[Dict[NodeId, WindowBuffer]] = None,
         collect_trace: bool = False,
         value_store: str = "auto",
+        stamp: int = 0,
     ) -> None:
         self.overlay = overlay
         self.query = query
@@ -385,6 +386,14 @@ class Runtime:
         # Per-writer sliding windows, keyed by *graph node id* so they can
         # survive overlay rebuilds.
         self.buffers: Dict[NodeId, WindowBuffer] = buffers if buffers is not None else {}
+        # Global write stamp: bumped once per ingestion call (write /
+        # write_batch), never reset by rebuild() — seedable at construction
+        # so a runtime restored from checkpointed buffers continues the
+        # sequence of the instance it replaces.  Changed-reader reports are
+        # tagged with it (:meth:`changed_report`), giving downstream
+        # consumers (the serve layer's notifications) a version that is
+        # stable across overlay rebuilds and shard restarts.
+        self.stamp = stamp
         # -- pluggable value store ------------------------------------
         self.value_store_mode = value_store
         self.values = make_value_store(self.aggregate, overlay.num_nodes, value_store)
@@ -873,6 +882,18 @@ class Runtime:
                 result[reader] = None
         return list(result)
 
+    def changed_report(self) -> Tuple[int, List[NodeId]]:
+        """``(stamp, readers)``: the changed-reader set with its version.
+
+        ``stamp`` is the global write stamp — the number of ingestion
+        calls absorbed over this runtime's whole lineage.  Unlike overlay
+        versions or plan stamps it survives overlay rebuilds (the
+        attribute is never reset) and shard restarts (a restored runtime
+        is seeded with the checkpointed value), so consumers can use it
+        to order and correlate change reports across those boundaries.
+        """
+        return self.stamp, self.changed_readers()
+
     def _build_scatter_table(self) -> _ScatterTable:
         """Freeze every writer's compiled push frontier into ragged rows.
 
@@ -940,6 +961,7 @@ class Runtime:
     def write(self, node: NodeId, value: Any, timestamp: Optional[float] = None) -> None:
         """Process one content update ("write on v")."""
         self.counters.writes += 1
+        self.stamp += 1
         if timestamp is None:
             timestamp = self.clock + 1.0
         self.clock = max(self.clock, timestamp)
@@ -973,6 +995,7 @@ class Runtime:
         the number of writes processed.
         """
         self._check_plans()
+        self.stamp += 1
         if self._columnar_delta and self.trace is None:
             return self._write_batch_columnar(writes)
         overlay = self.overlay

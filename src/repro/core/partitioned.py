@@ -162,6 +162,18 @@ class PartitionedEngine:
             changed.extend(shard.changed_readers())
         return changed
 
+    def changed_report(self):
+        """``(stamp, readers)`` — the stamped protocol extension.
+
+        The stamp is the maximum of the shard runtimes' global write
+        stamps: every shard receives only its slice of each batch, so the
+        busiest shard's stamp is the tightest monotone cover of "how much
+        ingestion this report reflects".
+        """
+        readers = self.changed_readers()
+        stamp = max((shard.runtime.stamp for shard in self.shards), default=0)
+        return stamp, readers
+
     def drain(self) -> None:
         """In-process shards apply writes synchronously; nothing pends."""
         for shard in self.shards:

@@ -22,6 +22,13 @@ The contract:
   have changed since the previous call (a superset is allowed — consumers
   diff values before acting; an empty list means "nothing changed").  This
   is the signal continuous subscriptions are built on.
+* ``changed_report() -> (stamp, readers)`` — the stamped variant:
+  ``readers`` as above plus the backend's **global write stamp**, a
+  monotone count of ingestion calls that survives overlay rebuilds and —
+  for backends restored from checkpointed window buffers, like the serve
+  layer's shard hosts — process restarts.  Consumers use it to version
+  change reports durably (the serve layer's notification replay filter
+  keys on it).
 * ``drain()`` — block until every accepted write is applied.
 * ``close()`` — flush pending work, then release resources.  ``close`` on
   an already-closed shard is a no-op.  Closing **flushes rather than
@@ -30,7 +37,7 @@ The contract:
 
 from __future__ import annotations
 
-from typing import Any, Hashable, List, Protocol, Sequence, runtime_checkable
+from typing import Any, Hashable, List, Protocol, Sequence, Tuple, runtime_checkable
 
 NodeId = Hashable
 
@@ -49,6 +56,10 @@ class ShardExecution(Protocol):
 
     def changed_readers(self) -> List[NodeId]:
         """Reader nodes possibly changed since the last call (consumed)."""
+        ...
+
+    def changed_report(self) -> Tuple[int, List[NodeId]]:
+        """``(global write stamp, changed readers)`` — stamped variant."""
         ...
 
     def drain(self) -> None:

@@ -25,9 +25,28 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Deque, List, Optional, Tuple
 
+class _NoValueType:
+    """Singleton sentinel type with pickle-stable identity.
+
+    Buffers are pickled whole in shard checkpoints; a plain ``object()``
+    sentinel would come back as a *different* object, breaking every
+    ``is NO_VALUE`` identity check on the restored state.  ``__reduce__``
+    returning the global's name makes unpickling resolve to this module's
+    one instance instead.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "NO_VALUE"
+
+    def __reduce__(self):
+        return "NO_VALUE"
+
+
 #: Sentinel returned by :meth:`WindowBuffer.push` when nothing was evicted
 #: (distinguishable from a legitimately stored ``None`` payload).
-NO_VALUE = object()
+NO_VALUE = _NoValueType()
 
 
 class Window(ABC):

@@ -16,16 +16,56 @@ serving tier:
 * :mod:`~repro.serve.executors` — where a shard runs: in a worker
   **process** (``multiprocessing`` spawn, true multi-core) or in-process
   (deterministic, for tests and CI smoke).
+* :mod:`~repro.serve.journal` — per-subscriber durable notification logs:
+  bounded rings, optionally disk-backed, that make subscriptions
+  resumable.
 
+The delivery contract
+---------------------
 Subscriptions are diff-based: after each applied write batch a shard asks
 its runtime for the changed-reader report (O(affected readers)), re-reads
-exactly the watched egos among them, and pushes a
-:class:`~repro.serve.messages.Notification` for every value that actually
-moved — at-least-once, monotonically stamped per subscriber.
+exactly the watched egos among them, and emits a notice for every value
+that actually moved.  The front-end stamps, journals, and delivers them
+under one lock, which yields three guarantees:
+
+1. **At-least-once live.**  A connected subscriber eventually receives a
+   notification for every value change of a watched ego, with strictly
+   monotone contiguous stamps (1, 2, 3, ...).  Crash windows can cause a
+   change to be *re-derived* (a restarted shard diffs against its
+   checkpointed baselines), but the front-end's per-ego value filter
+   suppresses re-deliveries, so a subscriber never sees the same value
+   twice in a row for an ego.
+2. **Exactly-once-after-resume.**  Every stamped notification is appended
+   to the subscriber's :class:`~repro.serve.journal.NotificationLog`
+   *before* it is offered to the live queue.  A client that disconnects
+   and reconnects with ``subscribe(..., resume_from=N)`` receives exactly
+   the notifications with stamps ``> N`` — original stamps, original
+   order, no gaps, no duplicates — replayed ahead of live deliveries in
+   one atomic splice.
+3. **Checkpoint / eviction semantics.**  Journals are bounded rings
+   (``journal_capacity``): overflow evicts the oldest entries and moves
+   the *resume horizon* forward; ``ack(subscriber, stamp)`` releases the
+   acknowledged prefix early.  A ``resume_from`` behind the horizon — or
+   ahead of everything the journal ever recorded — raises
+   :class:`~repro.serve.journal.ResumeGapError` rather than replaying a
+   gapped or regressing sequence; the client must re-baseline with a
+   plain ``subscribe``.  With ``journal_dir`` set, logs are disk-backed
+   (crash-tolerant appends, atomic compaction) and resume works across a
+   front-end process restart.  On the ingestion side,
+   :meth:`~repro.serve.server.EAGrServer.checkpoint` snapshots each
+   shard's restart state and truncates its redo log;
+   :meth:`~repro.serve.server.EAGrServer.restart_shard` rebuilds a dead
+   worker from spec + checkpoint and replays the redo log idempotently.
+
+``tests/serve/faultlib.py`` drives these guarantees adversarially:
+deterministic worker kill points (die on receiving / after applying the
+N-th batch), seeded operation schedules, and condition-based waits — see
+its module docstring for how to script a crash.
 """
 
 from repro.serve.executors import InProcessShardExecutor, ProcessShardExecutor
-from repro.serve.messages import Notification
+from repro.serve.journal import NotificationLog, ResumeGapError
+from repro.serve.messages import Notification, ShardCheckpoint
 from repro.serve.server import EAGrServer, ServeError, Subscription
 from repro.serve.shard import ShardHost, ShardSpec
 
@@ -33,8 +73,11 @@ __all__ = [
     "EAGrServer",
     "InProcessShardExecutor",
     "Notification",
+    "NotificationLog",
     "ProcessShardExecutor",
+    "ResumeGapError",
     "ServeError",
+    "ShardCheckpoint",
     "ShardHost",
     "ShardSpec",
     "Subscription",

@@ -26,14 +26,23 @@ from __future__ import annotations
 import threading
 from typing import Callable, Optional, Tuple
 
-from repro.serve.messages import OP_STOP, R_STOPPED
+from repro.serve.messages import OP_STOP, OP_WRITE, R_STOPPED
 from repro.serve.shard import ShardSpec, shard_worker
 
 OnReply = Callable[[Tuple], None]
 
 
 class InProcessShardExecutor:
-    """Run a shard synchronously inside the calling process."""
+    """Run a shard synchronously inside the calling process.
+
+    Crash semantics mirror the worker-process executor so the fault
+    harness can drive both through one interface: :meth:`kill` (or a
+    triggered ``spec.faults`` kill point) discards the live host — all
+    in-memory shard state is lost, exactly like a dead worker — after
+    which :meth:`try_submit` refuses, :meth:`submit` raises, and
+    :meth:`alive` is ``False`` until the front-end rebuilds the shard
+    from its spec + checkpoint.
+    """
 
     kind = "inprocess"
 
@@ -42,6 +51,11 @@ class InProcessShardExecutor:
         self._host = spec.build()
         self._on_reply = on_reply
         self._stopped = False
+        self._crashed = False
+        faults = spec.faults or {}
+        self._exit_before = faults.get("exit_before_writes")
+        self._exit_after = faults.get("exit_after_writes")
+        self._writes_seen = 0
 
     @property
     def host(self):
@@ -49,25 +63,50 @@ class InProcessShardExecutor:
         return self._host
 
     def try_submit(self, request: Tuple) -> bool:
-        """Execute immediately; an in-process shard is never backed up."""
+        """Execute immediately; refuses only when the shard has crashed."""
+        if self._crashed:
+            return False
         self.submit(request)
         return True
 
     def submit(self, request: Tuple) -> None:
+        if self._crashed:
+            raise RuntimeError(f"shard {self.shard_id} worker died")
         if self._stopped:
             raise RuntimeError(f"shard {self.shard_id} executor is stopped")
+        if request[0] == OP_WRITE:
+            self._writes_seen += 1
+            if (
+                self._exit_before is not None
+                and self._writes_seen >= self._exit_before
+            ):
+                self.kill()  # batch received, never applied
+                return
         reply = self._host.handle(request)
+        if (
+            request[0] == OP_WRITE
+            and self._exit_after is not None
+            and self._writes_seen >= self._exit_after
+        ):
+            self.kill()  # batch applied, reply lost
+            return
         if reply[0] == R_STOPPED:
             self._stopped = True
         self._on_reply(reply)
 
     def stop(self, seq: int, timeout: float = 10.0) -> None:
         """Acknowledge a stop request (idempotent)."""
-        if not self._stopped:
+        if not self._stopped and not self._crashed:
             self.submit((OP_STOP, seq))
 
+    def kill(self) -> None:
+        """Simulate an unclean worker death: the host (and every bit of
+        its in-memory state) is discarded without flush or reply."""
+        self._crashed = True
+        self._host = None
+
     def alive(self) -> bool:
-        return not self._stopped
+        return not self._stopped and not self._crashed
 
 
 class ProcessShardExecutor:
@@ -137,11 +176,17 @@ class ProcessShardExecutor:
                 return
 
     def try_submit(self, request: Tuple) -> bool:
-        """Non-blocking submit; ``False`` when the shard is backed up."""
+        """Non-blocking submit; ``False`` when the shard is backed up.
+
+        A stopped/killed executor also answers ``False`` rather than
+        raising: to the coalescing front-end a dead worker is just a
+        shard that is backed up until :meth:`EAGrServer.restart_shard`
+        replaces it — writes park in the outbox instead of being lost.
+        """
         import queue as _queue
 
         if self._stopped:
-            raise RuntimeError(f"shard {self.shard_id} executor is stopped")
+            return False
         try:
             self._requests.put_nowait(request)
             return True
@@ -190,6 +235,28 @@ class ProcessShardExecutor:
         if self._process.is_alive():  # pragma: no cover - defensive
             self._process.terminate()
             self._process.join(timeout=1.0)
+        self._drainer.join(timeout=timeout)
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Terminate the worker without flushing (crash injection).
+
+        Unlike :meth:`stop`, queued requests are abandoned — exactly what
+        a real worker death does.  The drainer exits once the process is
+        gone and the reply queue is drained.  The front-end recovers by
+        rebuilding the shard from its spec + checkpoint and replaying the
+        redo log (:meth:`repro.serve.server.EAGrServer.restart_shard`).
+        """
+        self._stopped = True
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.kill()
+            self._process.join(timeout=1.0)
+        # The request queue's feeder thread may hold buffered items for a
+        # reader that no longer exists; don't let interpreter shutdown
+        # block on flushing them to a dead pipe.
+        self._requests.cancel_join_thread()
         self._drainer.join(timeout=timeout)
 
     def alive(self) -> bool:

@@ -1,0 +1,266 @@
+"""Durable, resumable per-subscriber notification logs.
+
+The serving layer's live delivery is at-least-once and best-effort: a
+subscriber that disconnects (or whose process dies) loses whatever was
+sitting in its in-memory queue.  :class:`NotificationLog` closes that gap.
+The front-end appends every stamped :class:`~repro.serve.messages.Notification`
+to the subscriber's log *before* offering it to the live queue, so a client
+that reconnects with ``resume_from=N`` can replay the suffix with stamps
+``> N`` — the original stamps, exactly once, in order — and then splice
+seamlessly into live delivery.
+
+Design:
+
+* **Bounded ring.**  The in-memory tail keeps at most ``capacity`` entries;
+  appending beyond that evicts the oldest.  Eviction is *tracked*: a
+  ``resume_from`` older than the oldest retained stamp raises
+  :class:`ResumeGapError` instead of silently replaying a gapped suffix.
+  Acknowledged prefixes (:meth:`truncate`) free space early.
+* **Optional disk backing.**  With a ``path`` the log is also an append-only
+  file of pickled frames and survives process restart (:meth:`open` /
+  construction with an existing file reloads it).  Appends are flushed per
+  record; a crash can lose at most the partially-written tail frame, which
+  the loader detects and drops.  The file self-compacts: once enough append
+  frames accumulate the whole state is rewritten atomically
+  (write-to-temp + ``os.replace``) so the file stays proportional to
+  ``capacity``, not to lifetime traffic.
+
+Frames on disk are ``("C", evicted_through, entries)`` compaction snapshots,
+``("A", entry)`` appends, and ``("T", upto)`` truncation markers; loading
+replays them in order.  Entries are whatever picklable record carries a
+monotone integer ``stamp`` attribute — in the serving layer,
+:class:`~repro.serve.messages.Notification` instances.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+from collections import deque
+from typing import Any, Deque, List, Optional
+
+
+class ResumeGapError(RuntimeError):
+    """``resume_from`` predates the oldest retained log entry.
+
+    Raised instead of silently replaying a sequence with a hole in it:
+    the caller asked for every notification after stamp ``N``, but entries
+    ``N+1 .. first_retained-1`` have been evicted (ring overflow) or
+    acknowledged away (:meth:`NotificationLog.truncate`).  The subscriber
+    must re-baseline (fresh ``subscribe`` and snapshot) instead of
+    resuming.
+    """
+
+
+class NotificationLog:
+    """Bounded, optionally disk-backed ring log of stamped notifications.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum retained entries; appending the ``capacity+1``-th entry
+        evicts the oldest (and moves the resumable horizon forward).
+    path:
+        Optional file path for durability.  If the file exists its frames
+        are replayed to restore state (surviving process restart); the
+        file is created otherwise.
+    compact_every:
+        Rewrite the backing file after this many append/truncate frames
+        (default ``2 * capacity``); ignored when ``path`` is ``None``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        path: Optional[str] = None,
+        compact_every: Optional[int] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("journal capacity must be >= 1")
+        self.capacity = capacity
+        self.path = path
+        self._entries: Deque[Any] = deque()
+        #: Highest stamp no longer retained (0: nothing ever evicted).
+        self.evicted_through = 0
+        self._compact_every = compact_every or 2 * capacity
+        self._frames_since_compact = 0
+        self._file: Optional[io.BufferedWriter] = None
+        if path is not None:
+            if os.path.exists(path):
+                self._load(path)
+            self._file = open(path, "ab")
+
+    # ------------------------------------------------------------------
+    # core ring operations
+    # ------------------------------------------------------------------
+
+    @property
+    def last_stamp(self) -> int:
+        """Stamp of the newest entry (``evicted_through`` when empty)."""
+        return self._entries[-1].stamp if self._entries else self.evicted_through
+
+    @property
+    def first_stamp(self) -> int:
+        """Stamp of the oldest retained entry (0 when empty and pristine)."""
+        return self._entries[0].stamp if self._entries else self.evicted_through
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def append(self, entry: Any) -> None:
+        """Record ``entry`` (its ``stamp`` must exceed :attr:`last_stamp`)."""
+        if entry.stamp <= self.last_stamp:
+            raise ValueError(
+                f"non-monotone journal append: stamp {entry.stamp} after "
+                f"{self.last_stamp}"
+            )
+        self._entries.append(entry)
+        if len(self._entries) > self.capacity:
+            evicted = self._entries.popleft()
+            self.evicted_through = evicted.stamp
+        self._write_frame(("A", entry))
+
+    def replay(self, resume_from: int) -> List[Any]:
+        """Every retained entry with stamp ``> resume_from``, in order.
+
+        Raises :class:`ResumeGapError` when entries in
+        ``(resume_from, first retained stamp)`` have been evicted — the
+        replay could not be gap-free.
+        """
+        if resume_from < self.evicted_through:
+            raise ResumeGapError(
+                f"cannot resume from stamp {resume_from}: entries through "
+                f"stamp {self.evicted_through} have been evicted "
+                "(oldest retained: "
+                f"{self._entries[0].stamp if self._entries else 'none'})"
+            )
+        if resume_from > self.last_stamp:
+            # The log has never seen this stamp: the client is ahead of the
+            # journal (e.g. the server lost an in-memory log in a restart).
+            # Replaying would let stamps regress below the client's mark.
+            raise ResumeGapError(
+                f"cannot resume from stamp {resume_from}: the journal's "
+                f"last stamp is {self.last_stamp}"
+            )
+        return [e for e in self._entries if e.stamp > resume_from]
+
+    def truncate(self, upto: int) -> int:
+        """Drop entries with stamp ``<= upto`` (an acknowledged prefix).
+
+        Returns the number of entries dropped.  Moves the resumable
+        horizon: a later ``resume_from < upto`` raises
+        :class:`ResumeGapError`.
+        """
+        entries = self._entries
+        dropped = 0
+        while entries and entries[0].stamp <= upto:
+            entries.popleft()
+            dropped += 1
+        moved = upto > self.evicted_through
+        if moved:
+            self.evicted_through = upto
+        if dropped or moved:
+            self._write_frame(("T", upto))
+        return dropped
+
+    # ------------------------------------------------------------------
+    # disk backing
+    # ------------------------------------------------------------------
+
+    def _load(self, path: str) -> None:
+        """Replay frames from ``path``; a torn tail frame is dropped.
+
+        The torn bytes are also truncated away, so frames appended after
+        recovery extend the good prefix instead of hiding behind garbage
+        that the *next* reload would stop at (silently losing them).
+        """
+        entries: Deque[Any] = deque()
+        evicted = 0
+        torn_at: Optional[int] = None
+        with open(path, "rb") as fh:
+            while True:
+                offset = fh.tell()
+                try:
+                    frame = pickle.load(fh)
+                except EOFError:
+                    break
+                except (pickle.UnpicklingError, AttributeError, ValueError):
+                    # Torn tail from a crash mid-append: everything before
+                    # it was flushed whole; drop the tail, keep the prefix.
+                    torn_at = offset
+                    break
+                kind = frame[0]
+                if kind == "C":
+                    evicted = frame[1]
+                    entries = deque(frame[2])
+                elif kind == "A":
+                    entries.append(frame[1])
+                    if len(entries) > self.capacity:
+                        evicted = entries.popleft().stamp
+                elif kind == "T":
+                    upto = frame[1]
+                    while entries and entries[0].stamp <= upto:
+                        entries.popleft()
+                    evicted = max(evicted, upto)
+        if torn_at is not None:
+            with open(path, "r+b") as fh:
+                fh.truncate(torn_at)
+        self._entries = entries
+        self.evicted_through = evicted
+
+    def _write_frame(self, frame) -> None:
+        if self._file is None:
+            return
+        pickle.dump(frame, self._file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.flush()
+        self._frames_since_compact += 1
+        if self._frames_since_compact >= self._compact_every:
+            self.compact()
+
+    def compact(self) -> None:
+        """Atomically rewrite the backing file as one snapshot frame."""
+        if self._file is None or self.path is None:
+            return
+        self._file.close()
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as fh:
+            pickle.dump(
+                ("C", self.evicted_through, list(self._entries)),
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        self._file = open(self.path, "ab")
+        self._frames_since_compact = 0
+
+    def close(self) -> None:
+        """Flush and close the backing file (idempotent; ring stays usable)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NotificationLog(entries={len(self._entries)}, "
+            f"stamps=({self.first_stamp}, {self.last_stamp}], "
+            f"evicted_through={self.evicted_through}, "
+            f"path={self.path!r})"
+        )
+
+
+def subscriber_log_path(directory: str, subscriber) -> str:
+    """A stable, filesystem-safe per-subscriber file name under ``directory``.
+
+    Subscriber ids are arbitrary hashables; the name embeds a readable
+    (sanitized, truncated) prefix plus a stable digest of the full repr so
+    distinct subscribers never collide.
+    """
+    import hashlib
+
+    text = repr(subscriber)
+    digest = hashlib.sha1(text.encode("utf-8", "replace")).hexdigest()[:12]
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in text)[:40]
+    return os.path.join(directory, f"sub-{safe}-{digest}.journal")

@@ -5,8 +5,12 @@ few machine words in-process):
 
 Requests — ``(op, seq, *payload)``:
 
-* ``(OP_WRITE, seq, items)`` — apply a write batch; ``items`` is a list of
-  ``(node, value, timestamp)`` triples in stream order.
+* ``(OP_WRITE, seq, batch_no, items)`` — apply a write batch; ``items`` is a
+  list of ``(node, value, timestamp)`` triples in stream order and
+  ``batch_no`` is the front-end's per-shard monotone batch number.  A shard
+  **skips** any batch whose number it has already applied (``batch_no <=
+  applied_through``), which makes the front-end's redo-log replay after a
+  worker restart idempotent at batch granularity.
 * ``(OP_READ, seq, nodes)`` — evaluate the query at each node.
 * ``(OP_SUBSCRIBE, seq, subscriber, nodes)`` — start watching egos;
   the reply carries the baseline snapshot ``{node: value}``.
@@ -16,6 +20,11 @@ Requests — ``(op, seq, *payload)``:
   this queue has been fully applied (the queue is FIFO and the shard loop
   is single-threaded).
 * ``(OP_STATS, seq)`` — operational counters snapshot.
+* ``(OP_CHECKPOINT, seq)`` — reply with a :class:`ShardCheckpoint`: the
+  picklable restart state of the shard (window buffers, subscriber
+  watch/baseline registry, applied batch number, global write stamp).  The
+  front-end keeps the latest checkpoint per shard and truncates that
+  shard's redo log to batches after it.
 * ``(OP_STOP, seq)`` — flush, acknowledge, exit the loop.
 
 Replies:
@@ -48,6 +57,7 @@ OP_UNSUBSCRIBE = 3
 OP_DRAIN = 4
 OP_STATS = 5
 OP_STOP = 6
+OP_CHECKPOINT = 7
 
 # -- reply kinds ------------------------------------------------------------
 R_OK = 0
@@ -69,15 +79,21 @@ class Notification:
     value:
         The new (finalized) aggregate value.
     stamp:
-        Per-subscriber delivery stamp, strictly monotonically increasing —
-        a consumer that sees stamp ``n`` has seen every earlier delivery
-        (at-least-once: after a shard restart the same change may be
-        delivered again under a fresh stamp).
+        Per-subscriber delivery stamp, strictly monotonically increasing
+        and **contiguous** (1, 2, 3, ...) — a consumer that sees stamp
+        ``n`` has seen every earlier delivery.  Stamps are assigned once,
+        when the notification is journaled: a replay after
+        ``resume_from=n`` re-delivers the *original* stamps ``n+1 ...``
+        (exactly-once-after-resume), and stamps keep counting up across
+        reconnects and shard restarts.
     shard:
         The shard that produced the change.
     batch:
-        The shard-local write-batch sequence number that caused it
-        (monotone per shard; useful for correlating with ingestion).
+        The shard runtime's global write stamp when the change was
+        produced (monotone per shard, stable across overlay rebuilds and
+        checkpoint/restart — see
+        :meth:`repro.core.execution.Runtime.changed_report`); useful for
+        correlating notifications with ingestion.
     """
 
     subscriber: Hashable
@@ -86,3 +102,47 @@ class Notification:
     stamp: int
     shard: int
     batch: int
+
+
+@dataclass(frozen=True, slots=True)
+class ShardCheckpoint:
+    """Everything a replacement worker needs to resume a shard's duty.
+
+    Produced by ``OP_CHECKPOINT`` (pickle-snapshotted, so later shard
+    mutations never alias into it).  Restoring is exact: the engine's
+    value state is fully derivable from the writer window ``buffers``
+    (:meth:`repro.core.execution.Runtime.rebuild` re-materializes PAOs
+    from them), so a host rebuilt from ``ShardSpec`` + checkpoint answers
+    reads identically to the checkpointed instance, and the front-end's
+    redo log replays everything after ``applied_through`` idempotently.
+
+    Attributes
+    ----------
+    shard_id:
+        The shard this checkpoint belongs to (sanity-checked on restore).
+    applied_through:
+        Highest front-end batch number applied; replayed batches at or
+        below it are skipped.
+    stamp:
+        The runtime's global write stamp, re-seeded on restore so
+        notification ``batch`` tags stay monotone across the restart.
+    clock:
+        The runtime's logical clock (time-window coherence).
+    buffers:
+        ``writer node -> WindowBuffer`` — the full ingestion state.
+    watchers:
+        ``ego -> tuple(subscribers)`` — the shard's watch registry.
+    baseline:
+        ``ego -> last notified value`` — the diffing baselines, so a
+        restarted shard re-notifies exactly the changes the checkpoint
+        has not yet seen (the front-end's per-subscriber value filter
+        drops any that were already delivered).
+    """
+
+    shard_id: int
+    applied_through: int
+    stamp: int
+    clock: float
+    buffers: Any
+    watchers: Any
+    baseline: Any

@@ -17,8 +17,23 @@ four verbs:
   queries: shards diff watched egos after each applied batch (via the
   runtime's O(affected) changed-reader report) and push
   :class:`~repro.serve.messages.Notification` events, which reply-drainer
-  threads deliver into per-subscriber queues with strictly monotone
-  per-subscriber stamps (at-least-once).
+  threads deliver into per-subscriber queues with strictly monotone,
+  **contiguous** per-subscriber stamps.
+* **Durability and resume** — every stamped notification is appended to the
+  subscriber's :class:`~repro.serve.journal.NotificationLog` (bounded ring,
+  optionally disk-backed) *before* live delivery.  A disconnected client
+  reconnects with ``subscribe(..., resume_from=N)`` and receives the
+  journal suffix with the original stamps ``> N`` spliced gap-free ahead of
+  live deliveries — exactly-once-after-resume.  A ``resume_from`` older
+  than the journal's horizon raises
+  :class:`~repro.serve.journal.ResumeGapError` (never a silent gap).
+* **Checkpoint / restart** — :meth:`EAGrServer.checkpoint` snapshots each
+  shard's restart state (window buffers, watch registry, applied batch
+  number) and truncates the per-shard *redo log* of submitted write
+  batches; :meth:`EAGrServer.restart_shard` rebuilds a dead worker from
+  its spec + checkpoint, re-arms subscriptions, and replays the redo log
+  idempotently (batch numbers already applied are skipped shard-side,
+  already-delivered notification values are suppressed front-side).
 * :meth:`EAGrServer.drain` / :meth:`EAGrServer.close` — barrier and
   clean shutdown (flushes, never drops).
 
@@ -29,16 +44,24 @@ and notifications are thread-safe.
 
 from __future__ import annotations
 
+import os as _os
 import queue as _queue
 import threading
+import time as _time
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.execution import normalize_write
 from repro.core.query import EgoQuery
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.serve.executors import make_executor
+from repro.serve.journal import (
+    NotificationLog,
+    ResumeGapError,
+    subscriber_log_path,
+)
 from repro.serve.messages import (
     Notification,
+    OP_CHECKPOINT,
     OP_DRAIN,
     OP_READ,
     OP_STATS,
@@ -49,6 +72,7 @@ from repro.serve.messages import (
     R_OK,
     R_STOPPED,
     R_WRITE,
+    ShardCheckpoint,
 )
 from repro.serve.shard import ShardSpec
 
@@ -62,23 +86,49 @@ class ServeError(Exception):
 class _Call:
     """One awaited request: an event plus its result-or-error slot."""
 
-    __slots__ = ("event", "result", "error")
+    __slots__ = ("event", "result", "error", "shard")
 
-    def __init__(self) -> None:
+    def __init__(self, shard: Optional[int] = None) -> None:
         self.event = threading.Event()
         self.result: Any = None
         self.error: Optional[str] = None
+        self.shard = shard
 
 
 class _SubState:
-    """Server-side per-subscriber delivery state."""
+    """Server-side per-subscriber delivery state.
 
-    __slots__ = ("queue", "stamp", "subscription")
+    ``queue`` is ``None`` while the subscriber is disconnected — the
+    journal keeps recording, live delivery is skipped.  ``stamp`` is the
+    last stamp assigned (it survives reconnects; replay re-uses original
+    stamps).  ``last_batch`` maps each ego to the shard write stamp of
+    its last delivered notification: a restarted shard re-derives
+    notifications from its checkpointed baselines under the *same* write
+    stamps (the runtime's global stamp is checkpoint-restored), so any
+    notice at or below the recorded stamp is a replay the subscriber
+    already saw and is suppressed.  ``watches`` maps
+    ``shard_id -> {ego: None}`` so a restarted shard can be re-armed with
+    this subscriber's standing queries.
+    """
 
-    def __init__(self, subscription: "Subscription") -> None:
+    __slots__ = (
+        "queue",
+        "stamp",
+        "subscription",
+        "journal",
+        "last_batch",
+        "watches",
+        "acked",
+    )
+
+    def __init__(self, subscription: "Subscription", journal: NotificationLog) -> None:
         self.queue = subscription._queue
-        self.stamp = 0
+        self.journal = journal
+        self.stamp = journal.last_stamp
         self.subscription = subscription
+        self.last_batch: Dict[NodeId, int] = {}
+        self.watches: Dict[int, Dict[NodeId, None]] = {}
+        self.acked = 0
 
 
 class Subscription:
@@ -143,6 +193,20 @@ class EAGrServer:
     reply_timeout:
         Seconds to wait for any single shard reply before raising
         :class:`ServeError`.
+    journal_capacity:
+        Entries retained per subscriber in the notification log — the
+        resume window.  A ``resume_from`` older than the retained horizon
+        raises :class:`~repro.serve.journal.ResumeGapError`.
+    journal_dir:
+        Directory for disk-backed notification logs (created if missing).
+        ``None`` (default) keeps journals in memory only — they survive
+        disconnects but not a front-end process restart.
+    checkpoint_interval:
+        Auto-checkpoint a shard whenever its redo log holds this many
+        batches, bounding redo-log memory and restart replay time.
+        ``None`` (default) leaves checkpointing to explicit
+        :meth:`checkpoint` calls — the redo log then grows with ingestion
+        until one is taken.
     value_store / engine_kwargs:
         Forwarded to every shard's engine.
     """
@@ -158,6 +222,9 @@ class EAGrServer:
         coalesce_max: int = 8192,
         mp_context: str = "spawn",
         reply_timeout: float = 120.0,
+        journal_capacity: int = 4096,
+        journal_dir: Optional[str] = None,
+        checkpoint_interval: Optional[int] = None,
         value_store: str = "auto",
         **engine_kwargs: Any,
     ) -> None:
@@ -171,6 +238,13 @@ class EAGrServer:
         self.executor_kind = executor
         self._coalesce_max = coalesce_max
         self._reply_timeout = reply_timeout
+        self._queue_depth = queue_depth
+        self._mp_context = mp_context
+        self._journal_capacity = journal_capacity
+        self._journal_dir = journal_dir
+        self._checkpoint_interval = checkpoint_interval
+        if journal_dir is not None:
+            _os.makedirs(journal_dir, exist_ok=True)
 
         #: reader node -> owning shard (the user predicate already applied;
         #: same partition semantics as PartitionedEngine).
@@ -207,10 +281,26 @@ class EAGrServer:
         self._clock = 0.0
         self._closed = False
 
+        # -- durability bookkeeping (redo log, checkpoints) --------------
+        #: per-shard monotone batch numbers (assigned under the flush lock).
+        self._batch_no = [0] * num_shards
+        #: per-shard redo log: ``(batch_no, items)`` for every submitted
+        #: batch since the shard's last checkpoint — replayed on restart.
+        self._write_log: List[List[Tuple[int, List[Tuple]]]] = [
+            [] for _ in range(num_shards)
+        ]
+        #: latest checkpoint per shard (restart baseline).
+        self._checkpoints: Dict[int, ShardCheckpoint] = {}
+        self._flush_failed: set = set()
+
         self.writes_sent = 0
         self.writes_delivered = 0
         self.notifications_delivered = 0
+        self.notifications_replayed = 0
+        self.notifications_suppressed = 0
         self.coalesced_flushes = 0
+        self.restarts = 0
+        self.replayed_batches = 0
 
         self.specs = [
             ShardSpec(
@@ -247,7 +337,7 @@ class EAGrServer:
         self._flusher.start()
 
     def _flush_loop(self) -> None:
-        failed: set = set()
+        failed = self._flush_failed  # restart_shard() clears recovered shards
         while not self._stop_flusher.wait(self._flush_interval):
             for shard_id in range(self.num_shards):
                 if shard_id in failed or not self._outbox[shard_id]:
@@ -297,7 +387,16 @@ class EAGrServer:
         return handle
 
     def _deliver(self, shard_id: int, notices: Sequence[Tuple]) -> None:
-        """Route shard notices into subscriber queues, stamping monotonically."""
+        """Route shard notices into subscriber journals and queues.
+
+        Stamps are assigned here, once, under the subscriber lock — the
+        journal append happens *before* the live put, so every stamped
+        notification is resumable.  A notice whose shard write stamp is
+        at or below the last one delivered for that ego is a replay (a
+        restarted shard re-diffing from its checkpointed baseline under
+        checkpoint-restored stamps) and is suppressed: delivery is
+        exactly-once per change even across shard restarts.
+        """
         if not notices:
             return
         with self._subs_lock:
@@ -305,22 +404,28 @@ class EAGrServer:
                 state = self._subs.get(subscriber)
                 if state is None:  # unsubscribed while the notice was in flight
                     continue
+                last = state.last_batch
+                if last.get(ego, -1) >= batch:
+                    self.notifications_suppressed += 1
+                    continue
+                last[ego] = batch
                 state.stamp += 1
-                state.queue.put(
-                    Notification(
-                        subscriber=subscriber,
-                        ego=ego,
-                        value=value,
-                        stamp=state.stamp,
-                        shard=shard_id,
-                        batch=batch,
-                    )
+                note = Notification(
+                    subscriber=subscriber,
+                    ego=ego,
+                    value=value,
+                    stamp=state.stamp,
+                    shard=shard_id,
+                    batch=batch,
                 )
+                state.journal.append(note)
+                if state.queue is not None:
+                    state.queue.put(note)
                 self.notifications_delivered += 1
 
     def _submit_call(self, shard_id: int, op: int, *payload: Any) -> _Call:
         seq = self._next_seq()
-        call = _Call()
+        call = _Call(shard_id)
         with self._pending_lock:
             self._pending[seq] = call
         self._executors[shard_id].submit((op, seq, *payload))
@@ -329,8 +434,19 @@ class EAGrServer:
     def _await(self, calls: Sequence[_Call]) -> List[Any]:
         results = []
         for call in calls:
-            if not call.event.wait(timeout=self._reply_timeout):
-                raise ServeError("timed out waiting for a shard reply")
+            deadline = _time.monotonic() + self._reply_timeout
+            while not call.event.wait(timeout=0.2):
+                if _time.monotonic() >= deadline:
+                    raise ServeError("timed out waiting for a shard reply")
+                if call.shard is not None and not self._executors[call.shard].alive():
+                    # Dead worker: give the drainer one beat to deliver a
+                    # reply that was already on the wire, then fail fast
+                    # instead of burning the whole reply timeout.
+                    if not call.event.wait(timeout=0.5):
+                        raise ServeError(
+                            f"shard {call.shard}: worker died before replying"
+                        )
+                    break
             if call.error is not None:
                 raise ServeError(call.error)
             results.append(call.result)
@@ -378,6 +494,17 @@ class EAGrServer:
             self.writes_sent += count
         for shard_id in touched:
             self._flush_shard(shard_id, block=False)
+        if self._checkpoint_interval:
+            # A dead shard cannot answer OP_CHECKPOINT — leave its redo
+            # log growing (writes keep parking) until restart_shard().
+            due = [
+                shard_id
+                for shard_id in touched
+                if len(self._write_log[shard_id]) >= self._checkpoint_interval
+                and self._executors[shard_id].alive()
+            ]
+            if due:
+                self.checkpoint(due)
         return count
 
     def _flush_shard(self, shard_id: int, block: bool) -> None:
@@ -385,12 +512,7 @@ class EAGrServer:
             items = self._take_outbox(shard_id)
             if items is None:
                 return
-            request = (OP_WRITE, self._next_seq(), items)
-            ex = self._executors[shard_id]
-            if block:
-                ex.submit(request)
-                return
-            if ex.try_submit(request):
+            if self._submit_write(shard_id, items, block=block):
                 return
             # Shard backed up: coalesce into the outbox; later flushes (or
             # the cap) carry these items in one bigger batch.
@@ -402,7 +524,30 @@ class EAGrServer:
             if pending >= self._coalesce_max:
                 items = self._take_outbox(shard_id)
                 if items is not None:
-                    ex.submit((OP_WRITE, self._next_seq(), items))
+                    self._submit_write(shard_id, items, block=True)
+
+    def _submit_write(self, shard_id: int, items: List[Tuple], block: bool) -> bool:
+        """Number, redo-log, and enqueue one write batch (flush lock held).
+
+        The batch number is assigned and the batch recorded in the redo
+        log *before* the enqueue, so a batch a dying worker swallows is
+        still replayable; a refused non-blocking submit rolls both back
+        (the items return to the outbox and will renumber when they
+        eventually flush).  Returns whether the batch was enqueued.
+        """
+        batch_no = self._batch_no[shard_id] + 1
+        self._batch_no[shard_id] = batch_no
+        self._write_log[shard_id].append((batch_no, items))
+        request = (OP_WRITE, self._next_seq(), batch_no, items)
+        ex = self._executors[shard_id]
+        if block:
+            ex.submit(request)
+            return True
+        if ex.try_submit(request):
+            return True
+        self._batch_no[shard_id] = batch_no - 1
+        self._write_log[shard_id].pop()
+        return False
 
     def _take_outbox(self, shard_id: int) -> Optional[List[Tuple]]:
         """Pop a shard's outbox (caller holds that shard's flush lock)."""
@@ -465,7 +610,34 @@ class EAGrServer:
     # subscriptions
     # ------------------------------------------------------------------
 
-    def subscribe(self, subscriber: Hashable, nodes: Sequence[NodeId]) -> Subscription:
+    def _make_substate(self, subscriber: Hashable) -> _SubState:
+        """Build fresh per-subscriber state (caller holds the subs lock).
+
+        With a journal directory configured, a pre-existing log file is
+        reloaded — stamps continue where they left off and the retained
+        suffix is resumable even across a front-end process restart.
+        """
+        path = (
+            subscriber_log_path(self._journal_dir, subscriber)
+            if self._journal_dir is not None
+            else None
+        )
+        journal = NotificationLog(capacity=self._journal_capacity, path=path)
+        # Note: the per-ego replay filter (``last_batch``) is deliberately
+        # NOT rehydrated from a reloaded journal.  Its batch tags are shard
+        # write stamps, which are stable across checkpoint-restored shard
+        # restarts *within* a serving epoch — but a brand-new server boots
+        # fresh shards whose stamps restart at 0, so old-epoch tags would
+        # suppress every new notification.  Fresh subscriptions re-seed
+        # the filter at their subscribe-time stamps instead.
+        return _SubState(Subscription(subscriber), journal)
+
+    def subscribe(
+        self,
+        subscriber: Hashable,
+        nodes: Optional[Sequence[NodeId]] = None,
+        resume_from: Optional[int] = None,
+    ) -> Subscription:
         """Turn reads on ``nodes`` into a standing query for ``subscriber``.
 
         Returns the subscriber's :class:`Subscription` (one per subscriber
@@ -474,14 +646,42 @@ class EAGrServer:
         fire exactly for later changes.  Egos that no shard owns (filtered
         out by the query predicate or absent from the graph) appear in the
         snapshot with the identity value and never notify.
+
+        With ``resume_from=N`` this is a **reconnect**: the subscriber
+        gets a fresh :class:`Subscription` whose queue starts with the
+        journal suffix — every notification with stamp ``> N``, carrying
+        the *original* stamps — and live deliveries splice in after it
+        with no gap and no duplicate (the replay and the splice happen
+        atomically under the delivery lock).  Raises
+        :class:`~repro.serve.journal.ResumeGapError` when the journal no
+        longer retains stamp ``N+1`` (ring overflow or acknowledged
+        past it); the caller must re-baseline with a plain ``subscribe``
+        instead.  ``nodes`` may be omitted on reconnect (existing watches
+        stand); passing nodes as well extends the watch set in the same
+        call.
         """
         self._check_open()
-        nodes = list(nodes)
+        nodes = list(nodes) if nodes is not None else []
         with self._subs_lock:
             state = self._subs.get(subscriber)
             if state is None:
-                state = _SubState(Subscription(subscriber))
+                state = self._make_substate(subscriber)
                 self._subs[subscriber] = state
+            if resume_from is not None:
+                replayed = state.journal.replay(resume_from)  # may raise
+                subscription = Subscription(subscriber)
+                state.subscription = subscription
+                state.queue = subscription._queue
+                for note in replayed:
+                    state.queue.put(note)
+                self.notifications_replayed += len(replayed)
+            elif state.queue is None:
+                # Re-baseline after a disconnect (e.g. the resume window
+                # was lost to a ResumeGapError): fresh queue, no replay —
+                # the journal suffix is forfeited, live delivery resumes.
+                subscription = Subscription(subscriber)
+                state.subscription = subscription
+                state.queue = subscription._queue
             subscription = state.subscription
         aggregate = self.query.aggregate
         identity = aggregate.finalize(aggregate.identity())
@@ -498,9 +698,59 @@ class EAGrServer:
             calls.append(
                 self._submit_call(shard_id, OP_SUBSCRIBE, subscriber, shard_nodes)
             )
-        for snapshot in self._await(calls):
+        for (shard_id, shard_nodes), (snapshot, shard_stamp) in zip(
+            per_shard.items(), self._await(calls)
+        ):
             subscription.snapshot.update(snapshot)
+            with self._subs_lock:
+                state.watches.setdefault(shard_id, {}).update(
+                    dict.fromkeys(shard_nodes)
+                )
+                for ego in snapshot:
+                    # Seed the replay filter at the subscribe-time stamp:
+                    # a redo replay of earlier batches must not notify
+                    # this subscriber.  setdefault — a racing live
+                    # delivery (necessarily a later stamp) wins.
+                    state.last_batch.setdefault(ego, shard_stamp)
         return subscription
+
+    def disconnect(self, subscriber: Hashable) -> int:
+        """Sever ``subscriber``'s live queue (a client vanishing).
+
+        Shard watches stay armed and the journal keeps recording, so a
+        later ``subscribe(..., resume_from=N)`` replays everything missed.
+        Returns the last stamp delivered-or-journaled for the subscriber
+        (what a fully caught-up client would resume from).  Unknown
+        subscribers return 0.
+        """
+        with self._subs_lock:
+            state = self._subs.get(subscriber)
+            if state is None:
+                return 0
+            state.queue = None
+            return state.stamp
+
+    def ack(self, subscriber: Hashable, stamp: int) -> int:
+        """Acknowledge delivery through ``stamp``: the journal drops that
+        prefix (freeing resume-window space) and a later ``resume_from``
+        below ``stamp`` raises
+        :class:`~repro.serve.journal.ResumeGapError`.  Returns the number
+        of journal entries released.  Acknowledging a stamp that was never
+        delivered raises ``ValueError`` — silently accepting it would
+        advance the journal's horizon past its own stamp counter and
+        poison the next append (killing the reply drainer).
+        """
+        with self._subs_lock:
+            state = self._subs.get(subscriber)
+            if state is None:
+                return 0
+            if stamp > state.stamp:
+                raise ValueError(
+                    f"cannot ack stamp {stamp}: nothing beyond "
+                    f"{state.stamp} has been delivered to {subscriber!r}"
+                )
+            state.acked = max(state.acked, stamp)
+            return state.journal.truncate(stamp)
 
     def unsubscribe(
         self, subscriber: Hashable, nodes: Optional[Sequence[NodeId]] = None
@@ -532,8 +782,29 @@ class EAGrServer:
                 )
         removed = sum(self._await(calls))
         if nodes is None:
+            # Deliberate retirement: the journal (and its file) go too —
+            # this is the one path that forgets a subscriber entirely.
             with self._subs_lock:
-                self._subs.pop(subscriber, None)
+                state = self._subs.pop(subscriber, None)
+            if state is not None:
+                state.journal.close()
+                if state.journal.path is not None:
+                    try:
+                        _os.remove(state.journal.path)
+                    except OSError:  # pragma: no cover - best effort
+                        pass
+        else:
+            with self._subs_lock:
+                state = self._subs.get(subscriber)
+                if state is not None:
+                    for shard_id, shard_nodes in per_shard.items():
+                        watched = state.watches.get(shard_id)
+                        for node in shard_nodes:
+                            if watched is not None:
+                                watched.pop(node, None)
+                            # Forget the replay filter: a re-subscribe
+                            # re-seeds it at the new subscribe stamp.
+                            state.last_batch.pop(node, None)
         return removed
 
     # ------------------------------------------------------------------
@@ -566,6 +837,99 @@ class EAGrServer:
             for shard_id in range(self.num_shards)
         ]
         return self._await(calls)
+
+    def checkpoint(
+        self, shards: Optional[Sequence[int]] = None
+    ) -> Dict[int, ShardCheckpoint]:
+        """Snapshot shard restart state; truncate the redo logs.
+
+        For each target shard (default: all): flush its outbox, ask it for
+        a :class:`~repro.serve.messages.ShardCheckpoint` (the request rides
+        the FIFO queue, so the checkpoint covers every batch submitted
+        before it), remember it as the shard's restart baseline, and drop
+        redo-log batches the checkpoint already contains.  Returns the new
+        checkpoints keyed by shard id.
+
+        Checkpoint cost is O(shard state) — the window buffers and watch
+        registry are pickled — so production deployments amortize it via
+        ``checkpoint_interval`` rather than checkpointing per batch.
+        """
+        self._check_open()
+        targets = list(range(self.num_shards)) if shards is None else list(shards)
+        calls = []
+        for shard_id in targets:
+            self._flush_shard(shard_id, block=True)
+            calls.append((shard_id, self._submit_call(shard_id, OP_CHECKPOINT)))
+        out: Dict[int, ShardCheckpoint] = {}
+        for shard_id, call in calls:
+            ck = self._await([call])[0]
+            self._checkpoints[shard_id] = ck
+            with self._flush_locks[shard_id]:
+                self._write_log[shard_id] = [
+                    entry
+                    for entry in self._write_log[shard_id]
+                    if entry[0] > ck.applied_through
+                ]
+            out[shard_id] = ck
+        return out
+
+    def restart_shard(self, shard_id: int) -> int:
+        """Rebuild a (dead or live) shard worker and recover its state.
+
+        The replacement is built from the shard's :class:`ShardSpec` plus
+        its last checkpoint (blank slate when none was ever taken), then:
+
+        1. every subscriber's watches on this shard are re-armed *first*,
+           so their diffing baselines sit at checkpoint-time values;
+        2. the redo log — every batch submitted since that checkpoint —
+           replays in order.  Batch numbers the checkpoint already covers
+           are skipped shard-side; re-derived notifications whose values
+           subscribers already saw are suppressed front-side.
+
+        Together that makes recovery exact: reads match a shard that never
+        died, and subscribers observe no stamp gap, no duplicate, and no
+        lost value-change.  A still-running worker is killed uncleanly
+        first (this is crash recovery, not graceful migration — take a
+        :meth:`checkpoint` before a planned restart to shrink the replay).
+        Returns the number of redo batches replayed.
+        """
+        self._check_open()
+        if not 0 <= shard_id < self.num_shards:
+            raise ValueError(f"no such shard: {shard_id}")
+        with self._flush_locks[shard_id]:
+            old = self._executors[shard_id]
+            if old.alive():
+                old.kill()
+            spec = self.specs[shard_id].with_checkpoint(
+                self._checkpoints.get(shard_id)
+            )
+            ex = make_executor(
+                self.executor_kind,
+                spec,
+                self._reply_handler(shard_id),
+                queue_depth=self._queue_depth,
+                mp_context=self._mp_context,
+            )
+            self._executors[shard_id] = ex
+            self._flush_failed.discard(shard_id)
+            with self._subs_lock:
+                rearm = [
+                    (
+                        state.subscription.subscriber,
+                        list(state.watches.get(shard_id, ())),
+                    )
+                    for state in self._subs.values()
+                    if state.watches.get(shard_id)
+                ]
+            for subscriber, watch_nodes in rearm:
+                ex.submit((OP_SUBSCRIBE, self._next_seq(), subscriber, watch_nodes))
+            replayed = 0
+            for batch_no, items in self._write_log[shard_id]:
+                ex.submit((OP_WRITE, self._next_seq(), batch_no, items))
+                replayed += 1
+        self.restarts += 1
+        self.replayed_batches += replayed
+        return replayed
 
     @property
     def replication_factor(self) -> float:
@@ -602,6 +966,11 @@ class EAGrServer:
             self._closed = True
             for ex in self._executors:
                 ex.stop(self._next_seq())
+            # Journal files survive close (that is the point: a rebooted
+            # front-end reloads them); only the handles are released.
+            with self._subs_lock:
+                for state in self._subs.values():
+                    state.journal.close()
         if self._async_errors:
             # Fire-and-forget write failures since the last drain():
             # shutdown completed, but the caller must learn about them.

@@ -19,10 +19,13 @@ path, no queues — which is what the CI smoke tests run on.
 
 from __future__ import annotations
 
+import copy
+import pickle
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.core.query import EgoQuery
 from repro.serve.messages import (
+    OP_CHECKPOINT,
     OP_DRAIN,
     OP_READ,
     OP_STATS,
@@ -34,6 +37,7 @@ from repro.serve.messages import (
     R_OK,
     R_STOPPED,
     R_WRITE,
+    ShardCheckpoint,
 )
 
 NodeId = Hashable
@@ -78,6 +82,18 @@ class ShardSpec:
         options (e.g. a calibrated cost model holding lambdas) cannot
         travel to worker processes; configure those per-shard via
         defaults instead.
+    checkpoint:
+        Optional :class:`~repro.serve.messages.ShardCheckpoint` to restore
+        on build — the shard resumes with the checkpointed window buffers,
+        watch registry, applied batch number and write stamp instead of a
+        blank slate (see :meth:`with_checkpoint`).
+    faults:
+        Optional fault-injection plan for the worker loop (used by the
+        crash/restart test harness): ``{"exit_before_writes": N}`` kills
+        the worker on *receiving* its N-th write batch without applying
+        it; ``{"exit_after_writes": N}`` kills it after *applying* the
+        N-th batch but before acknowledging — the applied-but-unacked
+        window a real crash exposes.  ``None`` (default) disables both.
     """
 
     def __init__(
@@ -89,6 +105,8 @@ class ShardSpec:
         readers: FrozenSet[NodeId],
         value_store: str = "auto",
         engine_kwargs: Optional[Dict[str, Any]] = None,
+        checkpoint: Optional[ShardCheckpoint] = None,
+        faults: Optional[Dict[str, int]] = None,
     ) -> None:
         self.graph = graph
         # The user's predicate is already folded into ``readers`` by the
@@ -108,6 +126,22 @@ class ShardSpec:
         self.readers = frozenset(readers)
         self.value_store = value_store
         self.engine_kwargs = dict(engine_kwargs or {})
+        self.checkpoint = checkpoint
+        self.faults = faults
+
+    def with_checkpoint(
+        self, checkpoint: Optional[ShardCheckpoint]
+    ) -> "ShardSpec":
+        """A shallow copy of this spec that restores ``checkpoint`` on build.
+
+        The graph and query are shared (they are immutable from the
+        shard's point of view); only the restart state differs.  The
+        front-end uses this to rebuild a dead worker from its last known
+        checkpoint.
+        """
+        spec = copy.copy(self)
+        spec.checkpoint = checkpoint
+        return spec
 
     def shard_query(self) -> EgoQuery:
         """The deployment query restricted to this shard's readers."""
@@ -149,26 +183,82 @@ class ShardHost:
         self.watchers: Dict[NodeId, Dict[Hashable, None]] = {}
         #: ego -> last value delivered (or baselined at subscribe time).
         self.baseline: Dict[NodeId, Any] = {}
-        #: Monotone count of write batches applied on this shard.
+        #: Monotone count of write batches applied by *this* host instance.
         self.batches = 0
+        #: Highest front-end batch number applied (checkpoint-restored, so
+        #: a redo-log replay after restart skips what already landed).
+        self.applied_through = 0
         self.notices_emitted = 0
+        if spec.checkpoint is not None:
+            self._restore(spec.checkpoint)
+
+    def _restore(self, ck: ShardCheckpoint) -> None:
+        """Resume from a checkpoint: exact value state, watch registry,
+        batch/stamp positions (see :class:`ShardCheckpoint`)."""
+        if ck.shard_id != self.shard_id:
+            raise ValueError(
+                f"checkpoint for shard {ck.shard_id} cannot restore "
+                f"shard {self.shard_id}"
+            )
+        runtime = self.engine.runtime
+        # The engine's whole value state is derivable from the writer
+        # window buffers: swap in the checkpointed ones and re-materialize.
+        runtime.buffers.clear()
+        runtime.buffers.update(ck.buffers)
+        runtime.clock = ck.clock
+        runtime.stamp = ck.stamp
+        runtime.rebuild()
+        self.applied_through = ck.applied_through
+        self.watchers = {
+            ego: dict.fromkeys(subs) for ego, subs in ck.watchers.items()
+        }
+        self.baseline = dict(ck.baseline)
+
+    def checkpoint(self) -> ShardCheckpoint:
+        """Snapshot this shard's restart state (pickle-isolated).
+
+        The pickle round-trip both deep-copies (an in-process host keeps
+        mutating its live buffers afterwards) and proves the checkpoint
+        can cross a process boundary — the in-process executor therefore
+        exercises the same serialization surface as the real deployment.
+        """
+        runtime = self.engine.runtime
+        ck = ShardCheckpoint(
+            shard_id=self.shard_id,
+            applied_through=self.applied_through,
+            stamp=runtime.stamp,
+            clock=runtime.clock,
+            buffers=dict(runtime.buffers),
+            watchers={ego: tuple(subs) for ego, subs in self.watchers.items()},
+            baseline=dict(self.baseline),
+        )
+        return pickle.loads(pickle.dumps(ck))
 
     # ------------------------------------------------------------------
     # operations
     # ------------------------------------------------------------------
 
     def apply_write_batch(
-        self, items: List[Tuple]
+        self, batch_no: Optional[int], items: List[Tuple]
     ) -> Tuple[int, List[Tuple[Hashable, NodeId, Any, int]]]:
         """Apply one write batch; returns ``(count, notices)``.
 
-        ``notices`` holds ``(subscriber, ego, value, batch)`` for every
-        watched ego whose aggregate value actually changed — candidates
-        come from the O(affected) changed-reader report, and a re-read
-        (batched, pull subtrees shared) filters out cancellations.
+        ``batch_no`` is the front-end's per-shard monotone batch number;
+        a batch at or below :attr:`applied_through` was already absorbed
+        (this request is a redo-log replay after a restart) and is
+        skipped, making replays idempotent.  ``notices`` holds
+        ``(subscriber, ego, value, stamp)`` for every watched ego whose
+        aggregate value actually changed — candidates come from the
+        O(affected) changed-reader report, a re-read (batched, pull
+        subtrees shared) filters out cancellations, and ``stamp`` is the
+        runtime's global write stamp (stable across restarts).
         """
+        if batch_no is not None and batch_no <= self.applied_through:
+            return 0, []
         engine = self.engine
         count = engine.write_batch(items)
+        if batch_no is not None:
+            self.applied_through = batch_no
         self.batches += 1
         watchers = self.watchers
         if not watchers:
@@ -176,7 +266,7 @@ class ShardHost:
             # (keeping it bounded) without compiling reader closures.
             engine.runtime.pop_changed_writers()
             return count, []
-        changed = engine.changed_readers()
+        stamp, changed = engine.changed_report()
         candidates = [node for node in changed if node in watchers]
         if not candidates:
             return count, []
@@ -187,18 +277,21 @@ class ShardHost:
                 continue
             baseline[node] = value
             for subscriber in watchers[node]:
-                notices.append((subscriber, node, value, self.batches))
+                notices.append((subscriber, node, value, stamp))
         self.notices_emitted += len(notices)
         return count, notices
 
     def subscribe(
         self, subscriber: Hashable, nodes: List[NodeId]
-    ) -> Dict[NodeId, Any]:
-        """Watch ``nodes`` for ``subscriber``; returns the baseline snapshot.
+    ) -> Tuple[Dict[NodeId, Any], int]:
+        """Watch ``nodes`` for ``subscriber``; returns ``(snapshot, stamp)``.
 
         The baseline equals the current value, so notifications fire
         exactly for changes *after* the subscription (no spurious initial
-        delivery).
+        delivery).  ``stamp`` is the runtime's current global write stamp
+        — the front-end seeds its per-ego replay filter with it, so a
+        post-crash redo replay of batches that predate this subscription
+        is never delivered to the new subscriber.
         """
         snapshot: Dict[NodeId, Any] = {}
         fresh = [node for node in nodes if node not in self.baseline]
@@ -208,7 +301,7 @@ class ShardHost:
         for node in nodes:
             self.watchers.setdefault(node, {})[subscriber] = None
             snapshot[node] = self.baseline[node]
-        return snapshot
+        return snapshot, self.engine.runtime.stamp
 
     def unsubscribe(
         self, subscriber: Hashable, nodes: Optional[List[NodeId]] = None
@@ -251,7 +344,7 @@ class ShardHost:
         seq = request[1]
         try:
             if op == OP_WRITE:
-                count, notices = self.apply_write_batch(request[2])
+                count, notices = self.apply_write_batch(request[2], request[3])
                 return (R_WRITE, seq, count, notices)
             if op == OP_READ:
                 return (R_OK, seq, self.engine.read_batch(request[2]))
@@ -263,6 +356,8 @@ class ShardHost:
                 return (R_OK, seq, self.batches)
             if op == OP_STATS:
                 return (R_OK, seq, self.stats())
+            if op == OP_CHECKPOINT:
+                return (R_OK, seq, self.checkpoint())
             if op == OP_STOP:
                 return (R_STOPPED, seq, None)
             return (R_ERR, seq, f"unknown op {op!r}")
@@ -282,11 +377,37 @@ def shard_worker(spec: ShardSpec, requests, replies) -> None:
     order — the front-end's FIFO queues give per-shard read-your-writes.
     Exits after acknowledging ``OP_STOP`` (the ``R_STOPPED`` reply also
     tells the front-end's drainer thread to finish).
+
+    When ``spec.faults`` is set (crash/restart tests), the worker kills
+    itself at the configured deterministic point: on *receiving* the N-th
+    write batch (``exit_before_writes``, batch lost unapplied) or after
+    *applying* it but before the reply leaves (``exit_after_writes``, the
+    applied-but-unacknowledged window).  ``os._exit`` skips every
+    finalizer — as close to ``kill -9`` as the worker can do to itself —
+    so recovery is exercised against a genuinely unclean death.
     """
     host = spec.build()
+    faults = spec.faults or {}
+    exit_before = faults.get("exit_before_writes")
+    exit_after = faults.get("exit_after_writes")
+    writes_seen = 0
     while True:
         request = requests.get()
+        if request[0] == OP_WRITE:
+            writes_seen += 1
+            if exit_before is not None and writes_seen >= exit_before:
+                import os
+
+                os._exit(17)
         reply = host.handle(request)
+        if (
+            request[0] == OP_WRITE
+            and exit_after is not None
+            and writes_seen >= exit_after
+        ):
+            import os
+
+            os._exit(17)
         replies.put(reply)
         if reply[0] == R_STOPPED:
             break

@@ -150,3 +150,70 @@ class TestInvalidationAndRebuild:
         # Fresh writes keep reporting against the new overlay.
         engine.write_batch([("c", 7.0)])
         assert "g" in set(engine.changed_readers())
+
+
+class TestGlobalWriteStamp:
+    """The stamped report: a monotone version that survives rebuilds."""
+
+    def test_stamp_ticks_once_per_ingestion_call(self):
+        engine = build()
+        assert engine.runtime.stamp == 0
+        engine.write_batch([("c", 1.0), ("d", 2.0)])
+        stamp_a, changed = engine.changed_report()
+        assert stamp_a == 1 and changed
+        engine.write("c", 3.0)
+        stamp_b, _ = engine.changed_report()
+        assert stamp_b == stamp_a + 1
+
+    def test_stamp_survives_full_recompile(self):
+        from repro.graph.streams import StructureEvent, StructureOp
+
+        engine = build(maintain=False)
+        engine.write_batch([("c", 1.0)])
+        engine.changed_readers()
+        before = engine.runtime.stamp
+        engine.apply_structure_event(
+            StructureEvent(StructureOp.ADD_EDGE, "c", "g")
+        )
+        engine.write_batch([("c", 2.0)])  # triggers the lazy recompile
+        stamp, _ = engine.changed_report()
+        assert stamp == before + 1
+
+    def test_stamp_seedable_for_restore(self):
+        from repro.core.execution import Runtime
+
+        engine = build()
+        engine.write_batch([("c", 1.0)])
+        restored = Runtime(
+            engine.overlay, engine.query, buffers=engine.runtime.buffers,
+            stamp=engine.runtime.stamp,
+        )
+        assert restored.stamp == engine.runtime.stamp
+        restored.write_batch([("c", 2.0)])
+        assert restored.stamp == engine.runtime.stamp + 1
+
+    def test_threaded_and_partitioned_report_stamps(self):
+        from repro.core.concurrency import ThreadedEngine
+        from repro.core.partitioned import PartitionedEngine
+
+        graph = random_graph(16, 60, seed=7)
+        query = EgoQuery(
+            aggregate=Sum(),
+            window=TupleWindow(1),
+            neighborhood=Neighborhood.in_neighbors(),
+        )
+        nodes = list(graph.nodes())
+        threaded = ThreadedEngine(
+            EAGrEngine(graph, query, overlay_algorithm="vnm_a"),
+            write_threads=2,
+        )
+        try:
+            threaded.write_batch([(n, 1.0) for n in nodes])
+            stamp, readers = threaded.changed_report()
+            assert stamp >= 1 and readers
+        finally:
+            threaded.close()
+        parts = PartitionedEngine(graph, query, num_shards=3)
+        parts.write_batch([(n, 1.0) for n in nodes])
+        stamp, readers = parts.changed_report()
+        assert stamp >= 1 and readers

@@ -218,3 +218,35 @@ class TestServeShipment:
         clone = roundtrip(query)
         assert clone.window == query.window
         assert clone.aggregate.name == query.aggregate.name
+
+
+class TestWindowBufferCheckpoints:
+    """Shard checkpoints pickle live window buffers; identity-sensitive
+    state must survive the trip."""
+
+    def test_no_value_sentinel_keeps_identity(self):
+        from repro.core.windows import NO_VALUE
+
+        restored = pickle.loads(pickle.dumps(NO_VALUE))
+        assert restored is NO_VALUE
+
+    def test_empty_scalar_unit_buffer_roundtrips_empty(self):
+        from repro.core.windows import TupleWindow as TW
+
+        buffer = TW(1).make_buffer(scalar=True)
+        clone = pickle.loads(pickle.dumps(buffer))
+        assert clone.values() == []  # an unset slot stays "no value"
+        buffer.push(3.5, 1.0)
+        filled = pickle.loads(pickle.dumps(buffer))
+        assert filled.values() == [3.5]
+
+    def test_all_window_buffers_roundtrip_values(self):
+        from repro.core.windows import TimeWindow, TupleWindow as TW
+
+        for window in (TW(1), TW(3), TimeWindow(5.0)):
+            for scalar in (False, True):
+                buffer = window.make_buffer(scalar=scalar)
+                for step in range(4):
+                    buffer.append(float(step), float(step))
+                clone = pickle.loads(pickle.dumps(buffer))
+                assert clone.values() == buffer.values(), (window, scalar)

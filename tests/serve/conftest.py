@@ -1,0 +1,20 @@
+"""Shared fixtures for the serve-layer suites.
+
+Every test in ``tests/serve`` runs under a hard SIGALRM watchdog: a hung
+bounded queue (the classic deadlock shape in a front-end/worker protocol)
+becomes a loud :class:`~tests.serve.faultlib.FaultTimeout` in two minutes
+instead of stalling the whole CI job until its outer timeout.  Tests that
+need longer (none should) can re-arm with ``faultlib.deadline`` inside.
+"""
+
+import pytest
+
+from tests.serve.faultlib import deadline
+
+WATCHDOG_SECONDS = 120.0
+
+
+@pytest.fixture(autouse=True)
+def serve_watchdog(request):
+    with deadline(WATCHDOG_SECONDS, desc=request.node.nodeid):
+        yield

@@ -14,6 +14,8 @@ from repro.core.windows import TupleWindow
 from repro.graph.generators import random_graph
 from repro.serve import EAGrServer, ServeError
 
+from tests.serve.faultlib import collect, wait_dead
+
 
 class TestLambdaPredicate:
     def test_process_executor_accepts_lambda_predicate(self):
@@ -69,11 +71,10 @@ class TestProcessDeployment:
         before = dict(sub.snapshot)
         server.write_batch([(nodes[0], 123.0)])
         server.drain()
-        # Replies (and thus notifications) are drained asynchronously;
-        # drain() only barriers the request queues, so poll with patience.
-        note = sub.get(timeout=10.0)
-        assert note is not None
-        seen = [note] + sub.poll()
+        # The reply stream is FIFO per shard and the drain replies trail
+        # the write notices, so at least one notification is already
+        # queued; collect() makes the wait condition-based regardless.
+        seen = collect(sub, count=1, timeout=10.0) + sub.poll()
         assert all(n.subscriber == "remote-watcher" for n in seen)
         stamps = [n.stamp for n in seen]
         assert stamps == sorted(stamps)
@@ -100,21 +101,37 @@ class TestProcessDeployment:
         assert sum(s["writes"] for s in stats) == server.writes_delivered
 
     def test_dead_worker_surfaces_instead_of_hanging(self):
-        """A killed shard worker turns into an error, not an infinite hang."""
+        """A killed shard worker turns into an error, not an infinite hang —
+        and restart_shard() then recovers every accepted write from the
+        redo log, so the failure window costs availability, not data."""
         graph = random_graph(10, 30, seed=97)
         query = EgoQuery(aggregate=Sum())
+        single = EAGrEngine(
+            graph, query, overlay_algorithm="identity", dataflow="all_push"
+        )
+        nodes = list(graph.nodes())
         server = EAGrServer(
             graph, query, num_shards=1, executor="process", queue_depth=1,
             overlay_algorithm="identity", dataflow="all_push",
+            reply_timeout=30.0,
         )
         try:
             ex = server._executors[0]
             ex._process.terminate()
             ex._process.join(timeout=10.0)
+            accepted = []
             with pytest.raises(RuntimeError):
                 for _ in range(50):  # fill the dead queue, then submit blocks
-                    server.write_batch([(n, 1.0) for n in graph.nodes()])
+                    batch = [(n, 1.0) for n in nodes]
+                    server.write_batch(batch)
+                    accepted.append(batch)
                     server.flush()
+            # recovery: rebuild the worker, replay the redo log, serve again
+            server.restart_shard(0)
+            for batch in accepted:
+                single.write_batch(batch)
+            server.drain()
+            assert server.read_batch(nodes) == single.read_batch(nodes)
         finally:
             # Must not hang; may surface the lost writes as ServeError.
             try:

@@ -18,6 +18,7 @@ from repro.serve import EAGrServer, ServeError
 from repro.serve.messages import OP_READ
 
 from tests.conftest import make_events
+from tests.serve.faultlib import collect, refuse_submits
 
 
 def make_server(graph, query, num_shards=2, **kwargs):
@@ -194,18 +195,7 @@ class TestCoalescingAndBackpressure:
         nodes = list(graph.nodes())
         with make_server(graph, query, num_shards=2) as server:
             # Simulate a backed-up shard: refuse N non-blocking submits.
-            refusals = {"left": 3}
-            ex = server._executors[0]
-            original = ex.try_submit
-
-            def flaky_try_submit(request):
-                if refusals["left"] > 0:
-                    refusals["left"] -= 1
-                    return False
-                return original(request)
-
-            ex.try_submit = flaky_try_submit
-            try:
+            with refuse_submits(server._executors[0], 3):
                 for i in range(6):
                     batch = [(n, float(i + 1)) for n in nodes]
                     server.write_batch(batch)
@@ -213,8 +203,6 @@ class TestCoalescingAndBackpressure:
                 assert server.coalesced_flushes >= 1
                 # Reads force a blocking flush: nothing was dropped.
                 assert server.read_batch(nodes) == single.read_batch(nodes)
-            finally:
-                ex.try_submit = original
 
     def test_background_flusher_delivers_parked_writes(self):
         """A refused flush retries from the flusher thread: an idle
@@ -224,24 +212,12 @@ class TestCoalescingAndBackpressure:
         nodes = list(graph.nodes())
         with make_server(graph, query, num_shards=1) as server:
             sub = server.subscribe("w", nodes)
-            ex = server._executors[0]
-            original = ex.try_submit
-            refusals = {"left": 2}
-
-            def flaky_try_submit(request):
-                if refusals["left"] > 0:
-                    refusals["left"] -= 1
-                    return False
-                return original(request)
-
-            ex.try_submit = flaky_try_submit
-            try:
+            with refuse_submits(server._executors[0], 2) as refusals:
                 server.write_batch([(nodes[0], 42.0)])
                 # No further server calls: only the flusher can deliver.
-                note = sub.get(timeout=5.0)
-                assert note is not None
-            finally:
-                ex.try_submit = original
+                notes = collect(sub, count=1, timeout=10.0)
+                assert notes
+                assert refusals["left"] == 0
 
     def test_coalesce_cap_forces_blocking_flush(self):
         graph = random_graph(20, 80, seed=92)
@@ -250,17 +226,177 @@ class TestCoalescingAndBackpressure:
         with make_server(
             graph, query, num_shards=1, coalesce_max=4
         ) as server:
-            ex = server._executors[0]
-            original = ex.try_submit
-            ex.try_submit = lambda request: False  # permanently backed up
-            try:
+            with refuse_submits(server._executors[0], 10**9):
                 for i in range(12):
                     server.write_batch([(nodes[0], float(i))])
                 # The cap bounded the outbox: a blocking flush happened.
                 assert len(server._outbox[0]) < 12
-            finally:
-                ex.try_submit = original
-                server.flush()
+            server.flush()
+
+
+class TestDurability:
+    """Checkpoint/restart and resume on the deterministic executor (the
+    process-boundary versions live in test_crash_restart.py)."""
+
+    def test_killed_shard_restarts_exactly_from_checkpoint(self):
+        graph = random_graph(24, 110, seed=181)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=2) as server:
+            sub = server.subscribe("w", nodes)
+            for value in (1.0, 2.0):
+                batch = [(n, value) for n in nodes]
+                server.write_batch(batch)
+                single.write_batch(batch)
+            server.checkpoint()
+            batch = [(n, 5.0) for n in nodes]
+            server.write_batch(batch)  # post-checkpoint: redo-log only
+            single.write_batch(batch)
+            server.drain()
+            seen = sub.poll()
+            server._executors[0].kill()  # all shard-0 state gone
+            assert not server._executors[0].alive()
+            replayed = server.restart_shard(0)
+            assert replayed >= 1
+            server.drain()
+            # exact recovery: reads match the never-crashed oracle ...
+            assert server.read_batch(nodes) == single.read_batch(nodes)
+            # ... and no notification was re-delivered for the replay:
+            # the suppression path engaged for shard 0's re-derived notices
+            assert sub.poll() == []
+            assert server.notifications_suppressed >= 1
+            assert server.restarts == 1
+            # the stream continues seamlessly
+            server.write_batch([(nodes[0], 9.0)])
+            server.drain()
+            more = sub.poll()
+            assert more
+            stamps = [n.stamp for n in seen + more]
+            assert stamps == list(range(1, len(stamps) + 1))
+
+    def test_writes_accepted_while_dead_survive_restart(self):
+        graph = random_graph(20, 80, seed=182)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=2) as server:
+            server._executors[0].kill()
+            for value in (1.0, 4.0):  # accepted into outbox/redo while dead
+                batch = [(n, value) for n in nodes]
+                server.write_batch(batch)
+                single.write_batch(batch)
+            server.restart_shard(0)
+            server.drain()
+            assert server.read_batch(nodes) == single.read_batch(nodes)
+
+    def test_resume_replays_notifications_counter(self):
+        graph = random_graph(20, 80, seed=183)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=2) as server:
+            sub = server.subscribe("w", nodes)
+            server.write_batch([(n, 2.0) for n in nodes])
+            server.drain()
+            seen = sub.poll()
+            assert seen
+            server.disconnect("w")
+            server.write_batch([(n, 6.0) for n in nodes])
+            server.drain()
+            assert sub.poll() == []  # severed queue stays silent
+            resumed = server.subscribe("w", resume_from=seen[-1].stamp)
+            replay = resumed.poll()
+            assert replay
+            assert server.notifications_replayed == len(replay)
+            assert [n.stamp for n in seen + replay] == list(
+                range(1, len(seen) + len(replay) + 1)
+            )
+
+    def test_ack_releases_journal_prefix(self):
+        graph = random_graph(20, 80, seed=184)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=2) as server:
+            sub = server.subscribe("w", nodes)
+            server.write_batch([(n, 3.0) for n in nodes])
+            server.drain()
+            notes = sub.poll()
+            released = server.ack("w", notes[-1].stamp)
+            assert released == len(notes)
+            server.disconnect("w")
+            # resuming below the acked mark is a hard error, not a gap
+            from repro.serve import ResumeGapError
+
+            with pytest.raises(ResumeGapError):
+                server.subscribe("w", resume_from=0)
+            server.subscribe("w", resume_from=notes[-1].stamp)
+
+    def test_plain_subscribe_after_disconnect_reattaches_queue(self):
+        """The documented ResumeGapError recovery path — re-baseline with
+        a plain subscribe — must restore live delivery, not return a
+        handle wired to a severed queue."""
+        graph = random_graph(20, 80, seed=186)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=2) as server:
+            server.subscribe("w", nodes)
+            server.write_batch([(n, 2.0) for n in nodes])
+            server.drain()
+            server.disconnect("w")
+            fresh = server.subscribe("w", nodes)  # re-baseline, no resume
+            server.write_batch([(n, 7.0) for n in nodes])
+            server.drain()
+            assert fresh.poll()  # live again
+
+    def test_ack_beyond_delivered_rejected(self):
+        graph = random_graph(20, 80, seed=187)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(graph, query, num_shards=2) as server:
+            sub = server.subscribe("w", nodes)
+            server.write_batch([(n, 2.0) for n in nodes])
+            server.drain()
+            notes = sub.poll()
+            with pytest.raises(ValueError):
+                server.ack("w", notes[-1].stamp + 1000)
+            # the journal is unharmed: delivery continues
+            server.write_batch([(n, 8.0) for n in nodes])
+            server.drain()
+            more = sub.poll()
+            assert more and more[0].stamp == notes[-1].stamp + 1
+
+    def test_auto_checkpoint_skips_dead_shard(self):
+        """With checkpoint_interval armed, writes to a dead shard keep
+        parking (no raise from the auto-checkpoint path) until restart."""
+        graph = random_graph(20, 80, seed=188)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        with make_server(
+            graph, query, num_shards=2, checkpoint_interval=2
+        ) as server:
+            server._executors[0].kill()
+            for i in range(6):  # well past the interval
+                batch = [(n, float(i + 1)) for n in nodes]
+                server.write_batch(batch)
+                single.write_batch(batch)
+            server.restart_shard(0)
+            server.drain()
+            assert server.read_batch(nodes) == single.read_batch(nodes)
+
+    def test_auto_checkpoint_bounds_redo_log(self):
+        graph = random_graph(20, 80, seed=185)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        nodes = list(graph.nodes())
+        with make_server(
+            graph, query, num_shards=2, checkpoint_interval=3
+        ) as server:
+            for i in range(12):
+                server.write_batch([(n, float(i + 1)) for n in nodes])
+            assert all(
+                len(log) <= 3 for log in server._write_log
+            ), [len(log) for log in server._write_log]
+            assert set(server._checkpoints) == {0, 1}
 
 
 class TestLifecycle:
