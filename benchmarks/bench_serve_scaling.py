@@ -8,15 +8,22 @@ configuration) it measures sustained write throughput three ways:
   ``submit_write_batch`` + drain: the paper's queueing model on real OS
   threads.  Correct, but CPython's GIL serializes the micro-tasks and the
   per-edge queue round-trips dominate.
-* **serve-K** — :class:`~repro.serve.server.EAGrServer` with K shard
-  **processes** (spawn): batches pickle across the process boundary and
-  each shard applies its slice through the columnar scatter kernels.
+* **serve-K (queue)** — :class:`~repro.serve.server.EAGrServer` with K
+  shard **processes** (spawn) on the pickle-over-``mp.Queue`` transport:
+  batches pickle across the process boundary and each shard applies its
+  slice through the columnar scatter kernels.
+* **serve-K (shm)** — the same deployment on the shared-memory transport:
+  write batches scatter into per-shard ingress rings, shards keep their
+  columns in named shared segments, the applied watermark replaces
+  per-batch acknowledgements, and reads answer zero-copy front-side.
 * **serve-inproc** — the same server on the in-process executor (the
   routing overhead alone, no processes; context for the queue cost).
 
 Results append to ``BENCH_serve.json`` at the repo root so CI accumulates
-the trajectory.  ``--smoke`` shrinks the workload and asserts the
-acceptance floor: serve at the highest shard count must beat threaded.
+the trajectory (the ``shm`` column records the shared-memory transport).
+``--smoke`` shrinks the workload and asserts the acceptance floors: serve
+at the highest shard count must beat threaded, the shm transport must
+actually resolve, and no ``/dev/shm`` segment may survive teardown.
 
 Note on hosts: on a single-core container the shard processes time-slice
 one CPU, so the serve numbers measure the *per-event work advantage*
@@ -97,7 +104,15 @@ def bench_threaded(graph, events, passes: int) -> float:
         threaded.close()
 
 
-def bench_serve(graph, events, num_shards: int, executor: str, passes: int) -> float:
+def bench_serve(
+    graph,
+    events,
+    num_shards: int,
+    executor: str,
+    passes: int,
+    transport: str = "auto",
+    check_segments=None,
+) -> float:
     from repro.core.aggregates import Sum
     from repro.core.query import EgoQuery
     from repro.core.windows import TupleWindow
@@ -113,10 +128,13 @@ def bench_serve(graph, events, num_shards: int, executor: str, passes: int) -> f
         query,
         num_shards=num_shards,
         executor=executor,
+        transport=transport,
         overlay_algorithm="vnm_a",
         dataflow="mincut",
         queue_depth=16,
     )
+    if transport == "shm":
+        assert server.transport == "shm", "shm transport failed to resolve"
 
     def run(items):
         write_batch = server.write_batch
@@ -124,17 +142,34 @@ def bench_serve(graph, events, num_shards: int, executor: str, passes: int) -> f
             write_batch(items[start : start + BATCH_SIZE])
         server.drain()
 
+    segment_names = [
+        name for spec in server.specs if spec.shm for name in spec.shm.values()
+    ]
     try:
         run(events)  # warm: boots workers, compiles every shard's plans
         return measure(run, events, passes)
     finally:
         server.close()
+        if check_segments is not None:
+            check_segments(segment_names)
+
+
+def _assert_segments_gone(names):
+    from repro.core.statestore import segment_exists
+
+    leaked = [name for name in names if segment_exists(name)]
+    assert not leaked, f"leaked shared-memory segments after teardown: {leaked}"
 
 
 def run_bench(num_events: int = NUM_EVENTS, shard_counts=SHARD_COUNTS, passes: int = 3):
     graph = bench_graph("livejournal-small", scale=0.25)
     events = write_workload(graph, num_events)
-    results = {"threaded_eps": 0.0, "serve": {}, "serve_inprocess_eps": 0.0}
+    results = {
+        "threaded_eps": 0.0,
+        "serve": {},
+        "shm": {},
+        "serve_inprocess_eps": 0.0,
+    }
 
     threaded = bench_threaded(graph, events, passes)
     results["threaded_eps"] = round(threaded)
@@ -146,13 +181,36 @@ def run_bench(num_events: int = NUM_EVENTS, shard_counts=SHARD_COUNTS, passes: i
             ["serve-inproc x2", f"{inproc:,.0f}",
              f"{inproc / threaded:.2f}x" if threaded else "-"]]
     for shards in shard_counts:
-        eps = bench_serve(graph, events, shards, "process", passes)
-        speedup = eps / threaded if threaded else 0.0
+        queue_eps = bench_serve(
+            graph, events, shards, "process", passes, transport="queue"
+        )
+        shm_eps = bench_serve(
+            graph, events, shards, "process", passes,
+            transport="shm", check_segments=_assert_segments_gone,
+        )
         results["serve"][str(shards)] = {
-            "eps": round(eps),
-            "speedup_vs_threaded": round(speedup, 2),
+            "eps": round(queue_eps),
+            "speedup_vs_threaded": round(
+                queue_eps / threaded if threaded else 0.0, 2
+            ),
         }
-        rows.append([f"serve-proc x{shards}", f"{eps:,.0f}", f"{speedup:.2f}x"])
+        results["shm"][str(shards)] = {
+            "eps": round(shm_eps),
+            "speedup_vs_threaded": round(
+                shm_eps / threaded if threaded else 0.0, 2
+            ),
+            "speedup_vs_queue": round(
+                shm_eps / queue_eps if queue_eps else 0.0, 2
+            ),
+        }
+        rows.append([
+            f"serve-proc x{shards} (queue)", f"{queue_eps:,.0f}",
+            f"{queue_eps / threaded:.2f}x" if threaded else "-",
+        ])
+        rows.append([
+            f"serve-proc x{shards} (shm)", f"{shm_eps:,.0f}",
+            f"{shm_eps / threaded:.2f}x" if threaded else "-",
+        ])
     emit_table(
         "serve_scaling",
         f"Serving layer [SUM, vnm_a+mincut, batch={BATCH_SIZE}]: "
@@ -194,24 +252,36 @@ def main(argv):
     smoke = "--smoke" in argv
     num_events = 1_500 if smoke else NUM_EVENTS
     shard_counts = (1, 2) if smoke else SHARD_COUNTS
-    passes = 2 if smoke else 3
+    # Full runs take best-of-5: at 4 shard processes on a shared single
+    # core, scheduler noise swings single passes ±20% — enough to flip a
+    # transport comparison that is stable under best-of.
+    passes = 2 if smoke else 5
     results = run_bench(num_events=num_events, shard_counts=shard_counts, passes=passes)
     persist(results, num_events)
     top = str(max(int(s) for s in results["serve"]))
     best = results["serve"][top]
+    best_shm = results["shm"][top]
     print(
         f"threaded: {results['threaded_eps']:,} ev/s; "
-        f"serve x{top}: {best['eps']:,} ev/s "
-        f"({best['speedup_vs_threaded']}x); JSON -> {JSON_PATH}"
+        f"serve x{top} queue: {best['eps']:,} ev/s "
+        f"({best['speedup_vs_threaded']}x); "
+        f"shm: {best_shm['eps']:,} ev/s "
+        f"({best_shm['speedup_vs_queue']}x vs queue); JSON -> {JSON_PATH}"
     )
     if smoke:
-        # CI tripwire, deliberately loose: the serve layer clears the
+        # CI tripwires, deliberately loose: the serve layer clears the
         # thread pool by 4-12x on a quiet single core, so even a noisy
         # shared runner (spawn boot jitter, scheduler interference) stays
         # far above this floor unless the hot path genuinely regressed.
         assert best["speedup_vs_threaded"] >= 0.5, (
             "serve layer grossly regressed vs ThreadedEngine: "
             f"{best['speedup_vs_threaded']}x"
+        )
+        # The shm transport ran (bench_serve asserted it resolved and its
+        # segments were unlinked); it must not collapse vs the queue.
+        assert best_shm["speedup_vs_queue"] >= 0.5, (
+            f"shm transport grossly regressed vs queue: "
+            f"{best_shm['speedup_vs_queue']}x"
         )
 
 

@@ -73,9 +73,13 @@ class EAGrEngine:
     value_store:
         Aggregate-state backend: ``auto`` (columnar numpy columns when the
         aggregate declares a column spec and numpy imports, object lists
-        otherwise), or force ``object`` / ``columnar``.  Invisible to
-        callers — reads are byte-identical between backends for integer
-        streams.
+        otherwise), or force ``object`` / ``columnar`` / ``shared``
+        (shared-memory columns other processes can attach by name — the
+        serving layer's zero-copy read path).  Invisible to callers —
+        reads are byte-identical between backends for integer streams.
+    shm_name:
+        Segment name for the ``shared`` backend (created, or adopted when
+        a compatible segment already exists); ignored otherwise.
     """
 
     def __init__(
@@ -94,6 +98,7 @@ class EAGrEngine:
         collect_trace: bool = False,
         overlay_params: Optional[Dict[str, Any]] = None,
         value_store: str = "auto",
+        shm_name: Optional[str] = None,
     ) -> None:
         if dataflow not in DATAFLOW_MODES:
             raise ValueError(f"dataflow must be one of {DATAFLOW_MODES}")
@@ -102,6 +107,7 @@ class EAGrEngine:
         self.dataflow = dataflow
         self.overlay_algorithm = overlay_algorithm
         self.value_store = value_store
+        self.shm_name = shm_name
         self.frequencies = frequencies or FrequencyModel.uniform(graph.nodes())
         self.cost_model = cost_model or CostModel.for_aggregate(query.aggregate)
         self.auto_redecide = auto_redecide
@@ -128,7 +134,11 @@ class EAGrEngine:
 
         self.decision_stats = self._decide()
         self.runtime = Runtime(
-            self.overlay, query, collect_trace=collect_trace, value_store=value_store
+            self.overlay,
+            query,
+            collect_trace=collect_trace,
+            value_store=value_store,
+            shm_name=shm_name,
         )
 
         self.maintainer: Optional[OverlayMaintainer] = None
@@ -311,6 +321,11 @@ class EAGrEngine:
         pending_changes = self.runtime._changed_writers
         stamp = self.runtime.stamp
         self._oracle_members.clear()
+        close_store = getattr(self.runtime.values, "close", None)
+        if close_store is not None:
+            # A shared store must drop its mapping before the replacement
+            # runtime adopts (or regrows) the named segment.
+            close_store()
         self.ag = build_bipartite(
             self.graph, self.query.neighborhood, self.query.predicate
         )
@@ -326,6 +341,7 @@ class EAGrEngine:
             collect_trace=self._collect_trace,
             value_store=self.value_store,
             stamp=stamp,
+            shm_name=self.shm_name,
         )
         self.runtime._changed_writers.update(pending_changes)
         if self.controller is not None:

@@ -364,6 +364,7 @@ class Runtime:
         collect_trace: bool = False,
         value_store: str = "auto",
         stamp: int = 0,
+        shm_name: Optional[str] = None,
     ) -> None:
         self.overlay = overlay
         self.query = query
@@ -396,8 +397,12 @@ class Runtime:
         self.stamp = stamp
         # -- pluggable value store ------------------------------------
         self.value_store_mode = value_store
-        self.values = make_value_store(self.aggregate, overlay.num_nodes, value_store)
-        self._columnar = self.values.backend == "columnar"
+        self.values = make_value_store(
+            self.aggregate, overlay.num_nodes, value_store, shm_name=shm_name
+        )
+        # "shared" is columnar state in a shared-memory mapping: every
+        # columnar kernel applies unchanged (the columns are numpy views).
+        self._columnar = self.values.backend in ("columnar", "shared")
         self._spec = self.aggregate.column_spec if self._columnar else None
         self._columnar_delta = self._columnar and self._spec.kind == "delta"
         self._scalar_buffers = self._columnar and self._spec.scalar_raws
@@ -425,6 +430,16 @@ class Runtime:
         self.clock = 0.0
         self._expiry_heap: List[Tuple[float, int]] = []
         self.trace: Optional[List[TraceOp]] = [] if collect_trace else None
+        # Columnar lattice execution (MAX/MIN over columns): per-input
+        # snapshots are redundant — a push node's snapshot of input ``src``
+        # always equals ``values[src]`` (every emitted message updates all
+        # consumers before propagation descends), so recomputes gather the
+        # inputs' columns directly and batches of grow-only updates apply
+        # as one ``fmax.at``/``fmin.at`` scatter.  Trace collection keeps
+        # the snapshot-based interpreter (micro-op parity with the seed).
+        self._lattice_columns = (
+            self._columnar and self._spec.kind == "lattice" and self.trace is None
+        )
         # The identity PAO is immutable by the aggregate API contract
         # (merge/subtract never mutate arguments), so one instance serves
         # every identity use instead of reconstructing it per operation.
@@ -531,7 +546,9 @@ class Runtime:
             snaps[src] = value
             acc = agg.merge(acc, value) if sign > 0 else agg.subtract(acc, value)
         self.values[handle] = acc
-        if not self.group:
+        if not self.group and not self._lattice_columns:
+            # Columnar lattice recomputes gather the input columns directly
+            # (see __init__), so no per-node snapshot dict is kept.
             self.snapshots[handle] = snaps
 
     # ------------------------------------------------------------------
@@ -1058,6 +1075,9 @@ class Runtime:
         trace: Optional[List[TraceOp]],
     ) -> None:
         """Propagation phase of a batch: one plan execution per writer."""
+        if self._lattice_columns and trace is None:
+            self._apply_pending_lattice(pending)
+            return
         if self._scalar_group and trace is None:
             # Scalar kernel: coalesced delta per writer, applied through the
             # compiled plan with plain arithmetic (matches writer_step +
@@ -1098,6 +1118,119 @@ class Runtime:
             if message is not None:
                 self._changed_writers[labels[handle]] = None
                 self._propagate(handle, message, len(added) or 1)
+
+    # ------------------------------------------------------------------
+    # columnar lattice batches (MAX/MIN scatters)
+    # ------------------------------------------------------------------
+
+    def _apply_pending_lattice(self, pending) -> None:
+        """Columnar MAX/MIN propagation: grow-only writers scatter as one
+        ``fmax.at``/``fmin.at``, the rest take the column-based DFS.
+
+        A writer whose batch run evicted nothing can only *raise* the
+        extremum (lattice merges are monotone), so its whole downstream
+        frontier applies as an idempotent extremum scatter over the same
+        ragged rows the delta kernels use — pull-frontier rows (coefficient
+        0 in the scatter table) are masked out, and lattice overlays carry
+        no negative edges, so every surviving coefficient is +1.  Writers
+        that saw an eviction (the extremum may shrink) recompute from their
+        window buffer and propagate through the data-dependent DFS, which
+        gathers input columns directly instead of per-node snapshots.
+
+        Observed-push accounting: scattered writers defer full-closure
+        credits through the scatter table (the stream-frequency semantics
+        of the delta kernels); DFS writers credit per visited node like
+        the interpreter.  Both feed the same adaptive estimates.
+        """
+        np = _statestore._np
+        is_max = self._spec.merge_ufunc == "maximum"
+        fold_at = np.fmax.at if is_max else np.fmin.at
+        store = self.values
+        column = store.columns[0]
+        cleared = store._cleared
+        changed = self._changed_writers
+        labels = self.overlay.labels
+        grow_handles: List[int] = []
+        grow_values: List[float] = []
+        grow_events: List[int] = []
+        slow: List[Tuple[int, Tuple[List[Any], List[Any]]]] = []
+        for handle, entry in pending.items():
+            added, evicted = entry
+            if evicted or not added:
+                slow.append((handle, entry))
+                continue
+            extremum = float(max(added) if is_max else min(added))
+            if not cleared[handle]:
+                old = column[handle]
+                if (extremum <= old) if is_max else (extremum >= old):
+                    continue  # the writer's value did not move: no-op batch
+            grow_handles.append(handle)
+            grow_values.append(extremum)
+            grow_events.append(len(added))
+            changed[labels[handle]] = None
+        if grow_handles:
+            table = self._scatter
+            if table is None:
+                table = self._build_scatter_table()
+            count = len(grow_handles)
+            w_arr = np.fromiter(grow_handles, dtype=np.int64, count=count)
+            v_arr = np.fromiter(grow_values, dtype=np.float64, count=count)
+            column[w_arr] = v_arr
+            cleared[w_arr] = False
+            expanded = table.expand(np, w_arr)
+            if expanded is not None:
+                idx, counts = expanded
+                live = table.coeff[idx] != 0  # drop pull-frontier rows
+                if live.any():
+                    dsts = table.dst[idx][live]
+                    fold_at(column, dsts, np.repeat(v_arr, counts)[live])
+                    cleared[dsts] = False
+            self.counters.push_ops += int(table.push_counts[w_arr].sum())
+            self._obs_pending_handles.extend(grow_handles)
+            self._obs_pending_events.extend(grow_events)
+        for handle, (added, evicted) in slow:
+            message = self.writer_step(handle, added, evicted)
+            if message is not None:
+                changed[labels[handle]] = None
+                self._propagate_lattice_columns(
+                    handle, message[0], message[1], len(added) or 1
+                )
+
+    def _propagate_lattice_columns(
+        self, source: int, old: PAO, new: PAO, events: int = 1
+    ) -> None:
+        """Lattice DFS over compiled adjacencies, state in columns.
+
+        Identical control flow to :meth:`_propagate_lattice`, but node
+        values come from the columnar store's element accessors and a
+        :data:`NEED_RECOMPUTE` gathers the destination's *input columns*
+        instead of a snapshot dict — valid because a push node's snapshot
+        of input ``src`` always mirrors ``values[src]`` (see __init__).
+        """
+        agg = self.aggregate
+        store = self.values
+        inputs = self.overlay.inputs
+        observed = self.observed_push
+        counters = self.counters
+        out_cache = self._out_cache
+        stack: List[Tuple[int, PAO, PAO]] = [(source, old, new)]
+        while stack:
+            node, node_old, node_new = stack.pop()
+            out = out_cache.get(node)
+            if out is None:
+                out = self._compile_out(node)
+            for dst, _sign, is_push, _fan_in in out:
+                observed[dst] += events
+                if not is_push:
+                    continue
+                current = store[dst]
+                updated = agg.fast_update(current, node_old, node_new)
+                if updated is NEED_RECOMPUTE:
+                    updated = agg.combine(store[src] for src in inputs[dst])
+                counters.push_ops += 1
+                if updated != current:
+                    store[dst] = updated
+                    stack.append((dst, current, updated))
 
     # ------------------------------------------------------------------
     # columnar batched writes
@@ -1529,12 +1662,23 @@ class Runtime:
             return outgoing
         old, new = message
         snaps = self.snapshots[dst]
-        previous = snaps.get(src, old)
-        snaps[src] = new
         current = self.values[dst]
-        updated = agg.fast_update(current, previous, new)
-        if updated is NEED_RECOMPUTE:
-            updated = agg.combine(snaps.values())
+        if snaps is None:
+            # Columnar lattice mode keeps no snapshots: the message's own
+            # ``old`` *is* src's previous value, and a recompute gathers
+            # the inputs' current column values (identical by the
+            # snapshot-mirrors-values invariant, see __init__).
+            updated = agg.fast_update(current, old, new)
+            if updated is NEED_RECOMPUTE:
+                updated = agg.combine(
+                    self.values[source] for source in overlay.inputs[dst]
+                )
+        else:
+            previous = snaps.get(src, old)
+            snaps[src] = new
+            updated = agg.fast_update(current, previous, new)
+            if updated is NEED_RECOMPUTE:
+                updated = agg.combine(snaps.values())
         self.counters.push_ops += 1
         if self.trace is not None:
             self.trace.append(TraceOp(dst, "push", overlay.fan_in(dst)))
@@ -1555,6 +1699,8 @@ class Runtime:
         self._check_plans()
         if self.group:
             self._run_push_plan(source, message, events)
+        elif self._lattice_columns:
+            self._propagate_lattice_columns(source, message[0], message[1], events)
         else:
             self._propagate_lattice(source, message, events)
 

@@ -33,6 +33,16 @@ The contract:
 * ``close()`` — flush pending work, then release resources.  ``close`` on
   an already-closed shard is a no-op.  Closing **flushes rather than
   drops**: writes accepted before ``close`` are visible to a final read.
+
+The contract is deliberately *transport-free*: a backend may absorb
+writes from an in-process call, a bounded ``mp.Queue``, or the serve
+layer's shared-memory ingress rings (:mod:`repro.serve.shm`), and may
+answer ``read_batch`` itself or expose its value columns for the caller
+to gather zero-copy — as long as the visibility rules above hold.  The
+shm transport meets them with a published *applied watermark* (the
+highest absorbed batch number plus the global write stamp) instead of
+per-request acknowledgements; consumers treat "watermark covers every
+batch I routed" as equivalent to a ``drain()`` barrier for reads.
 """
 
 from __future__ import annotations

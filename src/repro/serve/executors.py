@@ -15,6 +15,14 @@ an ``on_reply`` callback:
   request executes synchronously on the caller's thread and the reply is
   delivered before ``submit`` returns.  Deterministic and dependency-free,
   this is the executor tests and CI smoke jobs run on.
+* :class:`ShmShardExecutor` — a worker process fed through the shard's
+  **shared-memory ingress ring** (:mod:`repro.serve.shm`) instead of a
+  request queue: the front-end pickles request tuples straight into the
+  ring (FIFO — every queue-transport ordering guarantee carries over),
+  the worker polls, and backpressure is ring space instead of queue
+  depth.  Replies still ride an ``mp.Queue`` (they are rare on the hot
+  path: write batches publish their applied watermark through the ring
+  header and only reply when carrying notices or errors).
 
 ``on_reply`` may be invoked from a drainer thread (process executor) or
 the submitting thread (in-process); the front-end's handler is written to
@@ -23,11 +31,13 @@ be thread-safe either way.
 
 from __future__ import annotations
 
+import pickle
 import threading
+import time
 from typing import Callable, Optional, Tuple
 
 from repro.serve.messages import OP_STOP, OP_WRITE, R_STOPPED
-from repro.serve.shard import ShardSpec, shard_worker
+from repro.serve.shard import ShardSpec, shard_worker, shard_worker_shm
 
 OnReply = Callable[[Tuple], None]
 
@@ -61,6 +71,9 @@ class InProcessShardExecutor:
     def host(self):
         """The live shard host (introspection for tests and examples)."""
         return self._host
+
+    def flush_bell(self) -> None:
+        """No-op: synchronous execution needs no wake-up signal."""
 
     def try_submit(self, request: Tuple) -> bool:
         """Execute immediately; refuses only when the shard has crashed."""
@@ -175,6 +188,9 @@ class ProcessShardExecutor:
             if reply[0] == R_STOPPED:
                 return
 
+    def flush_bell(self) -> None:
+        """No-op: the queue's feeder thread wakes the worker by itself."""
+
     def try_submit(self, request: Tuple) -> bool:
         """Non-blocking submit; ``False`` when the shard is backed up.
 
@@ -263,9 +279,175 @@ class ProcessShardExecutor:
         return self._process.is_alive()
 
 
+class ShmShardExecutor(ProcessShardExecutor):
+    """Worker process fed through a shared-memory ingress ring.
+
+    The ring object is owned by the front-end (it survives executor
+    replacement across shard restarts — the server resets it and hands it
+    to the successor); this executor only pushes frames and watches the
+    worker.  ``submit``/``try_submit`` serialize on a push lock so the
+    ring stays single-producer even with concurrent server threads
+    (reads, subscribes, the background flusher).
+
+    Unlike the queue executor — whose blocking ``submit`` only notices a
+    dead worker once the queue fills — a blocking submit here fails fast
+    whenever the worker is gone: ring space says nothing about liveness,
+    and a frame pushed at a corpse would silently never apply (the
+    server's redo log still has it; ``restart_shard`` replays).
+    """
+
+    kind = "shm"
+
+    def __init__(
+        self,
+        spec: ShardSpec,
+        on_reply: OnReply,
+        ring,
+        queue_depth: int = 8,
+        mp_context: str = "spawn",
+    ) -> None:
+        import multiprocessing
+
+        self.shard_id = spec.shard_id
+        self._on_reply = on_reply
+        self.ring = ring
+        #: In-flight frame bound — the queue transport's depth semantics.
+        #: Byte capacity alone would let a fast producer enqueue hundreds
+        #: of small batches, defeating the outbox coalescing that keeps a
+        #: lagging worker fed with few, large batches; 0 means unbounded.
+        self._depth = queue_depth
+        self._push_lock = threading.Lock()
+        ctx = multiprocessing.get_context(mp_context)
+        self._requests = None  # transport is the ring
+        self._replies = ctx.Queue()
+        # Doorbell: the worker parks on this pipe when the ring is empty;
+        # _push rings it on every empty→non-empty transition (one syscall
+        # per burst, none while frames keep flowing, no busy polling).
+        bell_recv, self._bell = ctx.Pipe(duplex=False)
+        self._process = ctx.Process(
+            target=shard_worker_shm,
+            args=(spec, ring.name, self._replies, bell_recv),
+            name=f"eagr-shard-{spec.shard_id}",
+            daemon=True,
+        )
+        self._process.start()
+        self._drainer = threading.Thread(
+            target=self._drain_replies,
+            name=f"eagr-shard-{spec.shard_id}-drainer",
+            daemon=True,
+        )
+        self._drainer.start()
+        self._stopped = False
+        self._bell_pending = False
+
+    def _push(self, payload: bytes) -> bool:
+        """Push one frame; the wake-up is *deferred* to :meth:`flush_bell`.
+
+        Ringing per push would wake the worker mid-multicast and let the
+        scheduler preempt the producing front-end between shard pushes
+        (the queue transport avoids this accidentally — its feeder thread
+        only writes the pipe once the producer drops the GIL).  Deferring
+        the doorbell to the end of the caller's submission round keeps
+        the producer's burst intact: one syscall per round, workers wake
+        to a ring already holding everything.
+        """
+        with self._push_lock:
+            if self._depth and self.ring.pending_frames >= self._depth:
+                return False
+            if not self.ring.try_push(payload):
+                return False
+            self._bell_pending = True
+        return True
+
+    def flush_bell(self) -> None:
+        """Wake the worker for every frame pushed since the last flush.
+
+        The byte is sent only while the worker is parked (or parking) on
+        the doorbell — ``ring.waiting()`` — so pipe traffic is bounded at
+        one byte per park cycle and a busy worker, which never drains the
+        pipe, cannot back it up into a blocking ``send_bytes``.  The
+        announce-then-recheck order in the worker makes the gate safe: a
+        worker that misses our frame during its recheck has already set
+        the flag we test here.  Its 0.5 s poll timeout is the final
+        backstop, so a missed flush costs latency, never progress.
+        """
+        if not self._bell_pending:
+            return
+        with self._push_lock:
+            if not self._bell_pending:
+                return
+            self._bell_pending = False
+        if not self.ring.waiting():
+            return  # worker is processing; it will see the frames itself
+        try:
+            self._bell.send_bytes(b"!")
+        except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
+            pass
+
+    def try_submit(self, request: Tuple) -> bool:
+        """Non-blocking push; ``False`` when the ring is full or the
+        worker is stopped/dead (writes then park in the outbox, exactly
+        like a backed-up queue shard)."""
+        if self._stopped or not self._process.is_alive():
+            return False
+        return self._push(pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL))
+
+    def submit(self, request: Tuple) -> None:
+        """Blocking push: waits for ring space; fails fast on a corpse."""
+        if self._stopped:
+            raise RuntimeError(f"shard {self.shard_id} executor is stopped")
+        payload = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+        while True:
+            if not self._process.is_alive():
+                raise RuntimeError(
+                    f"shard {self.shard_id} worker died; ingress ring "
+                    "abandoned until restart"
+                )
+            if self._push(payload):
+                return
+            # Ring full: make sure the worker is awake to drain it.
+            self.flush_bell()
+            time.sleep(0.0005)
+
+    def stop(self, seq: int, timeout: float = 10.0) -> None:
+        """Push ``OP_STOP``, join worker and drainer (idempotent)."""
+        if self._stopped:
+            return
+        self._stopped = True
+        payload = pickle.dumps((OP_STOP, seq), protocol=pickle.HIGHEST_PROTOCOL)
+        deadline = time.monotonic() + timeout
+        while self._process.is_alive():
+            if self._push(payload):
+                self.flush_bell()
+                break
+            self.flush_bell()
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.001)
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.terminate()
+            self._process.join(timeout=1.0)
+        self._drainer.join(timeout=timeout)
+        self._bell.close()
+
+    def kill(self, timeout: float = 10.0) -> None:
+        """Terminate the worker without flushing (crash injection)."""
+        self._stopped = True
+        if self._process.is_alive():
+            self._process.terminate()
+        self._process.join(timeout=timeout)
+        if self._process.is_alive():  # pragma: no cover - defensive
+            self._process.kill()
+            self._process.join(timeout=1.0)
+        self._drainer.join(timeout=timeout)
+        self._bell.close()
+
+
 EXECUTOR_KINDS = {
     "process": ProcessShardExecutor,
     "inprocess": InProcessShardExecutor,
+    "shm": ShmShardExecutor,
 }
 
 
@@ -275,6 +457,7 @@ def make_executor(
     on_reply: OnReply,
     queue_depth: int = 8,
     mp_context: str = "spawn",
+    ring=None,
 ):
     """Instantiate the executor ``kind`` for ``spec`` (see module doc)."""
     if kind == "process":
@@ -283,6 +466,12 @@ def make_executor(
         )
     if kind == "inprocess":
         return InProcessShardExecutor(spec, on_reply, queue_depth=queue_depth)
+    if kind == "shm":
+        if ring is None:
+            raise ValueError("shm executor requires the shard's ingress ring")
+        return ShmShardExecutor(
+            spec, on_reply, ring, queue_depth=queue_depth, mp_context=mp_context
+        )
     raise ValueError(
         f"executor must be one of {sorted(EXECUTOR_KINDS)}, got {kind!r}"
     )

@@ -26,6 +26,19 @@ Requests — ``(op, seq, *payload)``:
   front-end keeps the latest checkpoint per shard and truncates that
   shard's redo log to batches after it.
 * ``(OP_STOP, seq)`` — flush, acknowledge, exit the loop.
+* ``(OP_HANDLES, seq)`` — reply with the shard's zero-copy read map:
+  ``{reader node: (overlay handle, is_push)}`` plus the shard's shared
+  value-segment name (or ``None`` off the shm path).  The front-end uses
+  it to answer push-reader reads straight from the shard's shared
+  columns; pull readers and unknown nodes stay on the ``OP_READ`` path.
+
+Transports: requests normally ride the executor's bounded ``mp.Queue``.
+On the shared-memory transport (:mod:`repro.serve.shm`) the *same
+request tuples* are pickled into the shard's ingress ring instead —
+FIFO order, and therefore every ordering guarantee documented here, is
+preserved — and write batches stop producing ``R_WRITE`` replies unless
+they carry notices: the applied watermark is published through the
+ring's header, so an empty acknowledgement would be pure pickle traffic.
 
 Replies:
 
@@ -58,6 +71,7 @@ OP_DRAIN = 4
 OP_STATS = 5
 OP_STOP = 6
 OP_CHECKPOINT = 7
+OP_HANDLES = 8
 
 # -- reply kinds ------------------------------------------------------------
 R_OK = 0

@@ -12,7 +12,19 @@ four verbs:
   forces a blocking submit — bounded memory, bounded latency, no drops.
 * :meth:`EAGrServer.read_batch` — route reads to owning shards.  The
   per-shard FIFO queue orders them after every previously accepted write
-  (read-your-writes per shard).
+  (read-your-writes per shard).  On the **shared-memory transport** (the
+  default for columnar process deployments) push readers are answered
+  zero-copy from the shard's shared value columns instead: the front-end
+  waits on the shard's applied watermark, gathers under the store's
+  seqlock stamp, and finalizes locally — no request, no reply, no pickle.
+* **Transports** — requests reach process workers either over bounded
+  ``mp.Queue``\\ s (the fallback for object-store aggregates and no-numpy
+  hosts) or through per-shard shared-memory ingress rings
+  (:mod:`repro.serve.shm`): accepted write batches are scattered into the
+  ring as length-prefixed frames published tail-last (seqlock-style batch
+  framing), workers poll, and the per-batch acknowledgement disappears —
+  the applied watermark rides the ring header.  FIFO order, and with it
+  every guarantee in this docstring, is transport-independent.
 * :meth:`EAGrServer.subscribe` / :meth:`EAGrServer.unsubscribe` — standing
   queries: shards diff watched egos after each applied batch (via the
   runtime's O(affected) changed-reader report) and push
@@ -63,6 +75,7 @@ from repro.serve.messages import (
     Notification,
     OP_CHECKPOINT,
     OP_DRAIN,
+    OP_HANDLES,
     OP_READ,
     OP_STATS,
     OP_SUBSCRIBE,
@@ -181,11 +194,29 @@ class EAGrServer:
         ``"process"`` — one worker process per shard (true multi-core);
         ``"inprocess"`` — shards run synchronously in the caller
         (deterministic; tests/CI).
+    transport:
+        How requests reach process workers.  ``"auto"`` (default) picks
+        the shared-memory transport — per-shard ingress rings plus a
+        shared value-column segment answered zero-copy on reads —
+        whenever the deployment supports it (process executor, numpy
+        present, columnar-capable aggregate), and falls back to the
+        pickle-over-queue transport otherwise (in-process executor,
+        no numpy, object-store aggregates such as TOP-K).  ``"queue"``
+        forces the fallback; ``"shm"`` demands shared memory and raises
+        :class:`ServeError` when unsupported.
     assign:
-        Optional reader→shard assignment (defaults to a stable hash);
-        locality-aware assignments cut the write replication factor.
+        Optional reader→shard assignment.  Defaults to the
+        locality-aware :func:`~repro.core.partitioned.community_assignment`
+        partition (BFS-grown balanced communities), which co-locates
+        neighborhoods and cuts the multicast replication factor — the
+        dominant serve-tier write cost — relative to a stable hash.
+        Pass a callable for custom placement.
     queue_depth:
-        Request-queue bound per shard — the backpressure window.
+        Request-queue bound per shard — the backpressure window (queue
+        transport).
+    ring_bytes:
+        Ingress-ring capacity per shard in bytes (shm transport); ring
+        space is that transport's backpressure window.
     coalesce_max:
         Outbox size that forces a blocking flush on a backed-up shard.
     mp_context:
@@ -217,8 +248,10 @@ class EAGrServer:
         query: EgoQuery,
         num_shards: int = 2,
         executor: str = "process",
+        transport: str = "auto",
         assign: Optional[Callable[[NodeId], int]] = None,
         queue_depth: int = 8,
+        ring_bytes: int = 1 << 20,
         coalesce_max: int = 8192,
         mp_context: str = "spawn",
         reply_timeout: float = 120.0,
@@ -230,7 +263,7 @@ class EAGrServer:
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
-        from repro.core.partitioned import partition_readers
+        from repro.core.partitioned import community_assignment, partition_readers
 
         self.graph = graph
         self.query = query
@@ -239,12 +272,23 @@ class EAGrServer:
         self._coalesce_max = coalesce_max
         self._reply_timeout = reply_timeout
         self._queue_depth = queue_depth
+        self._ring_bytes = ring_bytes
         self._mp_context = mp_context
         self._journal_capacity = journal_capacity
         self._journal_dir = journal_dir
         self._checkpoint_interval = checkpoint_interval
         if journal_dir is not None:
             _os.makedirs(journal_dir, exist_ok=True)
+        self.transport = self._resolve_transport(transport, executor, query)
+
+        # Reader-locality sharding by default: BFS-grown communities keep
+        # each neighborhood on one shard, so a write multicasts to fewer
+        # shards than under the stable hash (see ``replication_factor``).
+        if assign is None and num_shards > 1:
+            assign = community_assignment(graph, num_shards)
+            self.assignment = "community"
+        else:
+            self.assignment = "custom" if assign is not None else "single"
 
         #: reader node -> owning shard (the user predicate already applied;
         #: same partition semantics as PartitionedEngine).
@@ -301,6 +345,52 @@ class EAGrServer:
         self.coalesced_flushes = 0
         self.restarts = 0
         self.replayed_batches = 0
+        self.shm_reads = 0
+
+        # -- shared-memory transport wiring ------------------------------
+        # The front-end names (and crash-safely unlinks) every segment:
+        # per-shard ingress rings are created here and attached by the
+        # workers; the per-shard value-store segments are *created by the
+        # workers* (only they know the shard overlay) under front-end
+        # names, attached here lazily for zero-copy reads.
+        self._rings: List[Optional[Any]] = [None] * num_shards
+        self._shm_stores: Dict[int, Any] = {}
+        #: shard -> (store segment name, {node: (handle, is_push)}).
+        self._handle_maps: Dict[
+            int, Tuple[str, Dict[NodeId, Tuple[int, bool]]]
+        ] = {}
+        shm_specs: List[Optional[Dict[str, str]]] = [None] * num_shards
+        if self.transport == "shm":
+            from repro.serve.shm import ShmRing
+
+            base = "eagr{:x}_{:x}".format(
+                _os.getpid(), int.from_bytes(_os.urandom(4), "little")
+            )
+            self._shm_base = base
+            for shard_id in range(num_shards):
+                self._rings[shard_id] = ShmRing(
+                    f"{base}r{shard_id}", capacity=ring_bytes, create=True
+                )
+                shm_specs[shard_id] = {
+                    "ring": f"{base}r{shard_id}",
+                    "store": f"{base}v{shard_id}",
+                }
+        else:
+            self._shm_base = None
+        # Zero-copy reads stay off for time windows (a read advances
+        # window expiry shard-side, which a front-end column gather
+        # cannot do) and for adaptive deployments (reads answered
+        # front-side would starve the shard controller's observed-pull
+        # signal, flip-flopping its decisions versus the queue
+        # transport).  Writes still ride the ring either way.
+        from repro.core.windows import TimeWindow as _TimeWindow
+
+        self._shm_read_ok = (
+            self.transport == "shm"
+            and not isinstance(query.window, _TimeWindow)
+            and not engine_kwargs.get("adaptive")
+        )
+        self._shm_lock = threading.Lock()
 
         self.specs = [
             ShardSpec(
@@ -311,18 +401,12 @@ class EAGrServer:
                 readers=frozenset(shard_readers[shard_id]),
                 value_store=value_store,
                 engine_kwargs=engine_kwargs,
+                shm=shm_specs[shard_id],
             )
             for shard_id in range(num_shards)
         ]
         self._executors = [
-            make_executor(
-                executor,
-                spec,
-                self._reply_handler(spec.shard_id),
-                queue_depth=queue_depth,
-                mp_context=mp_context,
-            )
-            for spec in self.specs
+            self._make_shard_executor(spec) for spec in self.specs
         ]
         # Background flusher: a refused non-blocking flush parks writes in
         # the outbox; without a retry they would sit there until the next
@@ -336,6 +420,46 @@ class EAGrServer:
         )
         self._flusher.start()
 
+    @staticmethod
+    def _resolve_transport(transport: str, executor: str, query: EgoQuery) -> str:
+        """Resolve ``auto``; validate an explicit choice (see __init__)."""
+        if transport not in ("auto", "queue", "shm"):
+            raise ValueError(
+                f"transport must be 'auto', 'queue' or 'shm', got {transport!r}"
+            )
+        from repro.core.statestore import resolve_value_store
+
+        supported = executor == "process" and resolve_value_store(
+            query.aggregate, "shared"
+        ) == "shared"
+        if transport == "shm" and not supported:
+            raise ServeError(
+                "shm transport requires process executors, numpy and a "
+                "columnar-capable aggregate"
+            )
+        if transport == "queue":
+            return "queue"
+        return "shm" if supported else "queue"
+
+    def _make_shard_executor(self, spec: ShardSpec):
+        """Build the executor matching this deployment's transport."""
+        if self.transport == "shm":
+            return make_executor(
+                "shm",
+                spec,
+                self._reply_handler(spec.shard_id),
+                queue_depth=self._queue_depth,
+                mp_context=self._mp_context,
+                ring=self._rings[spec.shard_id],
+            )
+        return make_executor(
+            self.executor_kind,
+            spec,
+            self._reply_handler(spec.shard_id),
+            queue_depth=self._queue_depth,
+            mp_context=self._mp_context,
+        )
+
     def _flush_loop(self) -> None:
         failed = self._flush_failed  # restart_shard() clears recovered shards
         while not self._stop_flusher.wait(self._flush_interval):
@@ -344,6 +468,7 @@ class EAGrServer:
                     continue
                 try:
                     self._flush_shard(shard_id, block=False)
+                    self._executors[shard_id].flush_bell()
                 except Exception:  # noqa: BLE001 - surfaced via drain/close
                     # One dead shard must not disable retries for the
                     # healthy ones; stop touching it, keep flushing the rest.
@@ -428,7 +553,11 @@ class EAGrServer:
         call = _Call(shard_id)
         with self._pending_lock:
             self._pending[seq] = call
-        self._executors[shard_id].submit((op, seq, *payload))
+        ex = self._executors[shard_id]
+        ex.submit((op, seq, *payload))
+        # Awaited call: the worker must wake now for any frames deferred
+        # by earlier write pushes plus this request (shm transport).
+        ex.flush_bell()
         return call
 
     def _await(self, calls: Sequence[_Call]) -> List[Any]:
@@ -494,6 +623,11 @@ class EAGrServer:
             self.writes_sent += count
         for shard_id in touched:
             self._flush_shard(shard_id, block=False)
+        for shard_id in touched:
+            # One doorbell per shard per multicast round, rung after every
+            # push: workers wake to a ring already holding the whole round
+            # instead of preempting the producer between shard pushes.
+            self._executors[shard_id].flush_bell()
         if self._checkpoint_interval:
             # A dead shard cannot answer OP_CHECKPOINT — leave its redo
             # log growing (writes keep parking) until restart_shard().
@@ -563,6 +697,7 @@ class EAGrServer:
         """Force every outbox into its shard queue (blocking on full queues)."""
         for shard_id in range(self.num_shards):
             self._flush_shard(shard_id, block=True)
+            self._executors[shard_id].flush_bell()
 
     # ------------------------------------------------------------------
     # reads
@@ -577,7 +712,14 @@ class EAGrServer:
 
         Flushes the involved shards' outboxes first, so a read observes
         every write this server accepted before the call (per-shard FIFO
-        read-your-writes).
+        read-your-writes).  On the shm transport, push readers are
+        answered **zero-copy** from the shard's shared value columns:
+        the front-end waits for the shard's applied watermark to cover
+        every batch it routed (read-your-writes without a round-trip),
+        gathers the column scalars under the store's seqlock stamp —
+        retrying if a concurrent batch landed mid-gather — and finalizes
+        locally.  Pull readers, time-window queries, cleared slots
+        (adaptive flips) and dead workers fall back to ``OP_READ``.
         """
         self._check_open()
         nodes = list(nodes)
@@ -592,6 +734,10 @@ class EAGrServer:
         calls = []
         for shard_id, positions in per_shard.items():
             self._flush_shard(shard_id, block=True)
+            if self._shm_read_ok:
+                positions = self._read_shm(shard_id, nodes, positions, results)
+                if not positions:
+                    continue
             calls.append(
                 (
                     positions,
@@ -605,6 +751,140 @@ class EAGrServer:
             for position, value in zip(positions, values):
                 results[position] = value
         return results
+
+    def _wait_applied(self, shard_id: int) -> None:
+        """Block until the shard's applied watermark covers every batch
+        this front-end has submitted to it (shm transport)."""
+        ring = self._rings[shard_id]
+        target = self._batch_no[shard_id]
+        self._executors[shard_id].flush_bell()
+        if ring.applied() >= target:
+            return
+        deadline = _time.monotonic() + self._reply_timeout
+        while ring.applied() < target:
+            if not self._executors[shard_id].alive():
+                raise ServeError(
+                    f"shard {shard_id}: worker died before applying "
+                    f"batch {target}"
+                )
+            if _time.monotonic() >= deadline:
+                raise ServeError(
+                    f"shard {shard_id}: timed out waiting for batch "
+                    f"{target} to apply"
+                )
+            _time.sleep(0.0002)
+
+    def _attach_store(self, shard_id: int, name: str):
+        """Attach (or re-attach) the shard's shared value columns by the
+        name the shard itself reported — a worker whose store migrated to
+        a fresh segment (owner growth re-allocates under a new name) must
+        not be read through the stale mapping.  Returns ``None`` when the
+        segment is not attachable (callers fall back to ``OP_READ``).
+        Serialized on the shm lock: concurrent reader threads must not
+        race an attach (leaking the loser's mapping) or close a store
+        out from under each other on a name change."""
+        from repro.core.statestore import SharedColumnarStore, ValueStoreError
+
+        with self._shm_lock:
+            store = self._shm_stores.get(shard_id)
+            if store is not None:
+                if store.name == name:
+                    return store
+                store.close()
+                self._shm_stores.pop(shard_id, None)
+            try:
+                store = SharedColumnarStore.attach(
+                    self.query.aggregate.column_spec, name
+                )
+            except (FileNotFoundError, ValueStoreError):
+                return None
+            self._shm_stores[shard_id] = store
+            return store
+
+    def _shm_handle_map(self, shard_id: int):
+        """``(store segment name, {node: (handle, is_push)})`` for the
+        shard (fetched once per worker incarnation over the ring, so it
+        trails every boot-time rebuild)."""
+        cached = self._handle_maps.get(shard_id)
+        if cached is None:
+            store_name, hmap = self._await(
+                [self._submit_call(shard_id, OP_HANDLES)]
+            )[0]
+            with self._shm_lock:
+                cached = self._handle_maps.setdefault(
+                    shard_id,
+                    (store_name or self.specs[shard_id].shm["store"], hmap),
+                )
+        return cached
+
+    def _read_shm(
+        self,
+        shard_id: int,
+        nodes: Sequence[NodeId],
+        positions: List[int],
+        results: List[Any],
+    ) -> List[int]:
+        """Serve what we can from the shard's shared columns.
+
+        Fills ``results`` in place for push readers and returns the
+        positions that still need a shard-side ``OP_READ`` (pull
+        readers, cleared slots, or the whole list when the fast path is
+        unavailable).  Raises :class:`ServeError` when the worker died
+        before covering the watermark — same fail-fast surface as the
+        queue path.
+        """
+        if not self._executors[shard_id].alive():
+            return positions  # the queue path surfaces the death fast
+        self._wait_applied(shard_id)
+        store_name, hmap = self._shm_handle_map(shard_id)
+        store = self._attach_store(shard_id, store_name)
+        if store is None:
+            return positions
+        leftover: List[int] = []
+        fast: List[Tuple[int, int]] = []
+        for position in positions:
+            info = hmap.get(nodes[position])
+            if info is None or not info[1]:
+                leftover.append(position)
+            else:
+                fast.append((position, info[0]))
+        if not fast:
+            return leftover
+        columns = store.columns
+        cleared_mask = store._cleared
+        aggregate = self.query.aggregate
+        unpack = aggregate.column_spec.unpack
+        # Bounded validation retries: under sustained write pressure a
+        # large gather can overlap a scatter on every attempt; after a
+        # few failed validations the shard answers via OP_READ instead
+        # of spinning toward the reply timeout.
+        for attempt in range(8):
+            stamp = store.read_seq()
+            if stamp % 2 == 0:
+                gathered = [
+                    tuple(column[handle] for column in columns)
+                    for _position, handle in fast
+                ]
+                cleared = [bool(cleared_mask[handle]) for _p, handle in fast]
+                if store.read_seq() == stamp:
+                    break
+            _time.sleep(0.0002)
+        else:
+            return leftover + [position for position, _handle in fast]
+        finalize = aggregate.finalize
+        served = 0
+        for (position, _handle), scalars, is_cleared in zip(
+            fast, gathered, cleared
+        ):
+            if is_cleared:
+                # Unmaterialized slot (e.g. an adaptive flip to pull since
+                # the handle map was fetched): let the shard answer.
+                leftover.append(position)
+            else:
+                results[position] = finalize(unpack(scalars))
+                served += 1
+        self.shm_reads += served
+        return leftover
 
     # ------------------------------------------------------------------
     # subscriptions
@@ -903,13 +1183,23 @@ class EAGrServer:
             spec = self.specs[shard_id].with_checkpoint(
                 self._checkpoints.get(shard_id)
             )
-            ex = make_executor(
-                self.executor_kind,
-                spec,
-                self._reply_handler(shard_id),
-                queue_depth=self._queue_depth,
-                mp_context=self._mp_context,
-            )
+            # Redo-log batches must re-apply batch-exact (their re-derived
+            # notification stamps have to reproduce the pre-crash epoch's);
+            # consumer-side merging resumes beyond the high-water mark.
+            spec.merge_after = self._batch_no[shard_id]
+            ring = self._rings[shard_id]
+            if ring is not None:
+                # Abandoned frames from the dead worker's epoch are
+                # superseded by the redo-log replay below; the successor
+                # starts from an empty ring and republishes its applied
+                # watermark once it has restored the checkpoint.  The
+                # value-store segment is left in place — the replacement
+                # worker adopts it by name and re-materializes every
+                # column, and this front-end's read attachment (plus the
+                # handle map, refetched lazily) stays valid throughout.
+                ring.reset()
+            self._handle_maps.pop(shard_id, None)
+            ex = self._make_shard_executor(spec)
             self._executors[shard_id] = ex
             self._flush_failed.discard(shard_id)
             with self._subs_lock:
@@ -927,6 +1217,7 @@ class EAGrServer:
             for batch_no, items in self._write_log[shard_id]:
                 ex.submit((OP_WRITE, self._next_seq(), batch_no, items))
                 replayed += 1
+            ex.flush_bell()
         self.restarts += 1
         self.replayed_batches += replayed
         return replayed
@@ -971,11 +1262,61 @@ class EAGrServer:
             with self._subs_lock:
                 for state in self._subs.values():
                     state.journal.close()
+            self._release_shm()
         if self._async_errors:
             # Fire-and-forget write failures since the last drain():
             # shutdown completed, but the caller must learn about them.
             errors, self._async_errors = self._async_errors, []
             raise ServeError("; ".join(errors))
+
+    def _release_shm(self) -> None:
+        """Tear down every shm segment this deployment named (idempotent).
+
+        Crash-safe cleanup lives here, in the front-end: segments are
+        unlinked **by name**, so value stores created by workers that
+        have since died uncleanly are destroyed too; a worker that never
+        got far enough to create its store simply yields a no-op unlink.
+        The resource tracker remains the backstop for a front-end that
+        dies before reaching this.
+        """
+        if self.transport != "shm":
+            return
+        from repro.core.statestore import unlink_segment
+
+        for store in self._shm_stores.values():
+            store.close()
+        self._shm_stores.clear()
+        self._handle_maps.clear()
+        for shard_id, ring in enumerate(self._rings):
+            if ring is not None:
+                ring.unlink()
+                self._rings[shard_id] = None
+        for spec in self.specs:
+            if spec.shm is not None:
+                unlink_segment(spec.shm["store"])
+
+    def server_stats(self) -> Dict[str, Any]:
+        """Front-end operational snapshot (complements per-shard
+        :meth:`stats`): deployment shape, the reader-assignment strategy
+        and its multicast **replication factor** — the average number of
+        shards each accepted write fans out to, the serve tier's dominant
+        write cost — plus transport counters (zero-copy reads served,
+        coalesced flushes, restarts)."""
+        return {
+            "num_shards": self.num_shards,
+            "executor": self.executor_kind,
+            "transport": self.transport,
+            "assignment": self.assignment,
+            "replication_factor": self.replication_factor,
+            "shard_sizes": self.shard_sizes(),
+            "writes_sent": self.writes_sent,
+            "writes_delivered": self.writes_delivered,
+            "shm_reads": self.shm_reads,
+            "notifications_delivered": self.notifications_delivered,
+            "coalesced_flushes": self.coalesced_flushes,
+            "restarts": self.restarts,
+            "replayed_batches": self.replayed_batches,
+        }
 
     def __enter__(self) -> "EAGrServer":
         return self
@@ -987,6 +1328,7 @@ class EAGrServer:
         """One-line summary of the deployment."""
         return (
             f"EAGrServer(shards={self.num_shards}, executor={self.executor_kind}, "
+            f"transport={self.transport}, assign={self.assignment}, "
             f"readers={self.shard_sizes()}, "
             f"replication={self.replication_factor:.2f})"
         )

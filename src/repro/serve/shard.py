@@ -27,6 +27,7 @@ from repro.core.query import EgoQuery
 from repro.serve.messages import (
     OP_CHECKPOINT,
     OP_DRAIN,
+    OP_HANDLES,
     OP_READ,
     OP_STATS,
     OP_STOP,
@@ -94,6 +95,22 @@ class ShardSpec:
         it; ``{"exit_after_writes": N}`` kills it after *applying* the
         N-th batch but before acknowledging — the applied-but-unacked
         window a real crash exposes.  ``None`` (default) disables both.
+    shm:
+        Shared-memory transport wiring, or ``None`` (queue transport).
+        A dict ``{"ring": ingress ring segment name, "store": value
+        store segment name}``: the worker attaches the ring, hosts its
+        value columns in the named shared segment (created on first
+        boot, adopted on restart), and publishes its applied watermark
+        through the ring header.  Names are allocated by the front-end,
+        which also owns crash-safe unlinking.
+    merge_after:
+        Highest batch number the shm worker must apply **batch-exact**
+        (no consumer-side merging).  ``restart_shard`` sets this to the
+        redo log's high-water mark: replayed batches then re-derive
+        notifications under exactly the per-batch write stamps the
+        pre-crash epoch delivered, so the front-end's stamp-keyed replay
+        filter suppresses precisely the duplicates and nothing else.
+        Batches beyond it are fresh traffic and free to merge.
     """
 
     def __init__(
@@ -107,6 +124,8 @@ class ShardSpec:
         engine_kwargs: Optional[Dict[str, Any]] = None,
         checkpoint: Optional[ShardCheckpoint] = None,
         faults: Optional[Dict[str, int]] = None,
+        shm: Optional[Dict[str, str]] = None,
+        merge_after: int = 0,
     ) -> None:
         self.graph = graph
         # The user's predicate is already folded into ``readers`` by the
@@ -128,6 +147,8 @@ class ShardSpec:
         self.engine_kwargs = dict(engine_kwargs or {})
         self.checkpoint = checkpoint
         self.faults = faults
+        self.shm = shm
+        self.merge_after = merge_after
 
     def with_checkpoint(
         self, checkpoint: Optional[ShardCheckpoint]
@@ -170,13 +191,25 @@ class ShardHost:
 
     def __init__(self, spec: ShardSpec) -> None:
         from repro.core.engine import EAGrEngine
+        from repro.core.statestore import resolve_value_store
 
         self.spec = spec
         self.shard_id = spec.shard_id
+        value_store = spec.value_store
+        shm_name = None
+        if spec.shm is not None and resolve_value_store(
+            spec.query.aggregate, "shared"
+        ) == "shared":
+            # Shm transport: host the value columns in the front-end-named
+            # shared segment (created on first boot, adopted on restart)
+            # so the front-end can answer push-reader reads zero-copy.
+            value_store = "shared"
+            shm_name = spec.shm["store"]
         self.engine = EAGrEngine(
             spec.graph,
             spec.shard_query(),
-            value_store=spec.value_store,
+            value_store=value_store,
+            shm_name=shm_name,
             **spec.engine_kwargs,
         )
         #: ego -> subscribers watching it (dict-as-ordered-set).
@@ -238,6 +271,33 @@ class ShardHost:
     # operations
     # ------------------------------------------------------------------
 
+    def _guarded(self, fn, *args):
+        """Run one engine operation under the shared store's seqlock.
+
+        Any engine call can mutate the shared columns — writes scatter,
+        reads advance time-window expiry, and *any* op may tick the
+        adaptive controller into a pull→push flip that materializes a
+        column outside the write path — so every engine touchpoint in
+        this host routes through here.  The stamp goes odd for the
+        duration and front-end zero-copy readers retry instead of
+        observing a torn (or half-materialized) state.  The live store is
+        re-checked in ``finally``: an engine recompile inside the call
+        closes and replaces the store instance, and ending the bracket on
+        the closed original would crash (while the replacement boots
+        quiescent — stamp even — and needs no end).  No-op for
+        process-private stores.
+        """
+        store = self.engine.runtime.values
+        begin_batch = getattr(store, "begin_batch", None)
+        if begin_batch is None:
+            return fn(*args)
+        begin_batch()
+        try:
+            return fn(*args)
+        finally:
+            if self.engine.runtime.values is store:
+                store.end_batch()
+
     def apply_write_batch(
         self, batch_no: Optional[int], items: List[Tuple]
     ) -> Tuple[int, List[Tuple[Hashable, NodeId, Any, int]]]:
@@ -256,7 +316,7 @@ class ShardHost:
         if batch_no is not None and batch_no <= self.applied_through:
             return 0, []
         engine = self.engine
-        count = engine.write_batch(items)
+        count = self._guarded(engine.write_batch, items)
         if batch_no is not None:
             self.applied_through = batch_no
         self.batches += 1
@@ -272,7 +332,9 @@ class ShardHost:
             return count, []
         notices: List[Tuple[Hashable, NodeId, Any, int]] = []
         baseline = self.baseline
-        for node, value in zip(candidates, engine.read_batch(candidates)):
+        for node, value in zip(
+            candidates, self._guarded(engine.read_batch, candidates)
+        ):
             if value == baseline.get(node, _MISSING):
                 continue
             baseline[node] = value
@@ -280,6 +342,36 @@ class ShardHost:
                 notices.append((subscriber, node, value, stamp))
         self.notices_emitted += len(notices)
         return count, notices
+
+    def apply_write_group(
+        self, group: List[Tuple[Optional[int], List[Tuple]]]
+    ) -> Tuple[int, List[Tuple[Hashable, NodeId, Any, int]]]:
+        """Apply several numbered batches as **one** engine batch.
+
+        The shm worker's consumer-side coalescing: already-applied batch
+        numbers are skipped per entry (replay idempotency at the same
+        granularity as :meth:`apply_write_batch`), the survivors apply as
+        a single merged batch acknowledged at the newest number, and the
+        runtime's global write stamp is advanced by the group size so it
+        stays in lockstep with batch-at-a-time application — a re-derived
+        notification after a crash must never stamp *below* the stamp a
+        pre-crash epoch delivered for a later batch, or the front-end's
+        replay filter would suppress a genuinely new value.
+        """
+        live = [
+            (batch_no, items)
+            for batch_no, items in group
+            if batch_no is None or batch_no > self.applied_through
+        ]
+        if not live:
+            return 0, []
+        if len(live) == 1:
+            return self.apply_write_batch(live[0][0], live[0][1])
+        merged: List[Tuple] = []
+        for _batch_no, items in live:
+            merged.extend(items)
+        self.engine.runtime.stamp += len(live) - 1
+        return self.apply_write_batch(live[-1][0], merged)
 
     def subscribe(
         self, subscriber: Hashable, nodes: List[NodeId]
@@ -296,7 +388,9 @@ class ShardHost:
         snapshot: Dict[NodeId, Any] = {}
         fresh = [node for node in nodes if node not in self.baseline]
         if fresh:
-            for node, value in zip(fresh, self.engine.read_batch(fresh)):
+            for node, value in zip(
+                fresh, self._guarded(self.engine.read_batch, fresh)
+            ):
                 self.baseline[node] = value
         for node in nodes:
             self.watchers.setdefault(node, {})[subscriber] = None
@@ -317,6 +411,25 @@ class ShardHost:
                     del self.watchers[node]
                     self.baseline.pop(node, None)
         return removed
+
+    def handles(self) -> Tuple[Optional[str], Dict[NodeId, Tuple[int, bool]]]:
+        """Zero-copy read map: ``(store segment name, {node: (handle,
+        is_push)})``.
+
+        ``is_push`` reflects the decision at map time; the front-end
+        treats it as advisory — an adaptively flipped-to-pull node shows
+        up cleared in the shared mask and falls back to ``OP_READ``.
+        """
+        store = self.engine.runtime.values
+        name = store.name if store.backend == "shared" else None
+        overlay = self.engine.overlay
+        decisions = overlay.decisions
+        from repro.core.overlay import Decision
+
+        return name, {
+            node: (handle, decisions[handle] is Decision.PUSH)
+            for node, handle in overlay.reader_of.items()
+        }
 
     def stats(self) -> Dict[str, Any]:
         """Operational snapshot (counters, backend, registry sizes)."""
@@ -347,7 +460,7 @@ class ShardHost:
                 count, notices = self.apply_write_batch(request[2], request[3])
                 return (R_WRITE, seq, count, notices)
             if op == OP_READ:
-                return (R_OK, seq, self.engine.read_batch(request[2]))
+                return (R_OK, seq, self._guarded(self.engine.read_batch, request[2]))
             if op == OP_SUBSCRIBE:
                 return (R_OK, seq, self.subscribe(request[2], request[3]))
             if op == OP_UNSUBSCRIBE:
@@ -358,6 +471,8 @@ class ShardHost:
                 return (R_OK, seq, self.stats())
             if op == OP_CHECKPOINT:
                 return (R_OK, seq, self.checkpoint())
+            if op == OP_HANDLES:
+                return (R_OK, seq, self.handles())
             if op == OP_STOP:
                 return (R_STOPPED, seq, None)
             return (R_ERR, seq, f"unknown op {op!r}")
@@ -411,3 +526,160 @@ def shard_worker(spec: ShardSpec, requests, replies) -> None:
         replies.put(reply)
         if reply[0] == R_STOPPED:
             break
+
+
+def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None:
+    """Shm-transport process entry point: pump the ingress ring.
+
+    Identical protocol semantics to :func:`shard_worker` — requests are
+    the same tuples, handled by the same host, in the same FIFO order
+    (the ring is single-producer/single-consumer) — with three transport
+    differences:
+
+    * requests arrive as pickled frames popped from the shard's shared
+      ingress ring (:class:`~repro.serve.shm.ShmRing`) instead of a
+      bounded ``mp.Queue``;
+    * after every applied write batch the worker publishes ``(applied
+      batch_no, runtime write stamp)`` through the ring header — the
+      front-end's read-your-writes watermark — and **skips** the
+      ``R_WRITE`` reply unless it carries subscription notices (errors
+      always reply);
+    * the host's value columns live in the spec's named shared segment
+      (see :class:`ShardSpec`), bracketed by the store's seqlock around
+      each batch so front-end zero-copy reads never observe a torn
+      scatter.
+
+    ``doorbell`` is the wake-up pipe: an empty ring parks the worker in a
+    kernel block on it (no busy polling — a spinning worker would steal
+    the cycles the front-end needs to produce), and the executor rings it
+    exactly on the ring's empty→non-empty transitions, so a burst costs
+    one syscall at its head and none while frames keep flowing.
+
+    **Consumer-side coalescing**: when the worker falls behind, several
+    write frames wait in the ring; they are drained and applied as *one*
+    merged engine batch (replay-skipped per frame, acknowledged at the
+    last frame's ``batch_no``), so the per-batch fixed costs — unpickle,
+    plan dispatch, scatter setup, change diffing — amortize exactly when
+    they matter.  This mirrors the producer-side outbox coalescing a
+    bounded queue forces, but lives where the shm transport's slack is.
+    A worker that keeps up applies single batches (cheap anyway).
+
+    Kill-point fault injection disables merging so batch counting stays
+    frame-exact, and counts ring write frames exactly as the queue worker
+    counts queue ones — the crash/restart harness drives both transports
+    through one dial.
+    """
+    import pickle
+
+    from repro.serve.shm import ShmRing
+
+    ring = ShmRing(ring_name, create=False)
+    host = spec.build()
+    runtime = host.engine.runtime
+    # The published watermark is *processed-through*, not applied-through:
+    # it advances past failed (R_ERR) and replay-skipped batches too.  Its
+    # one consumer is the front-end's read barrier, and a batch that was
+    # processed-but-not-applied has nothing further for a read to wait on
+    # — were the watermark pinned to applied_through, one poisoned batch
+    # would wedge every later zero-copy read until the reply timeout.
+    processed = host.applied_through
+    ring.publish_applied(processed, runtime.stamp)
+    faults = spec.faults or {}
+    exit_before = faults.get("exit_before_writes")
+    exit_after = faults.get("exit_after_writes")
+    merge_writes = not faults
+    merge_floor = spec.merge_after
+    merge_cap = 128
+    writes_seen = 0
+    while True:
+        frame = ring.try_pop()
+        if frame is None:
+            # Park on the doorbell: announce first, re-check the ring
+            # (closing the producer's push-then-check race), then block.
+            ring.set_waiting(True)
+            frame = ring.try_pop()
+            if frame is None:
+                try:
+                    if doorbell.poll(0.5):
+                        while doorbell.poll(0):  # swallow queued rings
+                            doorbell.recv_bytes()
+                except (EOFError, OSError):
+                    pass  # sender closed: frames (incl. OP_STOP) still drain
+                ring.set_waiting(False)
+                continue
+            ring.set_waiting(False)
+        request = pickle.loads(frame)
+        op = request[0]
+        if op == OP_WRITE:
+            writes_seen += 1
+            if exit_before is not None and writes_seen >= exit_before:
+                import os
+
+                os._exit(17)
+            if merge_writes and (request[2] is None or request[2] > merge_floor):
+                # Drain whatever other write frames already wait and fold
+                # them into this apply; a trailing non-write frame is
+                # remembered and handled right after (FIFO preserved).
+                # (Redo-replay frames — batch_no <= merge_floor — never
+                # get here: they take the batch-exact path below so their
+                # re-derived notification stamps match the pre-crash
+                # epoch's exactly.)
+                group = [request]
+                follow_up = None
+                while len(group) < merge_cap:
+                    extra = ring.try_pop()
+                    if extra is None:
+                        break
+                    extra_request = pickle.loads(extra)
+                    if extra_request[0] == OP_WRITE:
+                        group.append(extra_request)
+                    else:
+                        follow_up = extra_request
+                        break
+                try:
+                    count, notices = host.apply_write_group(
+                        [(req[2], req[3]) for req in group]
+                    )
+                    reply = (R_WRITE, group[-1][1], count, notices)
+                except Exception as error:  # noqa: BLE001 - reply, don't die
+                    reply = (
+                        R_ERR,
+                        group[-1][1],
+                        f"{type(error).__name__}: {error}",
+                    )
+                last_no = group[-1][2]
+                if last_no is not None and last_no > processed:
+                    processed = last_no
+                ring.publish_applied(processed, runtime.stamp)
+                if reply[0] == R_ERR or reply[3]:
+                    replies.put(reply)
+                if follow_up is None:
+                    continue
+                request = follow_up
+                op = request[0]
+        if op == OP_WRITE:  # batch-exact path (fault-armed or redo replay)
+            reply = host.handle(request)
+            if exit_after is not None and writes_seen >= exit_after:
+                import os
+
+                os._exit(17)  # applied, but neither watermark nor reply left
+            batch_no = request[2]
+            if batch_no is not None and batch_no > processed:
+                processed = batch_no
+            ring.publish_applied(processed, runtime.stamp)
+            if reply[0] == R_WRITE and not reply[3]:
+                continue  # watermark published; empty ack saved
+            replies.put(reply)
+            continue
+        reply = host.handle(request)
+        replies.put(reply)
+        if reply[0] == R_STOPPED:
+            break
+    # Clean exit: drop the shm views *before* interpreter teardown, or
+    # SharedMemory.__del__ trips over the still-exported numpy buffers
+    # ("cannot close exported pointers exist" noise on stderr).  The
+    # segments themselves survive — unlinking is the front-end's job.
+    store_close = getattr(host.engine.runtime.values, "close", None)
+    if store_close is not None:
+        store_close()
+    ring.close()

@@ -19,9 +19,12 @@ from repro.core.query import EgoQuery
 from repro.core.statestore import (
     ColumnarStore,
     ObjectStore,
+    SharedColumnarStore,
     ValueStoreError,
+    attach_segment,
     make_value_store,
     resolve_value_store,
+    unlink_segment,
 )
 from repro.core.windows import (
     NO_VALUE,
@@ -275,6 +278,167 @@ class TestStores:
         store[5] = (1.0, 1)
         store.resize(6)  # same-size remap also resets
         assert store[5] is None
+
+
+# ---------------------------------------------------------------------------
+# shared-memory columns
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="shared store requires numpy")
+@pytest.mark.parametrize("aggregate_name", ["sum", "mean", "max"])
+def test_shared_backend_parity(aggregate_name):
+    """`value_store="shared"` answers byte-identically to the object
+    store across the same seeded drive the columnar backend passes."""
+    graph = random_graph(20, 56, seed=61)
+    object_engine = make_engine(graph, aggregate_name, "vnm_a", "tuple", "object")
+    shared_engine = make_engine(
+        graph.copy(), aggregate_name, "vnm_a", "tuple", "shared"
+    )
+    assert shared_engine.value_store_backend == "shared"
+    store = shared_engine.runtime.values
+    try:
+        checked = drive_backend_pair(object_engine, shared_engine, seed=59)
+        assert checked > 10
+    finally:
+        store.unlink()
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="shared store requires numpy")
+def test_shared_attach_by_name_sees_identical_state():
+    """A second process-style attachment by name reads the same bytes the
+    owner wrote — the serve tier's zero-copy read contract."""
+    engine = make_engine(
+        random_graph(16, 44, seed=21), "sum", "vnm_a", "unit", "shared"
+    )
+    store = engine.runtime.values
+    try:
+        nodes = sorted(engine.graph.nodes(), key=repr)
+        engine.write_batch([(node, float(i + 1)) for i, node in enumerate(nodes)])
+        peer = SharedColumnarStore.attach(Sum().column_spec, store.name)
+        assert len(peer) == len(store)
+        assert peer.read_seq() == store.read_seq()
+        for handle in range(len(store)):
+            assert peer[handle] == store[handle], handle
+        # writes by the owner become visible through the same mapping
+        engine.write_batch([(nodes[0], 100.0)])
+        for handle in range(len(store)):
+            assert peer[handle] == store[handle], handle
+        peer.close()
+    finally:
+        store.unlink()
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="shared store requires numpy")
+class TestSharedLifecycle:
+    def test_create_adopt_unlink_roundtrip(self):
+        spec = Sum().column_spec
+        store = SharedColumnarStore(spec, 6, name="eagr_test_lifecycle")
+        store[3] = 7.5
+        store.close()  # mapping dropped, segment survives
+        adopted = SharedColumnarStore(spec, 6, name="eagr_test_lifecycle")
+        assert adopted[3] is None  # adoption resets to identity state
+        adopted[2] = 1.25
+        assert adopted[2] == 1.25
+        adopted.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_segment("eagr_test_lifecycle")
+        assert unlink_segment("eagr_test_lifecycle") is False  # exactly-once
+
+    def test_seqlock_brackets(self):
+        store = SharedColumnarStore(Sum().column_spec, 4)
+        try:
+            assert store.read_seq() == 0
+            store.begin_batch()
+            assert store.read_seq() % 2 == 1  # in flight: readers retry
+            store.end_batch()
+            assert store.read_seq() == 2
+        finally:
+            store.unlink()
+
+    def test_resize_within_capacity_and_growth(self):
+        store = SharedColumnarStore(Mean().column_spec, 4, capacity=8)
+        name = store.name
+        try:
+            store[1] = (4.0, 2)
+            store.resize(8)  # within capacity: same segment, reset state
+            assert store.name == name
+            assert all(store[h] is None for h in range(8))
+            store.resize(32)  # growth: fresh segment, old one unlinked
+            assert store.name != name
+            assert len(store) == 32
+            with pytest.raises(FileNotFoundError):
+                attach_segment(name)
+            peer = SharedColumnarStore.attach(Mean().column_spec, store.name)
+            with pytest.raises(ValueStoreError):
+                peer.resize(64)  # attached peers cannot grow the segment
+            peer.close()
+        finally:
+            store.unlink()
+
+    def test_not_picklable(self):
+        import pickle
+
+        store = SharedColumnarStore(Sum().column_spec, 2)
+        try:
+            with pytest.raises(TypeError):
+                pickle.dumps(store)
+        finally:
+            store.unlink()
+
+    def test_resolution_and_fallback(self):
+        assert resolve_value_store(Sum(), "shared") == "shared"
+        assert resolve_value_store(TopK(3), "shared") == "object"
+        store = make_value_store(Sum(), 3, "shared")
+        assert isinstance(store, SharedColumnarStore)
+        store.unlink()
+
+
+# ---------------------------------------------------------------------------
+# vectorized lattice batches (MAX/MIN grow-only scatters)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="columnar store requires numpy")
+@pytest.mark.parametrize("aggregate", ["max", "min"])
+def test_lattice_batches_take_the_scatter_path(aggregate):
+    """Eviction-free MAX/MIN batches apply as extremum scatters (no
+    snapshot dicts retained), and mixed grow/evict batches still match
+    the object backend and the brute-force oracle."""
+    from repro.core.aggregates import Min
+
+    aggregates = {"max": Max, "min": Min}
+    graph = random_graph(18, 50, seed=77)
+    query = EgoQuery(
+        aggregate=aggregates[aggregate](),
+        window=TupleWindow(2),
+        neighborhood=Neighborhood.in_neighbors(),
+    )
+    object_engine = EAGrEngine(
+        graph, query, overlay_algorithm="vnm_a", dataflow="mincut",
+        value_store="object",
+    )
+    columnar_engine = EAGrEngine(
+        graph.copy(), query, overlay_algorithm="vnm_a", dataflow="mincut",
+        value_store="columnar",
+    )
+    runtime = columnar_engine.runtime
+    assert runtime._lattice_columns
+    # snapshot dicts are not materialized on the columnar lattice path
+    assert all(snap is None for snap in runtime.snapshots)
+    rng = random.Random(13)
+    nodes = sorted(graph.nodes(), key=repr)
+    for _ in range(40):
+        batch = [
+            (rng.choice(nodes), float(rng.randrange(12)))
+            for _ in range(rng.randrange(1, 9))
+        ]
+        object_engine.write_batch(batch)
+        columnar_engine.write_batch(list(batch))
+    for node in nodes:
+        expected = object_engine.read(node)
+        assert columnar_engine.read(node) == expected, node
+        assert expected == object_engine.reference_read(node), node
 
 
 # ---------------------------------------------------------------------------

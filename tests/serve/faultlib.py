@@ -22,6 +22,10 @@ lands in the window is both flaky and slow; everything here is
   ``tests/serve`` conftest arms it around every test).
 * :func:`refuse_submits` — backpressure injection: make an executor
   refuse its next N non-blocking submits (the coalescing path).
+* :func:`shm_segment_names` / :func:`assert_no_segments` — enumerate a
+  server's named shared-memory segments (ingress rings + value stores)
+  and assert they are gone after teardown: the leak check for the
+  zero-copy transport's front-end-owned cleanup.
 * stream verifiers — :func:`assert_contiguous`,
   :func:`assert_spliced_stream`, :func:`assert_subsequence`: the
   delivery-contract checks (monotone gap-free stamps, exactly-once
@@ -208,6 +212,24 @@ def refuse_submits(executor, times: int):
         yield state
     finally:
         executor.try_submit = original
+
+
+def shm_segment_names(server) -> List[str]:
+    """Every shared-memory segment name a server's deployment uses
+    (ingress rings and value-store columns); empty off the shm path."""
+    names: List[str] = []
+    for spec in getattr(server, "specs", ()):
+        if getattr(spec, "shm", None):
+            names.extend(spec.shm.values())
+    return names
+
+
+def assert_no_segments(names: Sequence[str], tag: str = "") -> None:
+    """Assert none of ``names`` is still attachable (post-close leak check)."""
+    from repro.core.statestore import segment_exists
+
+    leaked = [name for name in names if segment_exists(name)]
+    assert not leaked, f"{tag} leaked shared-memory segments: {leaked}"
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,432 @@
+"""Shared-memory serve transport: rings, zero-copy reads, lifecycle.
+
+The crash/restart schedules in ``test_crash_restart.py`` already run on
+the shm transport (it is the default for columnar process deployments);
+this module covers what those do not: the ring primitive itself, byte
+parity between the queue and shm transports, the zero-copy read path and
+its fallbacks, segment lifecycle (front-end-owned unlink, no leaks after
+close, survival across shard restarts) and the resource-tracker warning
+discipline under ``-W error::UserWarning``.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+
+import pytest
+
+from repro.core import statestore
+from repro.core.aggregates import Max, Sum
+from repro.core.engine import EAGrEngine
+from repro.core.query import EgoQuery
+from repro.core.windows import TimeWindow, TupleWindow
+from repro.graph.generators import random_graph
+from repro.serve import EAGrServer, ServeError
+
+from tests.serve.faultlib import (
+    arm_kill_point,
+    assert_no_segments,
+    collect,
+    disarm,
+    shm_segment_names,
+    wait_dead,
+)
+
+pytestmark = pytest.mark.skipif(
+    statestore._np is None, reason="shm transport requires numpy"
+)
+
+
+def make_query(window=None, aggregate=None):
+    return EgoQuery(aggregate=aggregate or Sum(), window=window or TupleWindow(1))
+
+
+# ---------------------------------------------------------------------------
+# ring primitive
+# ---------------------------------------------------------------------------
+
+
+class TestShmRing:
+    def test_fifo_and_wraparound(self):
+        from repro.serve.shm import ShmRing
+
+        ring = ShmRing("eagr_test_ring_a", capacity=256, create=True)
+        try:
+            consumer = ShmRing("eagr_test_ring_a", create=False)
+            sent = []
+            # far more traffic than capacity: forces many wraparounds
+            for round_no in range(50):
+                frame = pickle.dumps(("frame", round_no, "x" * (round_no % 40)))
+                assert ring.try_push(frame)
+                sent.append(frame)
+                if round_no % 3 == 2:  # drain a few to advance head
+                    while True:
+                        got = consumer.try_pop()
+                        if got is None:
+                            break
+                        assert got == sent.pop(0)
+            while sent:
+                assert consumer.try_pop() == sent.pop(0)
+            assert consumer.try_pop() is None
+            consumer.close()
+        finally:
+            ring.unlink()
+
+    def test_backpressure_and_oversize(self):
+        from repro.serve.shm import ShmRing
+
+        ring = ShmRing("eagr_test_ring_b", capacity=64, create=True)
+        try:
+            assert ring.try_push(b"x" * 40)
+            assert not ring.try_push(b"y" * 40)  # full: refuse, never drop
+            assert ring.try_pop() == b"x" * 40
+            assert ring.try_push(b"y" * 40)  # space reclaimed
+            with pytest.raises(ValueError):
+                ring.try_push(b"z" * 100)  # could never fit
+        finally:
+            ring.unlink()
+
+    def test_applied_watermark_roundtrip(self):
+        from repro.serve.shm import ShmRing
+
+        ring = ShmRing("eagr_test_ring_c", capacity=64, create=True)
+        try:
+            assert ring.applied() == -1  # worker not booted yet
+            peer = ShmRing("eagr_test_ring_c", create=False)
+            peer.publish_applied(7, 42)
+            assert ring.applied() == 7 and ring.stamp() == 42
+            ring.reset()
+            assert ring.applied() == -1
+            peer.close()
+        finally:
+            ring.unlink()
+
+
+# ---------------------------------------------------------------------------
+# transport resolution
+# ---------------------------------------------------------------------------
+
+
+class TestTransportResolution:
+    def test_auto_prefers_shm_for_columnar_process(self):
+        graph = random_graph(10, 28, seed=3)
+        with EAGrServer(
+            graph, make_query(), num_shards=1, executor="process",
+            overlay_algorithm="identity", dataflow="all_push",
+        ) as server:
+            assert server.transport == "shm"
+            assert "transport=shm" in server.describe()
+
+    def test_inprocess_and_forced_queue_stay_on_queue(self):
+        graph = random_graph(10, 28, seed=3)
+        with EAGrServer(
+            graph, make_query(), num_shards=2, executor="inprocess",
+            overlay_algorithm="identity", dataflow="all_push",
+        ) as server:
+            assert server.transport == "queue"
+        with EAGrServer(
+            graph, make_query(), num_shards=1, executor="process",
+            transport="queue",
+            overlay_algorithm="identity", dataflow="all_push",
+        ) as server:
+            assert server.transport == "queue"
+
+    def test_explicit_shm_demands_support(self):
+        graph = random_graph(8, 20, seed=5)
+        with pytest.raises(ServeError):
+            EAGrServer(
+                graph, make_query(), num_shards=1, executor="inprocess",
+                transport="shm",
+            )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end parity and zero-copy reads
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def shm_deployment():
+    graph = random_graph(22, 96, seed=51)
+    query = make_query()
+    server = EAGrServer(
+        graph, query, num_shards=2, executor="process",
+        overlay_algorithm="vnm_a", reply_timeout=30.0,
+    )
+    assert server.transport == "shm"
+    yield graph, query, server
+    names = shm_segment_names(server)
+    server.close()
+    assert_no_segments(names, tag="module deployment:")
+
+
+class TestShmServing:
+    def test_reads_byte_identical_and_zero_copy(self, shm_deployment):
+        graph, query, server = shm_deployment
+        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+        nodes = list(graph.nodes())
+        writes = [(n, float(i % 9)) for i, n in enumerate(nodes)] * 5
+        before = server.shm_reads
+        for start in range(0, len(writes), 24):
+            chunk = writes[start : start + 24]
+            server.write_batch(chunk)
+            single.write_batch(chunk)
+        # no drain: the applied watermark alone must give read-your-writes
+        assert server.read_batch(nodes) == single.read_batch(nodes)
+        assert server.shm_reads > before  # fast path actually served
+
+    def test_notifications_flow_without_write_acks(self, shm_deployment):
+        graph, query, server = shm_deployment
+        nodes = list(graph.nodes())
+        sub = server.subscribe("shm-watcher", nodes)
+        server.write_batch([(nodes[0], 512.0)])
+        server.drain()
+        seen = collect(sub, count=1, timeout=10.0) + sub.poll()
+        assert seen and all(n.subscriber == "shm-watcher" for n in seen)
+        stamps = [n.stamp for n in seen]
+        assert stamps == sorted(stamps)
+        server.unsubscribe("shm-watcher")
+
+    def test_server_stats_report_replication_and_transport(self, shm_deployment):
+        _graph, _query, server = shm_deployment
+        stats = server.server_stats()
+        assert stats["transport"] == "shm"
+        assert stats["assignment"] == "community"
+        assert stats["replication_factor"] >= 1.0
+        assert stats["shm_reads"] > 0
+        # per-shard stats keep their shape (one dict per shard)
+        assert len(server.stats()) == server.num_shards
+
+
+def test_time_windows_keep_shard_side_reads():
+    """Time-window queries ride the shm transport but never the zero-copy
+    read path (reads advance expiry shard-side)."""
+    graph = random_graph(14, 40, seed=29)
+    query = make_query(window=TimeWindow(5.0))
+    single = EAGrEngine(graph, query, overlay_algorithm="identity", dataflow="all_push")
+    with EAGrServer(
+        graph, query, num_shards=2, executor="process",
+        overlay_algorithm="identity", dataflow="all_push",
+    ) as server:
+        assert server.transport == "shm" and not server._shm_read_ok
+        nodes = list(graph.nodes())
+        clock = 0.0
+        for i in range(6):
+            clock += 2.0
+            batch = [(n, float(i + 1), clock) for n in nodes[:5]]
+            server.write_batch(batch)
+            single.write_batch(batch)
+        assert server.read_batch(nodes) == single.read_batch(nodes)
+        assert server.shm_reads == 0
+
+
+def test_adaptive_deployments_keep_shard_side_reads():
+    """Adaptive shards need the read traffic for their observed-pull
+    signal, so zero-copy reads stay off (the ring still carries writes)."""
+    graph = random_graph(12, 34, seed=37)
+    single = EAGrEngine(graph, make_query(), overlay_algorithm="vnm_a")
+    with EAGrServer(
+        graph, make_query(), num_shards=2, executor="process",
+        overlay_algorithm="vnm_a", adaptive=True,
+    ) as server:
+        assert server.transport == "shm" and not server._shm_read_ok
+        nodes = list(graph.nodes())
+        for i in range(4):
+            batch = [(n, float(i + 1)) for n in nodes]
+            server.write_batch(batch)
+            single.write_batch(batch)
+        assert server.read_batch(nodes) == single.read_batch(nodes)
+        assert server.shm_reads == 0
+
+
+def test_lattice_aggregate_rides_shm():
+    """MAX state (nan-encoded lattice columns) serves zero-copy too."""
+    graph = random_graph(14, 40, seed=31)
+    query = make_query(aggregate=Max(), window=TupleWindow(2))
+    single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+    with EAGrServer(
+        graph, query, num_shards=2, executor="process", overlay_algorithm="vnm_a",
+    ) as server:
+        assert server.transport == "shm"
+        nodes = list(graph.nodes())
+        for i in range(8):
+            batch = [(n, float((i * 7 + j) % 13)) for j, n in enumerate(nodes)]
+            server.write_batch(batch)
+            single.write_batch(batch)
+        assert server.read_batch(nodes) == single.read_batch(nodes)
+
+
+# ---------------------------------------------------------------------------
+# queue-transport regression coverage (the fallback must stay healthy)
+# ---------------------------------------------------------------------------
+
+
+def test_forced_queue_transport_stays_byte_identical():
+    graph = random_graph(16, 56, seed=43)
+    query = make_query()
+    single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+    with EAGrServer(
+        graph, query, num_shards=2, executor="process", transport="queue",
+        overlay_algorithm="vnm_a",
+    ) as server:
+        nodes = list(graph.nodes())
+        for start in range(0, len(nodes), 6):
+            chunk = [(n, 2.5) for n in nodes[start : start + 6]]
+            server.write_batch(chunk)
+            single.write_batch(chunk)
+        server.drain()
+        assert server.read_batch(nodes) == single.read_batch(nodes)
+        assert server.shm_reads == 0
+
+
+# ---------------------------------------------------------------------------
+# crash/restart on the shm path (re-attach + ring reset)
+# ---------------------------------------------------------------------------
+
+
+def test_crash_restart_reattaches_segments():
+    """A killed worker's successor adopts the value segment and the reset
+    ring; recovered reads are byte-equal and the zero-copy path still
+    serves afterwards — all through the faultlib kill-point harness."""
+    graph = random_graph(12, 36, seed=67)
+    query = make_query()
+    single = EAGrEngine(
+        graph, query, overlay_algorithm="identity", dataflow="all_push"
+    )
+    server = EAGrServer(
+        graph, query, num_shards=1, executor="process",
+        overlay_algorithm="identity", dataflow="all_push", reply_timeout=30.0,
+    )
+    names = shm_segment_names(server)
+    try:
+        assert server.transport == "shm"
+        nodes = list(graph.nodes())
+        batches = [[(n, float(i + 1)) for n in nodes] for i in range(4)]
+        server.write_batch(batches[0])
+        single.write_batch(batches[0])
+        server.checkpoint()
+        arm_kill_point(server, 0, after=1, rng_tag="shm reattach")
+        server.write_batch(batches[1])  # applied, then the worker dies
+        single.write_batch(batches[1])
+        wait_dead(server, 0)
+        server.write_batch(batches[2])  # accepted while dead: redo log
+        single.write_batch(batches[2])
+        disarm(server, 0)
+        server.restart_shard(0)
+        server.write_batch(batches[3])
+        single.write_batch(batches[3])
+        before = server.shm_reads
+        assert server.read_batch(nodes) == single.read_batch(nodes)
+        assert server.shm_reads > before  # fast path healthy post-restart
+    finally:
+        server.close()
+    assert_no_segments(names, tag="crash/restart:")
+
+
+def test_failed_write_batch_does_not_wedge_zero_copy_reads():
+    """A batch that raises shard-side (poison value) must advance the
+    processed watermark anyway: later reads answer instead of spinning
+    toward the reply timeout, and the failure still surfaces at drain."""
+    import time
+
+    graph = random_graph(10, 30, seed=83)
+    with EAGrServer(
+        graph, make_query(), num_shards=1, executor="process",
+        overlay_algorithm="identity", dataflow="all_push", reply_timeout=20.0,
+    ) as server:
+        nodes = list(graph.nodes())
+        server.write_batch([(n, 1.0) for n in nodes])
+        server.drain()
+        server.write_batch([(nodes[0], "poison")])  # raises in the shard
+        started = time.monotonic()
+        values = server.read_batch(nodes)  # must not wait out the timeout
+        assert time.monotonic() - started < server._reply_timeout / 2
+        assert len(values) == len(nodes)
+        with pytest.raises(ServeError):
+            server.drain()  # the R_ERR surfaces as an async write failure
+        assert len(server.read_batch(nodes)) == len(nodes)  # still serving
+
+
+def test_dead_worker_read_fails_fast_on_shm_path():
+    graph = random_graph(10, 30, seed=71)
+    server = EAGrServer(
+        graph, make_query(), num_shards=1, executor="process",
+        overlay_algorithm="identity", dataflow="all_push", reply_timeout=30.0,
+    )
+    try:
+        import time
+
+        nodes = list(graph.nodes())
+        server.write_batch([(n, 1.0) for n in nodes])
+        server.drain()
+        server._executors[0].kill()
+        wait_dead(server, 0)
+        server.write_batch([(nodes[0], 9.0)])  # parks in outbox/redo log
+        started = time.monotonic()
+        with pytest.raises((ServeError, RuntimeError)):
+            server.read(nodes[0])
+        assert time.monotonic() - started < server._reply_timeout / 2
+        server.restart_shard(0)
+        assert server.read(nodes[0]) is not None
+    finally:
+        try:
+            server.close()
+        except (ServeError, RuntimeError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# resource-tracker discipline
+# ---------------------------------------------------------------------------
+
+
+_TRACKER_SCRIPT = """
+import sys
+from repro.core.aggregates import Sum
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.graph.generators import random_graph
+from repro.serve import EAGrServer
+
+graph = random_graph(10, 28, seed=9)
+query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+server = EAGrServer(
+    graph, query, num_shards=1, executor="process",
+    overlay_algorithm="identity", dataflow="all_push",
+)
+assert server.transport == "shm"
+nodes = list(graph.nodes())
+server.write_batch([(n, 1.0) for n in nodes])
+assert server.read_batch(nodes)
+server.restart_shard(0)  # attach-after-create in a fresh worker epoch
+server.drain()
+server.close()
+print("tracker-clean")
+"""
+
+
+def test_no_resource_tracker_warnings_on_clean_shutdown():
+    """Boot, restart and close a full shm deployment in a subprocess with
+    every UserWarning fatal: a double-registered (or double-unlinked)
+    segment would crash the run or leak tracker stderr noise."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    result = subprocess.run(
+        [sys.executable, "-W", "error::UserWarning", "-c", _TRACKER_SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "tracker-clean" in result.stdout
+    noise = [
+        line
+        for line in result.stderr.splitlines()
+        if "resource_tracker" in line or "KeyError" in line or "leaked" in line
+    ]
+    assert not noise, noise
