@@ -1,0 +1,287 @@
+"""Durability-tier benchmark: cold-restart recovery and replica lag.
+
+Two questions the WAL answers have a cost, measured here:
+
+* **Recovery seconds vs WAL size.**  A primary ingests N batches against
+  ``wal_dir`` and is abandoned without ``close()`` (the in-process
+  stand-in for kill -9: no executor teardown, no final flush, only the
+  flock released).  The benchmark times the cold
+  ``EAGrServer(wal_dir=...)`` boot — fold the log, restore checkpoints,
+  replay the redo suffix, refill the outboxes — through its first
+  ``drain()``, and verifies the recovered reads against a never-crashed
+  oracle before accepting the number.
+* **Replica lag vs write rate.**  A :class:`ReplicaServer` tails the log
+  while the primary streams at full speed; a sampler thread records the
+  byte lag through the run, then the catch-up time to lag 0 after the
+  primary drains.
+
+Results append to ``BENCH_recovery.json`` at the repo root so CI
+accumulates the trajectory.  ``--smoke`` shrinks the workload and keeps
+the correctness assertions (oracle-equal recovery, replica catch-up) as
+CI tripwires.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+try:
+    from benchmarks._common import bench_graph, emit_table, workload
+except ImportError:  # script mode
+    sys.path.insert(0, os.path.dirname(__file__))
+    from _common import bench_graph, emit_table, workload
+
+from repro.core.aggregates import Sum
+from repro.core.engine import EAGrEngine
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.graph.neighborhoods import Neighborhood
+from repro.graph.streams import WriteEvent
+from repro.serve import EAGrServer, ReplicaServer
+
+BATCH_SIZE = 64
+RECOVERY_SIZES = (64, 256, 1024)  # batches ingested before the crash
+CHECKPOINT_INTERVAL = 256
+ENGINE_OPTS = dict(overlay_algorithm="vnm_a", dataflow="mincut")
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_recovery.json")
+
+
+def build_query():
+    return EgoQuery(
+        aggregate=Sum(),
+        window=TupleWindow(1),
+        neighborhood=Neighborhood.in_neighbors(),
+    )
+
+
+def write_workload(graph, num_events: int):
+    events = workload(graph, num_events, write_read_ratio=10_000.0, seed=23)
+    return [
+        (e.node, e.value, e.timestamp)
+        for e in events
+        if isinstance(e, WriteEvent)
+    ]
+
+
+def crash_abandon(server) -> None:
+    """Abandon a primary the way kill -9 would leave it: nothing flushed,
+    nothing torn down — except the flock, which the kernel would release
+    for a genuinely dead process and we must release by hand in-process."""
+    server._stop_flusher.set()
+    server._flusher.join(timeout=10)
+    server._wal.close()
+
+
+def bench_recovery_point(graph, query, nodes, events, num_batches: int):
+    """One crash/restart cycle; returns the measured row (verified)."""
+    wal_dir = tempfile.mkdtemp(prefix="eagr-bench-wal-")
+    try:
+        server = EAGrServer(
+            graph, query, num_shards=2, executor="inprocess",
+            wal_dir=wal_dir, checkpoint_interval=CHECKPOINT_INTERVAL,
+            **ENGINE_OPTS,
+        )
+        batches = []
+        for index in range(num_batches):
+            start = (index * BATCH_SIZE) % max(1, len(events) - BATCH_SIZE)
+            batches.append(events[start : start + BATCH_SIZE])
+        ingest_started = time.perf_counter()
+        for batch in batches:
+            server.write_batch(batch)
+        server.drain()
+        ingest_elapsed = time.perf_counter() - ingest_started
+        wal_bytes = server._wal.total_bytes()
+        crash_abandon(server)
+        del server
+
+        recovery_started = time.perf_counter()
+        revived = EAGrServer(
+            graph, query, num_shards=2, executor="inprocess",
+            wal_dir=wal_dir, checkpoint_interval=CHECKPOINT_INTERVAL,
+            **ENGINE_OPTS,
+        )
+        revived.drain()
+        recovery_elapsed = time.perf_counter() - recovery_started
+        try:
+            oracle = EAGrEngine(graph, query, **ENGINE_OPTS)
+            for batch in batches:
+                oracle.write_batch(batch)
+            assert revived.read_batch(nodes) == oracle.read_batch(nodes), (
+                f"recovery at {num_batches} batches lost acknowledged writes"
+            )
+            recovered = revived.recovered_batches
+        finally:
+            revived.close()
+        return {
+            "batches": num_batches,
+            "writes": num_batches * BATCH_SIZE,
+            "wal_mb": round(wal_bytes / (1 << 20), 3),
+            "ingest_eps": round(num_batches * BATCH_SIZE / ingest_elapsed)
+            if ingest_elapsed else 0,
+            "recovery_s": round(recovery_elapsed, 3),
+            "recovered_batches": recovered,
+        }
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def bench_replica_lag(graph, query, nodes, events, num_batches: int):
+    """Stream at full speed with a replica attached; sample its lag."""
+    wal_dir = tempfile.mkdtemp(prefix="eagr-bench-replica-")
+    try:
+        with EAGrServer(
+            graph, query, num_shards=2, executor="inprocess",
+            wal_dir=wal_dir, checkpoint_interval=CHECKPOINT_INTERVAL,
+            **ENGINE_OPTS,
+        ) as server:
+            with ReplicaServer(
+                graph, query, wal_dir, poll_interval=0.002, **ENGINE_OPTS
+            ) as replica:
+                samples = []
+                stop = threading.Event()
+
+                def sample():
+                    while not stop.wait(0.005):
+                        samples.append(replica.lag_bytes())
+
+                sampler = threading.Thread(target=sample, daemon=True)
+                sampler.start()
+                started = time.perf_counter()
+                for index in range(num_batches):
+                    start = (index * BATCH_SIZE) % max(
+                        1, len(events) - BATCH_SIZE
+                    )
+                    server.write_batch(events[start : start + BATCH_SIZE])
+                server.drain()
+                stream_elapsed = time.perf_counter() - started
+                catchup_started = time.perf_counter()
+                replica.read_batch(nodes[:8], max_lag_bytes=0, wait=60.0)
+                catchup = time.perf_counter() - catchup_started
+                stop.set()
+                sampler.join(timeout=2)
+                assert replica.read_batch(nodes, max_lag_bytes=0) == (
+                    server.read_batch(nodes)
+                ), "replica diverged from the primary after catch-up"
+                eps = (
+                    num_batches * BATCH_SIZE / stream_elapsed
+                    if stream_elapsed else 0.0
+                )
+                return {
+                    "batches": num_batches,
+                    "write_eps": round(eps),
+                    "max_lag_kb": round(max(samples) / 1024, 1) if samples else 0.0,
+                    "mean_lag_kb": round(
+                        sum(samples) / len(samples) / 1024, 1
+                    ) if samples else 0.0,
+                    "catchup_s": round(catchup, 3),
+                    "batches_applied": replica.batches_applied,
+                }
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+def run_bench(sizes=RECOVERY_SIZES, replica_batches: int = 512):
+    graph = bench_graph("livejournal-small", scale=0.25)
+    query = build_query()
+    nodes = sorted(graph.nodes(), key=repr)
+    events = write_workload(graph, max(sizes) * BATCH_SIZE)
+
+    recovery_rows = [
+        bench_recovery_point(graph, query, nodes, events, size)
+        for size in sizes
+    ]
+    replica_row = bench_replica_lag(
+        graph, query, nodes, events, replica_batches
+    )
+
+    emit_table(
+        "recovery",
+        f"Cold-restart recovery [SUM, vnm_a+mincut, batch={BATCH_SIZE}, "
+        f"checkpoint every {CHECKPOINT_INTERVAL}]",
+        ["batches", "WAL MB", "ingest ev/s", "recovery s", "redo replayed"],
+        [
+            [
+                str(row["batches"]),
+                f"{row['wal_mb']:.3f}",
+                f"{row['ingest_eps']:,}",
+                f"{row['recovery_s']:.3f}",
+                str(row["recovered_batches"]),
+            ]
+            for row in recovery_rows
+        ],
+    )
+    emit_table(
+        "replica_lag",
+        "Warm replica tailing the live WAL",
+        ["batches", "write ev/s", "max lag KB", "mean lag KB", "catch-up s"],
+        [[
+            str(replica_row["batches"]),
+            f"{replica_row['write_eps']:,}",
+            f"{replica_row['max_lag_kb']}",
+            f"{replica_row['mean_lag_kb']}",
+            f"{replica_row['catchup_s']}",
+        ]],
+    )
+    return {"recovery": recovery_rows, "replica": replica_row}
+
+
+def persist(results) -> None:
+    history = []
+    if os.path.exists(JSON_PATH):
+        try:
+            with open(JSON_PATH) as handle:
+                history = json.load(handle)
+        except (ValueError, OSError):
+            history = []
+        if not isinstance(history, list):
+            history = [history]
+    history.append(
+        {
+            "bench": "recovery",
+            "timestamp": time.time(),
+            "batch_size": BATCH_SIZE,
+            "checkpoint_interval": CHECKPOINT_INTERVAL,
+            "cpus": os.cpu_count(),
+            "results": results,
+        }
+    )
+    with open(JSON_PATH, "w") as handle:
+        json.dump(history, handle, indent=2)
+        handle.write("\n")
+
+
+def main(argv):
+    smoke = "--smoke" in argv
+    sizes = (16, 64) if smoke else RECOVERY_SIZES
+    replica_batches = 64 if smoke else 512
+    results = run_bench(sizes=sizes, replica_batches=replica_batches)
+    persist(results)
+    last = results["recovery"][-1]
+    print(
+        f"recovery at {last['batches']} batches "
+        f"({last['wal_mb']} MB WAL): {last['recovery_s']}s; replica max lag "
+        f"{results['replica']['max_lag_kb']} KB at "
+        f"{results['replica']['write_eps']:,} ev/s, catch-up "
+        f"{results['replica']['catchup_s']}s; JSON -> {JSON_PATH}"
+    )
+    if smoke:
+        # CI tripwires: recovery must stay interactive at smoke sizes and
+        # the replica must actually reach lag 0 (both asserted exact
+        # against oracles inside the measurement functions).
+        assert last["recovery_s"] < 30.0, (
+            f"cold restart took {last['recovery_s']}s at smoke size"
+        )
+        assert results["replica"]["catchup_s"] < 30.0
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,28 +1,39 @@
-"""Live feed serving: a sharded EAGrServer pushing standing-query updates.
+"""Live feed serving: a sharded, crash-consistent EAGrServer.
 
 The scenario: every user's feed header shows the SUM of their friends'
 recent activity scores, continuously.  This example stands up an
 :class:`~repro.serve.server.EAGrServer` — reader space partitioned over
-shard processes, each hosting its own compiled engine — subscribes a
+shard processes, each hosting its own compiled engine, every accepted
+batch persisted to a write-ahead log (``wal_dir=``) — subscribes a
 handful of egos, streams a Zipf-skewed write workload in batches, and
-prints the notifications as the shards push them: per-subscriber monotone
-stamps, values diffed against the last delivery, silence for egos whose
-aggregates didn't move.
+prints the notifications as the shards push them.  A
+:class:`~repro.serve.replica.ReplicaServer` then attaches to the same
+WAL and serves staleness-bounded reads a bounded lag behind the primary.
 
 Run:  python examples/live_feed_server.py            (2 shard processes)
       python examples/live_feed_server.py --smoke    (in-process shards,
           small workload, asserts round-trips and clean shutdown — the
-          configuration the CI smoke job boots)
+          configuration the CI smoke job boots.  Also performs a real
+          kill -9: a sacrificial child process ingests against a WAL and
+          is SIGKILLed mid-stream; the cold restart must recover every
+          acknowledged batch and resume the subscription gap-free.)
 """
 
+import os
+import random
+import shutil
+import signal
+import subprocess
 import sys
+import tempfile
 
 from repro import EAGrEngine, EgoQuery, Neighborhood, Sum, TupleWindow
 from repro.graph.generators import social_graph
-from repro.serve import EAGrServer
+from repro.serve import EAGrServer, ReplicaServer
 from repro.workload import WorkloadSpec, generate_events
 
 BATCH_SIZE = 128
+ENGINE_OPTS = dict(overlay_algorithm="vnm_a", dataflow="mincut")
 
 
 def build_workload(nodes, num_events, seed=5):
@@ -39,7 +50,102 @@ def build_workload(nodes, num_events, seed=5):
     ]
 
 
+# ---------------------------------------------------------------------------
+# the kill -9 round trip (smoke mode)
+# ---------------------------------------------------------------------------
+
+def wal_env():
+    """The deployment the sacrificial child and the cold restart share."""
+    graph = social_graph(num_nodes=60, edges_per_node=5, seed=9)
+    query = EgoQuery(
+        aggregate=Sum(),
+        window=TupleWindow(2),
+        neighborhood=Neighborhood.in_neighbors(),
+    )
+    return graph, query
+
+
+def wal_workload(nodes, seed=17, batches=12):
+    """Deterministic timestamped batches — regenerated identically by
+    the restart's oracle, so no state needs to survive except the WAL."""
+    rng = random.Random(seed)
+    out, t = [], 0.0
+    for _ in range(batches):
+        batch = []
+        for _ in range(6):
+            t += 1.0
+            batch.append((rng.choice(nodes), float(rng.randint(1, 50)), t))
+        out.append(batch)
+    return out
+
+
+def sacrifice(wal_dir):
+    """Child-process mode: ingest against the WAL, then die by SIGKILL —
+    no close(), no final flush, workers and outboxes full of in-flight
+    state.  Everything acknowledged must survive in ``wal_dir``."""
+    graph, query = wal_env()
+    nodes = sorted(graph.nodes(), key=repr)
+    server = EAGrServer(
+        graph, query, num_shards=2, executor="inprocess",
+        wal_dir=wal_dir, checkpoint_interval=5, **ENGINE_OPTS,
+    )
+    server.subscribe("feed-widget", nodes[:8])
+    for batch in wal_workload(nodes):
+        server.write_batch(batch)
+    os.kill(0, signal.SIGKILL)
+
+
+def kill9_round_trip():
+    wal_dir = tempfile.mkdtemp(prefix="eagr-wal-")
+    try:
+        child = subprocess.Popen(
+            [sys.executable, os.path.abspath(__file__), "--sacrifice", wal_dir],
+            start_new_session=True,
+        )
+        returncode = child.wait(timeout=60)
+        assert returncode == -signal.SIGKILL, returncode
+
+        graph, query = wal_env()
+        nodes = sorted(graph.nodes(), key=repr)
+        with EAGrServer(
+            graph, query, num_shards=2, executor="inprocess",
+            wal_dir=wal_dir, checkpoint_interval=5, **ENGINE_OPTS,
+        ) as revived:
+            revived.drain()
+            oracle = EAGrEngine(graph, query, **ENGINE_OPTS)
+            for batch in wal_workload(nodes):
+                oracle.write_batch(batch)
+            assert revived.read_batch(nodes) == oracle.read_batch(nodes), (
+                "cold restart lost acknowledged batches"
+            )
+            # The dead epoch's subscription resumes gap-free, and fresh
+            # live traffic splices in with contiguous stamps.
+            resumed = revived.subscribe("feed-widget", resume_from=0)
+            stamps = [note.stamp for note in resumed.poll()]
+            assert stamps == list(range(1, len(stamps) + 1)), stamps
+            revived.write_batch([(nodes[0], 123.0, 10_000.0)])
+            revived.drain()
+            stamps += [note.stamp for note in resumed.poll()]
+            assert stamps == list(range(1, len(stamps) + 1)), stamps
+            recovered = revived.recovered_batches
+        print(
+            f"kill -9 round-trip OK: child SIGKILLed mid-ingest, cold "
+            f"restart recovered {recovered} batches, reads oracle-equal, "
+            f"resume stream gap-free ({len(stamps)} stamps)"
+        )
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
+
+
+# ---------------------------------------------------------------------------
+# the main demo
+# ---------------------------------------------------------------------------
+
 def main(argv) -> None:
+    if "--sacrifice" in argv:
+        sacrifice(argv[argv.index("--sacrifice") + 1])
+        return  # unreachable: sacrifice() ends in SIGKILL
+
     smoke = "--smoke" in argv
     executor = "inprocess" if smoke else "process"
     num_nodes = 120 if smoke else 400
@@ -54,82 +160,104 @@ def main(argv) -> None:
     nodes = sorted(graph.nodes(), key=repr)
     writes = build_workload(nodes, num_events)
 
-    server = EAGrServer(
-        graph,
-        query,
-        num_shards=2,
-        executor=executor,
-        overlay_algorithm="vnm_a",
-        dataflow="mincut",
-    )
-    print(server.describe())
+    wal_dir = tempfile.mkdtemp(prefix="eagr-feed-wal-")
+    try:
+        with EAGrServer(
+            graph,
+            query,
+            num_shards=2,
+            executor=executor,
+            wal_dir=wal_dir,
+            **ENGINE_OPTS,
+        ) as server:
+            print(server.describe())
 
-    watched = nodes[:5]
-    feed = server.subscribe("feed-widget", watched)
-    print(f"subscribed {len(watched)} egos; baseline: {feed.snapshot}")
+            watched = nodes[:5]
+            feed = server.subscribe("feed-widget", watched)
+            print(f"subscribed {len(watched)} egos; baseline: {feed.snapshot}")
 
-    for start in range(0, len(writes), BATCH_SIZE):
-        server.write_batch(writes[start : start + BATCH_SIZE])
-    server.drain()
+            for start in range(0, len(writes), BATCH_SIZE):
+                server.write_batch(writes[start : start + BATCH_SIZE])
+            server.drain()
 
-    notes = feed.poll()
-    print(f"\n{len(notes)} notifications pushed while streaming "
-          f"{len(writes)} writes:")
-    for note in notes[:12]:
-        print(
-            f"  #{note.stamp:<4} ego={note.ego!r:<12} -> {note.value:<8g} "
-            f"(shard {note.shard}, batch {note.batch})"
-        )
-    if len(notes) > 12:
-        print(f"  ... and {len(notes) - 12} more")
+            notes = feed.poll()
+            print(f"\n{len(notes)} notifications pushed while streaming "
+                  f"{len(writes)} writes:")
+            for note in notes[:12]:
+                print(
+                    f"  #{note.stamp:<4} ego={note.ego!r:<12} -> "
+                    f"{note.value:<8g} (shard {note.shard}, "
+                    f"batch {note.batch})"
+                )
+            if len(notes) > 12:
+                print(f"  ... and {len(notes) - 12} more")
 
-    stats = server.stats()
-    for s in stats:
-        print(
-            f"shard {s['shard']}: {s['readers']} readers, "
-            f"{s['writes']} writes in {s['batches']} batches, "
-            f"{s['notices_emitted']} notices, backend={s['value_store_backend']}"
-        )
+            stats = server.stats()
+            for s in stats:
+                print(
+                    f"shard {s['shard']}: {s['readers']} readers, "
+                    f"{s['writes']} writes in {s['batches']} batches, "
+                    f"{s['notices_emitted']} notices, "
+                    f"backend={s['value_store_backend']}"
+                )
+            front = server.server_stats()
+            print(f"WAL: {front['wal_bytes']} bytes across the accepted "
+                  f"stream (every acknowledged batch is on disk)")
+
+            # A warm replica tails the same WAL: staleness-bounded reads
+            # without touching the primary's shards.
+            with ReplicaServer(
+                graph, query, wal_dir, **ENGINE_OPTS
+            ) as replica:
+                replica_reads = replica.read_batch(nodes, max_lag_bytes=0)
+                print(f"replica caught up: watermark={replica.watermark()}, "
+                      f"lag={replica.lag_bytes()}B")
+                if smoke:
+                    assert replica_reads == server.read_batch(nodes), (
+                        "replica reads diverged from the primary"
+                    )
+
+            if smoke:
+                # CI assertions: round-trips agree with a single engine
+                # and the subscription stream is exactly the changed
+                # watched egos.
+                single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
+                single.write_batch(writes)
+                assert server.read_batch(nodes) == single.read_batch(nodes), (
+                    "sharded reads diverged from the single-engine oracle"
+                )
+                stamps = [note.stamp for note in notes]
+                assert stamps == sorted(stamps)
+                assert len(set(stamps)) == len(stamps)
+                final = dict(zip(nodes, single.read_batch(nodes)))
+                for note in notes:
+                    assert note.ego in set(watched)
+                changed_watched = {
+                    n for n in watched if final[n] != feed.snapshot[n]
+                }
+                assert {note.ego for note in notes} >= changed_watched
+                # Durable resume: drop the connection mid-stream,
+                # reconnect with a resume token, and the journal replays
+                # the missed suffix with the original stamps.
+                last_seen = notes[len(notes) // 2].stamp if notes else 0
+                server.disconnect("feed-widget")
+                server.write_batch([(nodes[10], 999.0, None)])
+                server.drain()
+                resumed = server.subscribe("feed-widget", resume_from=last_seen)
+                got = [n.stamp for n in resumed.poll()]
+                assert got == list(
+                    range(last_seen + 1, last_seen + 1 + len(got))
+                ), "resume replay is not the contiguous missed suffix"
+                print(f"resumed from stamp {last_seen}: {len(got)} "
+                      "notifications replayed, stream gap-free")
+    finally:
+        shutil.rmtree(wal_dir, ignore_errors=True)
 
     if smoke:
-        # CI assertions: round-trips agree with a single engine and the
-        # subscription stream is exactly the changed watched egos.
-        single = EAGrEngine(graph, query, overlay_algorithm="vnm_a")
-        single.write_batch(writes)
-        assert server.read_batch(nodes) == single.read_batch(nodes), (
-            "sharded reads diverged from the single-engine oracle"
-        )
-        stamps = [note.stamp for note in notes]
-        assert stamps == sorted(stamps) and len(set(stamps)) == len(stamps)
-        final = dict(zip(nodes, single.read_batch(nodes)))
-        for note in notes:
-            assert note.ego in set(watched)
-        changed_watched = {
-            n for n in watched if final[n] != feed.snapshot[n]
-        }
-        assert {note.ego for note in notes} >= changed_watched
-        # Durable resume: drop the connection mid-stream, reconnect with
-        # a resume token, and the journal replays the missed suffix with
-        # the original stamps — exactly once, gap-free.
-        last_seen = notes[len(notes) // 2].stamp if notes else 0
-        server.disconnect("feed-widget")
-        server.write_batch([(nodes[10], 999.0, None)])
-        server.drain()
-        resumed = server.subscribe("feed-widget", resume_from=last_seen)
-        replayed = resumed.poll()
-        got = [n.stamp for n in replayed]
-        assert got == list(range(last_seen + 1, last_seen + 1 + len(got))), (
-            "resume replay is not the contiguous missed suffix"
-        )
-        print(f"resumed from stamp {last_seen}: {len(replayed)} "
-              "notifications replayed, stream gap-free")
-        server.close()
-        assert all(not ex.alive() or ex.kind == "inprocess"
-                   for ex in server._executors)
+        kill9_round_trip()
         print("\nsmoke OK: reads byte-identical, notifications exact, "
-              "clean shutdown")
+              "replica consistent, crash recovery exact, clean shutdown")
     else:
-        server.close()
         print("\nserver closed cleanly")
 
 

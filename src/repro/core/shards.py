@@ -43,6 +43,17 @@ shm transport meets them with a published *applied watermark* (the
 highest absorbed batch number plus the global write stamp) instead of
 per-request acknowledgements; consumers treat "watermark covers every
 batch I routed" as equivalent to a ``drain()`` barrier for reads.
+
+It is also deliberately *durability-free*: ``write_batch`` returning
+means accepted, not persisted.  Callers that need "acked ⇒ on stable
+storage" layer it outside the protocol — the serve front-end logs every
+batch to a write-ahead log (:mod:`repro.serve.wal`) *before* routing it
+to shards, which is what lets any conforming backend be rebuilt
+batch-exact after a crash: the stamp advances once per applied batch
+regardless of coalescing, so replaying the logged batch sequence through
+a fresh shard reproduces both the values and the stamps.  Backends
+should preserve that batch-lockstep stamp discipline (see
+``changed_report``) or recovered streams will renumber across restarts.
 """
 
 from __future__ import annotations

@@ -19,6 +19,16 @@ serving tier:
 * :mod:`~repro.serve.journal` — per-subscriber durable notification logs:
   bounded rings, optionally disk-backed, that make subscriptions
   resumable.
+* :mod:`~repro.serve.wal` — the whole-server write-ahead log: every
+  accepted write batch, checkpoint and watch change persisted
+  (CRC-framed, fsync-disciplined, checkpoint-gated compaction), so
+  ``EAGrServer(wal_dir=...)`` cold-restarts after ``kill -9`` with zero
+  lost acknowledged batches and stamp-exact recovered state.
+* :mod:`~repro.serve.replica` — a warm read-replica
+  (:class:`~repro.serve.replica.ReplicaServer`) tailing the same WAL:
+  staleness-bounded pull reads a bounded lag behind the primary, and
+  promotion to a full primary when the old one dies (the kernel's
+  ``flock`` release on the log is the death signal).
 
 The delivery contract
 ---------------------
@@ -66,8 +76,10 @@ its module docstring for how to script a crash.
 from repro.serve.executors import InProcessShardExecutor, ProcessShardExecutor
 from repro.serve.journal import NotificationLog, ResumeGapError
 from repro.serve.messages import Notification, ShardCheckpoint
+from repro.serve.replica import ReplicaServer, ReplicaError, StaleReadError
 from repro.serve.server import EAGrServer, ServeError, Subscription
 from repro.serve.shard import ShardHost, ShardSpec
+from repro.serve.wal import WalError, WalLockedError, WriteAheadLog
 
 __all__ = [
     "EAGrServer",
@@ -75,10 +87,16 @@ __all__ = [
     "Notification",
     "NotificationLog",
     "ProcessShardExecutor",
+    "ReplicaError",
+    "ReplicaServer",
     "ResumeGapError",
     "ServeError",
     "ShardCheckpoint",
     "ShardHost",
     "ShardSpec",
+    "StaleReadError",
     "Subscription",
+    "WalError",
+    "WalLockedError",
+    "WriteAheadLog",
 ]

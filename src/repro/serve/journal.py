@@ -108,6 +108,18 @@ class NotificationLog:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def entries(self) -> List[Any]:
+        """Every retained entry, oldest first (a copy, safe to keep).
+
+        WAL cold-restart recovery walks these to rehydrate the
+        front-end's per-ego replay filter: on that path the redo replay
+        reproduces pre-crash shard stamps exactly, so the recorded
+        ``batch`` tags are valid suppression thresholds in the new
+        process (unlike a non-WAL reboot, where shards restart their
+        stamps from zero).
+        """
+        return list(self._entries)
+
     def append(self, entry: Any) -> None:
         """Record ``entry`` (its ``stamp`` must exceed :attr:`last_stamp`)."""
         if entry.stamp <= self.last_stamp:

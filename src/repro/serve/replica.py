@@ -1,0 +1,372 @@
+"""Warm read-replica: a second process tailing the primary's WAL.
+
+StreamWorks-style standing queries want a read-scaling / high-availability
+tier; the EAGr front-end's :class:`~repro.serve.wal.WriteAheadLog` is the
+natural replication stream, because it already totally orders every
+accepted write round and batch assignment.  :class:`ReplicaServer`
+follows that log — poll-driven, read-only, never truncating — and keeps
+its own in-process shard engines a bounded lag behind the primary:
+
+* ``META`` / ``SNAP`` records build (or rebuild) the shard hosts — the
+  same :class:`~repro.serve.shard.ShardSpec` + checkpoint restore path
+  a crash recovery uses;
+* ``W`` records stash accepted rounds; a ``B`` record assembles them
+  into the exact batch the primary submitted and applies it
+  **batch-exact** through :meth:`ShardHost.apply_write_batch`, so the
+  replica's engines advance through precisely the primary's stamp
+  trajectory (idempotently — re-application after a snapshot reset is
+  skipped by ``applied_through``);
+* a compaction racing the tailer is self-healing: when the cursor's
+  segment disappears, the tailer re-anchors at the new snapshot base
+  and the replica rebuilds from the ``SNAP`` record.
+
+Reads are **pull with an explicit staleness bound**:
+:meth:`ReplicaServer.read_batch` first waits (up to ``wait``) for the
+replica to consume the log to within ``max_lag_bytes`` of its current
+end, then answers under the apply lock together with the watermark the
+answer corresponds to — a read is always consistent with the primary's
+state *at that watermark*, never a torn mix.  :exc:`StaleReadError`
+fires when the bound cannot be met in time.
+
+Promotion: when the primary dies (however uncleanly), the kernel drops
+its WAL ``flock``; :meth:`ReplicaServer.promote` drains the log to its
+end, shuts the tailer down, and boots a full ``EAGrServer(wal_dir=...)``
+over the same log — the standard cold-restart recovery, which loses no
+acknowledged batch.  The replica's warm engines make the *observable*
+gap small (reads keep being served until the moment of promotion); the
+new primary then re-acquires the single-writer lock.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.query import EgoQuery
+from repro.graph.dynamic_graph import DynamicGraph
+from repro.serve.shard import ShardHost, ShardSpec
+from repro.serve.wal import WalState, WalTailer, list_segments
+
+NodeId = Hashable
+
+
+class ReplicaError(RuntimeError):
+    """The replica cannot serve the request (not attached, closed, ...)."""
+
+
+class StaleReadError(ReplicaError):
+    """The replica could not catch up to the requested staleness bound
+    before the wait deadline."""
+
+
+class ReplicaServer:
+    """Read-only warm standby fed by a primary's WAL directory.
+
+    Parameters
+    ----------
+    graph / query:
+        The same deployment arguments the primary was built with (the
+        WAL persists the reader *partition*, not the graph itself).
+    wal_dir:
+        The primary's log directory.
+    poll_interval:
+        Tailer sleep between polls when the log is idle.
+    engine_kwargs:
+        Forwarded to each shard engine (must match the primary's for
+        read equivalence — e.g. ``overlay_algorithm``, ``dataflow``).
+    """
+
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        query: EgoQuery,
+        wal_dir: str,
+        poll_interval: float = 0.02,
+        value_store: str = "auto",
+        attach_timeout: float = 30.0,
+        **engine_kwargs: Any,
+    ) -> None:
+        self.graph = graph
+        self.query = query
+        self.wal_dir = wal_dir
+        self.poll_interval = poll_interval
+        self._value_store = value_store
+        self._engine_kwargs = engine_kwargs
+        self._tailer = WalTailer(wal_dir)
+        self._apply_lock = threading.Lock()
+        self._hosts: List[Optional[ShardHost]] = []
+        self.num_shards = 0
+        self.reader_shard: Dict[NodeId, int] = {}
+        #: shard -> [(wal_seq, items)] accepted rounds awaiting a ``B``.
+        self._rounds: Dict[int, List[Tuple[int, List[Tuple]]]] = {}
+        self._covered: Dict[int, int] = {}
+        #: shard -> batch number voided by an ``RB`` (awaiting re-issue).
+        self._rolled_back: Dict[int, int] = {}
+        self.batches_applied = 0
+        self.resets = 0
+        self._closed = False
+        self._stop = threading.Event()
+        # Attach synchronously: fold whatever the log already holds, so a
+        # constructed replica is immediately serviceable (further records
+        # stream in on the tailer thread).
+        deadline = time.monotonic() + attach_timeout
+        while True:
+            with self._apply_lock:
+                self._consume(self._tailer.poll())
+            if self._hosts:
+                break
+            if time.monotonic() >= deadline:
+                raise ReplicaError(
+                    f"no WAL META record appeared in {wal_dir!r} within "
+                    f"{attach_timeout}s"
+                )
+            time.sleep(self.poll_interval)
+        self._thread = threading.Thread(
+            target=self._tail_loop, name="eagr-replica-tailer", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # record consumption
+    # ------------------------------------------------------------------
+
+    def _build_hosts(self, state: WalState) -> None:
+        """(Re)build every shard host from a fold of the log prefix."""
+        self.num_shards = state.num_shards
+        self.reader_shard = dict(state.reader_shard)
+        shard_readers: List[set] = [set() for _ in range(self.num_shards)]
+        for node, shard_id in self.reader_shard.items():
+            shard_readers[shard_id].add(node)
+        hosts: List[Optional[ShardHost]] = []
+        for shard_id in range(self.num_shards):
+            spec = ShardSpec(
+                self.graph,
+                self.query,
+                shard_id=shard_id,
+                num_shards=self.num_shards,
+                readers=frozenset(shard_readers[shard_id]),
+                value_store=self._value_store,
+                engine_kwargs=self._engine_kwargs,
+                checkpoint=state.checkpoints.get(shard_id),
+            )
+            host = spec.build()
+            for batch_no, items in state.redo.get(shard_id, ()):
+                host.apply_write_batch(batch_no, items)
+            hosts.append(host)
+        self._hosts = hosts
+        self._rounds = {
+            shard_id: list(rounds) for shard_id, rounds in state.rounds.items()
+        }
+        self._covered = dict(state.covered)
+        self._rolled_back = {}
+
+    def _consume(self, records: Sequence[Tuple]) -> None:
+        """Apply a run of tailed records (caller holds the apply lock)."""
+        for record in records:
+            kind = record[0]
+            if kind == "W":
+                _k, seq, per_shard, _clock = record
+                for shard_id, items in per_shard.items():
+                    self._rounds.setdefault(shard_id, []).append((seq, items))
+            elif kind == "B":
+                _k, shard_id, batch_no, covered = record
+                items: List[Tuple] = []
+                keep: List[Tuple[int, List[Tuple]]] = []
+                for seq, round_items in self._rounds.get(shard_id, ()):
+                    if seq <= covered:
+                        items.extend(round_items)
+                    else:
+                        keep.append((seq, round_items))
+                self._rounds[shard_id] = keep
+                self._covered[shard_id] = covered
+                host = self._hosts[shard_id]
+                if self._rolled_back.pop(shard_id, None) == batch_no:
+                    # Re-issue of a rolled-back batch: this replica
+                    # already applied the original under the same
+                    # number (it applies eagerly; the primary's
+                    # rollback happened before any worker saw it), so
+                    # only the *newer* rounds are new here.  They apply
+                    # unnumbered — value-equivalent, ``applied_through``
+                    # already at ``batch_no`` — since a numbered apply
+                    # would be skipped as a duplicate.
+                    host.apply_write_batch(None, items)
+                else:
+                    # Batch-exact application: the replica's engines
+                    # advance through exactly the primary's batch
+                    # trajectory; ``applied_through`` makes a
+                    # re-application after a SNAP reset a no-op.
+                    host.apply_write_batch(batch_no, items)
+                self.batches_applied += 1
+            elif kind == "RB":
+                _k, shard_id, batch_no = record
+                # A refused non-blocking submit on the primary: the
+                # assignment is void there, but the replica already
+                # applied it.  Mark the number; the matching re-issue
+                # (same ``batch_no``, wider coverage) takes the delta
+                # path above instead of being skipped.
+                self._rolled_back[shard_id] = batch_no
+            elif kind == "C":
+                pass  # the replica applied those batches as they streamed
+            elif kind in ("S", "U"):
+                pass  # subscriptions are the primary's concern
+            elif kind == "META":
+                state = WalState()
+                state.fold(record)
+                self._build_hosts(state)
+            elif kind == "SNAP":
+                self.resets += 1
+                self._build_hosts(record[1])
+
+    def _tail_loop(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                records = self._tailer.poll()
+            except OSError:
+                continue  # transient listing race; retry next tick
+            if records:
+                with self._apply_lock:
+                    if self._closed:
+                        return
+                    self._consume(records)
+
+    # ------------------------------------------------------------------
+    # reads with a staleness bound
+    # ------------------------------------------------------------------
+
+    def lag_bytes(self) -> int:
+        """Bytes of WAL the replica has not consumed yet (0 = caught up).
+
+        Measured against the segment files on disk, so it reflects
+        everything the primary has *flushed*, including rounds it has
+        not fsynced yet.
+        """
+        segments = list_segments(self.wal_dir)
+        total = 0
+        cursor_index = self._tailer._segment_index
+        for index, path in segments:
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            if cursor_index is None or index > cursor_index:
+                total += size
+            elif index == cursor_index:
+                total += max(0, size - self._tailer._offset)
+        return total
+
+    def watermark(self) -> Dict[int, int]:
+        """Per-shard highest applied batch number (the replica's position)."""
+        with self._apply_lock:
+            return {
+                shard_id: host.applied_through
+                for shard_id, host in enumerate(self._hosts)
+                if host is not None
+            }
+
+    def read(self, node: NodeId, **kwargs: Any) -> Any:
+        return self.read_batch([node], **kwargs)[0]
+
+    def read_batch(
+        self,
+        nodes: Sequence[NodeId],
+        max_lag_bytes: int = 0,
+        wait: float = 10.0,
+    ) -> List[Any]:
+        """Evaluate the query at each node against the replica's state.
+
+        First waits (up to ``wait`` seconds) until the unconsumed WAL
+        suffix is at most ``max_lag_bytes``; raises
+        :class:`StaleReadError` otherwise.  The answer is computed under
+        the apply lock, so it is exactly the primary's state at
+        :meth:`watermark` — reads never observe a half-applied batch.
+        """
+        self._check_open()
+        deadline = time.monotonic() + wait
+        while self.lag_bytes() > max_lag_bytes:
+            if time.monotonic() >= deadline:
+                raise StaleReadError(
+                    f"replica lag {self.lag_bytes()}B exceeds the "
+                    f"{max_lag_bytes}B bound after {wait}s"
+                )
+            time.sleep(self.poll_interval)
+        nodes = list(nodes)
+        aggregate = self.query.aggregate
+        identity = aggregate.finalize(aggregate.identity())
+        results: List[Any] = [identity] * len(nodes)
+        per_shard: Dict[int, List[int]] = {}
+        for position, node in enumerate(nodes):
+            shard_id = self.reader_shard.get(node)
+            if shard_id is not None:
+                per_shard.setdefault(shard_id, []).append(position)
+        with self._apply_lock:
+            for shard_id, positions in per_shard.items():
+                host = self._hosts[shard_id]
+                values = host.engine.read_batch(
+                    [nodes[p] for p in positions]
+                )
+                for position, value in zip(positions, values):
+                    results[position] = value
+        return results
+
+    # ------------------------------------------------------------------
+    # promotion and lifecycle
+    # ------------------------------------------------------------------
+
+    def promote(self, **server_kwargs: Any):
+        """Take over as primary after the old primary's death.
+
+        Drains the WAL to its current end (no acknowledged batch left
+        behind), stops tailing, closes this replica, and boots a full
+        :class:`~repro.serve.server.EAGrServer` over the same log — the
+        standard cold-restart recovery path, including the subscriber
+        journals and watch registry the read-only replica never
+        materialized.  Raises
+        :class:`~repro.serve.wal.WalLockedError` if the old primary is
+        in fact still alive (its flock is still held) — split-brain is
+        refused, not raced.
+        """
+        self._check_open()
+        with self._apply_lock:
+            self._consume(self._tailer.poll())
+        self.close()
+        from repro.serve.server import EAGrServer
+
+        server_kwargs.setdefault("num_shards", self.num_shards)
+        server_kwargs.setdefault("value_store", self._value_store)
+        return EAGrServer(
+            self.graph,
+            self.query,
+            wal_dir=self.wal_dir,
+            **{**self._engine_kwargs, **server_kwargs},
+        )
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ReplicaError("ReplicaServer is closed")
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "num_shards": self.num_shards,
+            "batches_applied": self.batches_applied,
+            "lag_bytes": self.lag_bytes(),
+            "watermark": self.watermark(),
+            "snapshot_resets": self.resets,
+        }
+
+    def close(self) -> None:
+        """Stop tailing and drop the shard engines (idempotent)."""
+        if self._closed:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        with self._apply_lock:
+            self._closed = True
+            self._hosts = []
+
+    def __enter__(self) -> "ReplicaServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

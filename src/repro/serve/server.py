@@ -236,8 +236,25 @@ class EAGrServer:
         Auto-checkpoint a shard whenever its redo log holds this many
         batches, bounding redo-log memory and restart replay time.
         ``None`` (default) leaves checkpointing to explicit
-        :meth:`checkpoint` calls — the redo log then grows with ingestion
-        until one is taken.
+        :meth:`checkpoint` calls — except with ``wal_dir``, where it
+        defaults to 256 so both the front-end redo log and the WAL's
+        replay suffix stay bounded across long runs.
+    wal_dir:
+        Directory for the whole-server :class:`~repro.serve.wal.WriteAheadLog`.
+        When set, every accepted write batch, checkpoint and watch change
+        is persisted (fsync-disciplined) before being acknowledged, and a
+        cold construction over an existing log **recovers**: the reader
+        partition, batch counters, checkpoints, redo log, pending writes
+        and watch registry are folded back from disk, every shard is
+        rebuilt from its checkpoint, and the redo suffix replays
+        batch-exact — reads and notification stamps reproduce the dead
+        epoch's exactly.  ``journal_dir`` defaults to
+        ``wal_dir/journals`` so subscriber journals survive too.  The
+        log is single-writer (flock); a second live server on the same
+        directory raises :class:`~repro.serve.wal.WalLockedError`.
+    wal_options:
+        Extra :class:`~repro.serve.wal.WriteAheadLog` keywords
+        (``segment_bytes``, ``compact_min_bytes``, ``fsync``, ``faults``).
     value_store / engine_kwargs:
         Forwarded to every shard's engine.
     """
@@ -258,12 +275,35 @@ class EAGrServer:
         journal_capacity: int = 4096,
         journal_dir: Optional[str] = None,
         checkpoint_interval: Optional[int] = None,
+        wal_dir: Optional[str] = None,
+        wal_options: Optional[Dict[str, Any]] = None,
         value_store: str = "auto",
         **engine_kwargs: Any,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         from repro.core.partitioned import community_assignment, partition_readers
+
+        # -- write-ahead log: open (and recover) before anything else ----
+        self._wal = None
+        recovered = None
+        if wal_dir is not None:
+            from repro.serve.wal import WriteAheadLog
+
+            if journal_dir is None:
+                journal_dir = _os.path.join(wal_dir, "journals")
+            if checkpoint_interval is None:
+                checkpoint_interval = 256
+            self._wal = WriteAheadLog(wal_dir, **(wal_options or {}))
+            if self._wal.recovered:
+                recovered = self._wal.state
+                if recovered.num_shards != num_shards:
+                    self._wal.close()
+                    raise ValueError(
+                        f"WAL at {wal_dir!r} belongs to a "
+                        f"{recovered.num_shards}-shard deployment, not "
+                        f"{num_shards}"
+                    )
 
         self.graph = graph
         self.query = query
@@ -284,15 +324,35 @@ class EAGrServer:
         # Reader-locality sharding by default: BFS-grown communities keep
         # each neighborhood on one shard, so a write multicasts to fewer
         # shards than under the stable hash (see ``replication_factor``).
-        if assign is None and num_shards > 1:
-            assign = community_assignment(graph, num_shards)
-            self.assignment = "community"
+        # A WAL recovery reuses the *persisted* partition instead: every
+        # replayed (and future) write must route to the shard the dead
+        # epoch's batch numbering assumed, whatever the assignment
+        # algorithm would compute today.
+        if recovered is not None:
+            self.assignment = recovered.meta.get("assignment", "recovered")
+            self.reader_shard = dict(recovered.reader_shard)
         else:
-            self.assignment = "custom" if assign is not None else "single"
+            if assign is None and num_shards > 1:
+                assign = community_assignment(graph, num_shards)
+                self.assignment = "community"
+            else:
+                self.assignment = "custom" if assign is not None else "single"
 
-        #: reader node -> owning shard (the user predicate already applied;
-        #: same partition semantics as PartitionedEngine).
-        self.reader_shard = partition_readers(graph, query, num_shards, assign)
+            #: reader node -> owning shard (the user predicate already
+            #: applied; same partition semantics as PartitionedEngine).
+            self.reader_shard = partition_readers(graph, query, num_shards, assign)
+            if self._wal is not None:
+                self._wal.append(
+                    (
+                        "META",
+                        {
+                            "num_shards": num_shards,
+                            "reader_shard": self.reader_shard,
+                            "assignment": self.assignment,
+                        },
+                    ),
+                    sync=True,
+                )
         shard_readers: List[set] = [set() for _ in range(num_shards)]
         for node, shard_id in self.reader_shard.items():
             shard_readers[shard_id].add(node)
@@ -336,6 +396,19 @@ class EAGrServer:
         #: latest checkpoint per shard (restart baseline).
         self._checkpoints: Dict[int, ShardCheckpoint] = {}
         self._flush_failed: set = set()
+        #: monotone id of the last accepted write round logged to the WAL.
+        self._wal_seq = 0
+        self.recovered_batches = 0
+        if recovered is not None:
+            self._wal_seq = recovered.wal_seq
+            self._clock = recovered.clock
+            self._batch_no = [
+                recovered.batch_no.get(s, 0) for s in range(num_shards)
+            ]
+            self._write_log = [
+                list(recovered.redo.get(s, ())) for s in range(num_shards)
+            ]
+            self._checkpoints = dict(recovered.checkpoints)
 
         self.writes_sent = 0
         self.writes_delivered = 0
@@ -405,9 +478,19 @@ class EAGrServer:
             )
             for shard_id in range(num_shards)
         ]
+        if recovered is not None:
+            for shard_id in range(num_shards):
+                spec = self.specs[shard_id]
+                spec.checkpoint = self._checkpoints.get(shard_id)
+                # Redo batches must re-apply batch-exact so re-derived
+                # notification stamps reproduce the dead epoch's (same
+                # invariant as restart_shard).
+                spec.merge_after = self._batch_no[shard_id]
         self._executors = [
             self._make_shard_executor(spec) for spec in self.specs
         ]
+        if recovered is not None:
+            self._recover_from_wal(recovered)
         # Background flusher: a refused non-blocking flush parks writes in
         # the outbox; without a retry they would sit there until the next
         # caller-driven flush, stalling notifications for an idle
@@ -459,6 +542,73 @@ class EAGrServer:
             queue_depth=self._queue_depth,
             mp_context=self._mp_context,
         )
+
+    def _recover_from_wal(self, recovered) -> None:
+        """Finish a cold restart from the folded WAL state.
+
+        Runs inside ``__init__`` after the executors are built (each
+        already carrying its checkpoint and ``merge_after``) and before
+        the background flusher starts, so nothing races the replay:
+
+        1. per-subscriber state is rebuilt — the disk journal reloads
+           (stamps continue where they stopped), the watch registry
+           comes from the fold, and the per-ego replay filter is
+           rehydrated from the subscribe-time seeds plus the retained
+           journal entries' ``batch`` tags (valid here, and only here,
+           because the batch-exact replay reproduces pre-crash shard
+           stamps precisely);
+        2. every shard is re-armed with its watches, then the redo
+           suffix replays in order — already-checkpointed batches are
+           skipped shard-side, re-derived notifications the dead epoch
+           delivered are suppressed front-side;
+        3. accepted-but-never-batched rounds (the dead outboxes) refill
+           the outboxes and flush as fresh batches behind the replay.
+
+        Recovered subscribers start *disconnected* (their client died
+        with the old process); ``subscribe(resume_from=N)`` splices them
+        back in with no gap and no duplicate.
+        """
+        for subscriber, shard_watches in recovered.watches.items():
+            if not any(shard_watches.values()):
+                continue
+            state = self._make_substate(subscriber)
+            state.queue = None
+            for shard_id, egos in shard_watches.items():
+                if not egos:
+                    continue
+                state.watches[shard_id] = dict.fromkeys(egos)
+                for ego, seed in egos.items():
+                    state.last_batch[ego] = seed
+            for note in state.journal.entries():
+                if state.last_batch.get(note.ego, -1) < note.batch:
+                    state.last_batch[note.ego] = note.batch
+            with self._subs_lock:
+                self._subs[subscriber] = state
+        crash_after = self._wal.faults.get("crash_after_replay_batches")
+        replayed = 0
+        for shard_id in range(self.num_shards):
+            ex = self._executors[shard_id]
+            with self._subs_lock:
+                rearm = [
+                    (subscriber, list(state.watches.get(shard_id, ())))
+                    for subscriber, state in self._subs.items()
+                    if state.watches.get(shard_id)
+                ]
+            for subscriber, watch_nodes in rearm:
+                ex.submit(
+                    (OP_SUBSCRIBE, self._next_seq(), subscriber, watch_nodes)
+                )
+            for batch_no, items in self._write_log[shard_id]:
+                ex.submit((OP_WRITE, self._next_seq(), batch_no, items))
+                replayed += 1
+                if crash_after is not None and replayed >= crash_after:
+                    self._wal._crash("crash during WAL replay")
+            ex.flush_bell()
+            pending = recovered.pending_items(shard_id)
+            if pending:
+                self._outbox[shard_id] = pending
+        self.recovered_batches = replayed
+        self.replayed_batches += replayed
 
     def _flush_loop(self) -> None:
         failed = self._flush_failed  # restart_shard() clears recovered shards
@@ -600,7 +750,9 @@ class EAGrServer:
         """
         self._check_open()
         writer_shards = self.writer_shards
+        wal = self._wal
         touched: Dict[int, None] = {}
+        logged: Dict[int, List[Tuple]] = {}
         count = 0
         with self._route_lock:
             outbox = self._outbox
@@ -619,8 +771,16 @@ class EAGrServer:
                 for shard_id in shards:
                     outbox[shard_id].append(triple)
                     touched[shard_id] = None
+                    if wal is not None:
+                        logged.setdefault(shard_id, []).append(triple)
             self._clock = clock
             self.writes_sent += count
+            if wal is not None and count:
+                # Acceptance record, appended under the route lock: WAL
+                # file order *is* acceptance order, so batch-number
+                # coverage ("B" records) stays a simple seq interval.
+                self._wal_seq += 1
+                wal.append(("W", self._wal_seq, logged, clock))
         for shard_id in touched:
             self._flush_shard(shard_id, block=False)
         for shard_id in touched:
@@ -628,6 +788,10 @@ class EAGrServer:
             # push: workers wake to a ring already holding the whole round
             # instead of preempting the producer between shard pushes.
             self._executors[shard_id].flush_bell()
+        if wal is not None and count:
+            # One fsync per accepted batch, after the lock is dropped:
+            # when this call returns, the batch is on stable storage.
+            wal.sync()
         if self._checkpoint_interval:
             # A dead shard cannot answer OP_CHECKPOINT — leave its redo
             # log growing (writes keep parking) until restart_shard().
@@ -643,10 +807,11 @@ class EAGrServer:
 
     def _flush_shard(self, shard_id: int, block: bool) -> None:
         with self._flush_locks[shard_id]:
-            items = self._take_outbox(shard_id)
-            if items is None:
+            taken = self._take_outbox(shard_id)
+            if taken is None:
                 return
-            if self._submit_write(shard_id, items, block=block):
+            items, covered = taken
+            if self._submit_write(shard_id, items, block=block, covered=covered):
                 return
             # Shard backed up: coalesce into the outbox; later flushes (or
             # the cap) carry these items in one bigger batch.
@@ -656,22 +821,30 @@ class EAGrServer:
                 pending = len(self._outbox[shard_id])
             self.coalesced_flushes += 1
             if pending >= self._coalesce_max:
-                items = self._take_outbox(shard_id)
-                if items is not None:
-                    self._submit_write(shard_id, items, block=True)
+                taken = self._take_outbox(shard_id)
+                if taken is not None:
+                    self._submit_write(
+                        shard_id, taken[0], block=True, covered=taken[1]
+                    )
 
-    def _submit_write(self, shard_id: int, items: List[Tuple], block: bool) -> bool:
+    def _submit_write(
+        self, shard_id: int, items: List[Tuple], block: bool, covered: int = 0
+    ) -> bool:
         """Number, redo-log, and enqueue one write batch (flush lock held).
 
         The batch number is assigned and the batch recorded in the redo
-        log *before* the enqueue, so a batch a dying worker swallows is
-        still replayable; a refused non-blocking submit rolls both back
-        (the items return to the outbox and will renumber when they
-        eventually flush).  Returns whether the batch was enqueued.
+        log — and, with a WAL, the ``("B", shard, batch_no, covered)``
+        assignment record written — *before* the enqueue, so a batch a
+        dying worker swallows is still replayable; a refused non-blocking
+        submit rolls both back (the items return to the outbox and will
+        renumber when they eventually flush; the WAL gets a compensating
+        ``RB`` record).  Returns whether the batch was enqueued.
         """
         batch_no = self._batch_no[shard_id] + 1
         self._batch_no[shard_id] = batch_no
         self._write_log[shard_id].append((batch_no, items))
+        if self._wal is not None:
+            self._wal.append(("B", shard_id, batch_no, covered))
         request = (OP_WRITE, self._next_seq(), batch_no, items)
         ex = self._executors[shard_id]
         if block:
@@ -681,17 +854,27 @@ class EAGrServer:
             return True
         self._batch_no[shard_id] = batch_no - 1
         self._write_log[shard_id].pop()
+        if self._wal is not None:
+            self._wal.append(("RB", shard_id, batch_no))
         return False
 
-    def _take_outbox(self, shard_id: int) -> Optional[List[Tuple]]:
-        """Pop a shard's outbox (caller holds that shard's flush lock)."""
+    def _take_outbox(
+        self, shard_id: int
+    ) -> Optional[Tuple[List[Tuple], int]]:
+        """Pop a shard's outbox (caller holds that shard's flush lock).
+
+        Returns ``(items, covered)`` where ``covered`` is the WAL accept
+        seq the pop observed: every accepted round up to it that touched
+        this shard is in ``items`` — which is exactly what a ``B`` record
+        needs to reconstruct the batch from ``W`` records on recovery.
+        """
         with self._route_lock:
             items = self._outbox[shard_id]
             if not items:
                 return None
             self._outbox[shard_id] = []
             self.writes_delivered += len(items)
-        return items
+            return items, self._wal_seq
 
     def flush(self) -> None:
         """Force every outbox into its shard queue (blocking on full queues)."""
@@ -904,12 +1087,15 @@ class EAGrServer:
         )
         journal = NotificationLog(capacity=self._journal_capacity, path=path)
         # Note: the per-ego replay filter (``last_batch``) is deliberately
-        # NOT rehydrated from a reloaded journal.  Its batch tags are shard
-        # write stamps, which are stable across checkpoint-restored shard
-        # restarts *within* a serving epoch — but a brand-new server boots
-        # fresh shards whose stamps restart at 0, so old-epoch tags would
-        # suppress every new notification.  Fresh subscriptions re-seed
-        # the filter at their subscribe-time stamps instead.
+        # NOT rehydrated from a reloaded journal here.  Its batch tags are
+        # shard write stamps, which are stable across checkpoint-restored
+        # shard restarts *within* a serving epoch — but a non-WAL reboot
+        # builds fresh shards whose stamps restart at 0, so old-epoch tags
+        # would suppress every new notification.  Fresh subscriptions
+        # re-seed the filter at their subscribe-time stamps instead.  The
+        # one path where rehydration *is* valid — WAL cold restart, whose
+        # batch-exact replay reproduces old-epoch stamps — does it in
+        # ``_recover_from_wal``.
         return _SubState(Subscription(subscriber), journal)
 
     def subscribe(
@@ -992,6 +1178,13 @@ class EAGrServer:
                     # this subscriber.  setdefault — a racing live
                     # delivery (necessarily a later stamp) wins.
                     state.last_batch.setdefault(ego, shard_stamp)
+            if self._wal is not None:
+                # Persist the watch *and* its filter seed: a cold restart
+                # must not deliver pre-subscription changes either.
+                self._wal.append(
+                    ("S", subscriber, shard_id, list(shard_nodes), shard_stamp),
+                    sync=True,
+                )
         return subscription
 
     def disconnect(self, subscriber: Hashable) -> int:
@@ -1061,6 +1254,11 @@ class EAGrServer:
                     )
                 )
         removed = sum(self._await(calls))
+        if self._wal is not None:
+            self._wal.append(
+                ("U", subscriber, None if nodes is None else list(nodes)),
+                sync=True,
+            )
         if nodes is None:
             # Deliberate retirement: the journal (and its file) go too —
             # this is the one path that forgets a subscriber entirely.
@@ -1145,12 +1343,21 @@ class EAGrServer:
             ck = self._await([call])[0]
             self._checkpoints[shard_id] = ck
             with self._flush_locks[shard_id]:
+                # Truncating here (not just at restart) is what bounds
+                # front-end redo memory over a long run: entries the
+                # persisted checkpoint covers can never replay again.
                 self._write_log[shard_id] = [
                     entry
                     for entry in self._write_log[shard_id]
                     if entry[0] > ck.applied_through
                 ]
+                if self._wal is not None:
+                    self._wal.append(("C", shard_id, ck), sync=True)
             out[shard_id] = ck
+        if self._wal is not None:
+            # Checkpoint-gated: once every shard has one, the log can
+            # fold to a snapshot segment and stay size-bounded too.
+            self._wal.maybe_compact()
         return out
 
     def restart_shard(self, shard_id: int) -> int:
@@ -1263,6 +1470,9 @@ class EAGrServer:
                 for state in self._subs.values():
                     state.journal.close()
             self._release_shm()
+            if self._wal is not None:
+                # Closing drops the flock: a standby replica can promote.
+                self._wal.close()
         if self._async_errors:
             # Fire-and-forget write failures since the last drain():
             # shutdown completed, but the caller must learn about them.
@@ -1316,6 +1526,9 @@ class EAGrServer:
             "coalesced_flushes": self.coalesced_flushes,
             "restarts": self.restarts,
             "replayed_batches": self.replayed_batches,
+            "wal": self._wal is not None,
+            "wal_bytes": self._wal.total_bytes() if self._wal else 0,
+            "recovered_batches": self.recovered_batches,
         }
 
     def __enter__(self) -> "EAGrServer":

@@ -1,0 +1,669 @@
+"""Whole-server write-ahead log: crash-consistent cold restart.
+
+PR 4 made per-subscriber journals durable; everything else the front-end
+knows — shard checkpoints, the redo log, the watch registry, its batch
+counters — lived only in memory, so killing the ``EAGrServer`` process
+erased all ingestion history.  :class:`WriteAheadLog` closes that gap:
+the front-end appends every *accepted* write round, every batch-number
+assignment, every :class:`~repro.serve.messages.ShardCheckpoint` and
+every watch change to a CRC-framed, fsync-disciplined on-disk log, and a
+cold ``EAGrServer(wal_dir=...)`` boot folds the log back into the exact
+front-end state the dead process held — then rebuilds every shard from
+its checkpoint and replays the redo suffix batch-exact through the
+existing ``restart_shard()`` machinery, reproducing pre-crash
+notification stamps precisely.
+
+Record stream
+-------------
+Records are pickled tuples, one per frame:
+
+* ``("META", info)`` — written once at log creation; ``info`` carries the
+  deployment shape (``num_shards``) and the **persisted reader
+  partition**, so a restarted front-end routes every replayed and future
+  write to the same shard the dead epoch did.
+* ``("W", wal_seq, {shard: items}, clock)`` — one *accepted* write round:
+  the stamped ``(node, value, timestamp)`` triples each shard's outbox
+  received, appended under the route lock (file order = acceptance
+  order) and fsynced before ``write_batch`` returns — an acknowledged
+  batch is durable.
+* ``("B", shard, batch_no, covered_seq)`` — a batch-number assignment:
+  shard ``shard``'s batch ``batch_no`` consists of every accepted round
+  with ``wal_seq`` in ``(previous covered_seq, covered_seq]``.  Logged
+  *before* the enqueue (mirroring the in-memory redo log, so a batch the
+  dying worker swallowed is still replayable); a refused non-blocking
+  submit appends a compensating ``("RB", shard, batch_no)`` that returns
+  the items to the pending pool, exactly like the live rollback path.
+  ``B``/``RB`` are flushed but not fsynced: tearing one off only demotes
+  its items to pending, and they renumber identically on recovery.
+* ``("C", shard, ShardCheckpoint)`` — a shard checkpoint; folding one
+  truncates that shard's redo entries at ``applied_through`` (this is
+  what bounds both the log's replay suffix and the in-memory mirror).
+* ``("S", subscriber, shard, nodes, shard_stamp)`` /
+  ``("U", subscriber, nodes_or_None)`` — watch registry changes;
+  ``shard_stamp`` persists the subscribe-time replay-filter seed so a
+  recovered replay never delivers a pre-subscription change.
+* ``("SNAP", WalState)`` — a compaction snapshot: the complete fold of
+  everything before it (see below).
+
+Framing and recovery
+--------------------
+Each frame is ``<II`` (payload length, CRC-32) + pickled payload.  A
+crash can tear at most the tail frame of the *last* segment; the loader
+detects any short read, CRC mismatch or unpicklable payload, truncates
+the file there, and keeps the intact prefix — the same torn-tail idiom
+as :mod:`repro.serve.journal`.  The record stream is ordered so a torn
+tail is always *consistent*: a ``B`` follows its ``W`` rounds and a
+``C`` follows the ``B`` records it covers, so losing a suffix can only
+demote state (items become pending again), never corrupt it.
+
+Segments and compaction
+-----------------------
+The log is a directory of ``wal-<n>.seg`` files.  Appends rotate to a
+new segment past ``segment_bytes``; once every shard has a checkpoint
+and the log exceeds ``compact_min_bytes``, :meth:`maybe_compact` writes
+the folded :class:`WalState` as a single ``SNAP`` frame into the next
+segment (write-to-temp, fsync, ``os.replace``, directory fsync — atomic)
+and deletes the older segments.  Recovery picks the newest segment that
+*starts* with a valid ``SNAP`` as its base, so a crash anywhere inside
+compaction leaves either the old segments (before the rename) or the
+snapshot (after) — never neither.
+
+Single-writer discipline
+------------------------
+An exclusive ``flock`` on ``wal.lock`` guarantees one writing front-end
+per log directory.  The kernel releases the lock when the holder dies —
+however uncleanly — which is exactly the signal that lets a
+:class:`~repro.serve.replica.ReplicaServer` promote itself.
+
+Fault injection
+---------------
+The ``faults`` dict wires the disk failure modes the test harness
+drives: ``torn_append_at`` (the N-th append writes a partial frame, then
+crashes), ``crash_after_appends``, ``crash_in_compact`` (``"before_replace"``
+or ``"after_replace"``), ``fsync_error_after`` (the N-th fsync raises
+``OSError``; the log then *poisons itself fail-stop* — later appends
+raise :class:`WalError` instead of silently accepting writes that would
+not survive).  ``exit: True`` turns a crash point into a process-group
+``SIGKILL`` (for sacrificial driver subprocesses); the default raises
+:class:`WalCrash` so in-process unit tests can catch it.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import threading
+import zlib
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+_HEADER = struct.Struct("<II")
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".seg"
+LOCK_NAME = "wal.lock"
+
+
+class WalError(RuntimeError):
+    """The log cannot accept the operation (poisoned after an fsync
+    failure, closed, or structurally invalid)."""
+
+
+class WalLockedError(WalError):
+    """Another live process holds this log's writer lock."""
+
+
+class WalCrash(RuntimeError):
+    """An armed fault fired in raise mode (in-process crash simulation)."""
+
+
+def _segment_name(index: int) -> str:
+    return f"{SEGMENT_PREFIX}{index:08d}{SEGMENT_SUFFIX}"
+
+
+def _segment_index(name: str) -> Optional[int]:
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    try:
+        return int(name[len(SEGMENT_PREFIX):-len(SEGMENT_SUFFIX)])
+    except ValueError:
+        return None
+
+
+def list_segments(directory: str) -> List[Tuple[int, str]]:
+    """``(index, absolute path)`` for every segment file, sorted."""
+    out = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        index = _segment_index(name)
+        if index is not None:
+            out.append((index, os.path.join(directory, name)))
+    out.sort()
+    return out
+
+
+def encode_frame(record: Any) -> bytes:
+    payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_frame(fh) -> Optional[Any]:
+    """One record from ``fh``, or ``None`` on a clean EOF.
+
+    Raises :class:`WalError` on a torn or corrupt frame (short header,
+    short payload, CRC mismatch, unpicklable payload) — the caller
+    decides whether that means truncate (writer recovery) or wait
+    (replica tailing an in-progress append).
+    """
+    header = fh.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise WalError("torn frame header")
+    length, crc = _HEADER.unpack(header)
+    payload = fh.read(length)
+    if len(payload) < length:
+        raise WalError("torn frame payload")
+    if zlib.crc32(payload) != crc:
+        raise WalError("frame CRC mismatch")
+    try:
+        return pickle.loads(payload)
+    except Exception as error:  # noqa: BLE001 - any unpickle failure is a tear
+        raise WalError(f"unpicklable frame: {error}") from error
+
+
+class WalState:
+    """The fold of a WAL prefix: everything a cold restart restores.
+
+    Mirrors the front-end's durability bookkeeping exactly —
+    per-shard batch counters and redo logs, the latest checkpoints, the
+    accepted-but-unbatched rounds (a dead outbox's contents), the
+    logical clock, and the watch registry with its per-ego replay-filter
+    seeds.  The live :class:`WriteAheadLog` maintains one incrementally
+    (``fold`` per append) so compaction can snapshot without re-reading
+    its own segments; recovery and the replica build theirs by folding
+    records off disk.  Redo entries and pending rounds are bounded by
+    the checkpoint interval and the coalescing window respectively, so
+    the mirror's memory is bounded too.
+    """
+
+    def __init__(self) -> None:
+        self.num_shards: Optional[int] = None
+        self.meta: Dict[str, Any] = {}
+        self.reader_shard: Dict[Hashable, int] = {}
+        self.clock = 0.0
+        self.wal_seq = 0
+        self.batch_no: Dict[int, int] = {}
+        self.covered: Dict[int, int] = {}
+        self.checkpoints: Dict[int, Any] = {}
+        #: shard -> [(batch_no, items)] — batches since that shard's
+        #: last checkpoint, in submit order (the replayable suffix).
+        self.redo: Dict[int, List[Tuple[int, List[Tuple]]]] = {}
+        #: shard -> [(wal_seq, items)] — accepted rounds no ``B`` record
+        #: has covered yet (pending outbox contents at fold time).
+        self.rounds: Dict[int, List[Tuple[int, List[Tuple]]]] = {}
+        #: subscriber -> shard -> {ego: subscribe-time stamp seed}.
+        self.watches: Dict[Hashable, Dict[int, Dict[Hashable, int]]] = {}
+
+    def fold(self, record: Tuple) -> None:
+        kind = record[0]
+        if kind == "W":
+            _kind, seq, per_shard, clock = record
+            self.wal_seq = seq
+            if clock > self.clock:
+                self.clock = clock
+            for shard_id, items in per_shard.items():
+                self.rounds.setdefault(shard_id, []).append((seq, items))
+        elif kind == "B":
+            _kind, shard_id, batch_no, covered = record
+            items: List[Tuple] = []
+            rounds = self.rounds.get(shard_id, [])
+            keep = []
+            for seq, round_items in rounds:
+                if seq <= covered:
+                    items.extend(round_items)
+                else:
+                    keep.append((seq, round_items))
+            self.rounds[shard_id] = keep
+            self.redo.setdefault(shard_id, []).append((batch_no, items))
+            self.batch_no[shard_id] = batch_no
+            self.covered[shard_id] = covered
+        elif kind == "RB":
+            # A non-blocking submit was refused after its ``B`` was
+            # logged: undo the assignment — the items return to the
+            # pending pool (at the head, where the live outbox re-queues
+            # them) and the batch number will be re-issued.
+            _kind, shard_id, batch_no = record
+            redo = self.redo.get(shard_id)
+            if not redo or redo[-1][0] != batch_no:
+                raise WalError(
+                    f"rollback of batch {batch_no} does not match the "
+                    f"redo tail for shard {shard_id}"
+                )
+            _no, items = redo.pop()
+            self.rounds.setdefault(shard_id, []).insert(
+                0, (self.covered.get(shard_id, 0), items)
+            )
+            self.batch_no[shard_id] = batch_no - 1
+        elif kind == "C":
+            _kind, shard_id, ck = record
+            self.checkpoints[shard_id] = ck
+            self.redo[shard_id] = [
+                entry
+                for entry in self.redo.get(shard_id, [])
+                if entry[0] > ck.applied_through
+            ]
+        elif kind == "S":
+            _kind, subscriber, shard_id, nodes, stamp = record
+            shard_watch = self.watches.setdefault(subscriber, {}).setdefault(
+                shard_id, {}
+            )
+            for node in nodes:
+                shard_watch.setdefault(node, stamp)
+        elif kind == "U":
+            _kind, subscriber, nodes = record
+            if nodes is None:
+                self.watches.pop(subscriber, None)
+            else:
+                shards = self.watches.get(subscriber)
+                if shards:
+                    for shard_watch in shards.values():
+                        for node in nodes:
+                            shard_watch.pop(node, None)
+        elif kind == "META":
+            _kind, info = record
+            self.meta = dict(info)
+            self.num_shards = info["num_shards"]
+            self.reader_shard = info["reader_shard"]
+        elif kind == "SNAP":
+            other: WalState = record[1]
+            self.__dict__.update(other.__dict__)
+        else:
+            raise WalError(f"unknown WAL record kind {kind!r}")
+
+    def pending_items(self, shard_id: int) -> List[Tuple]:
+        """Accepted-but-unbatched triples for ``shard_id`` (outbox refill)."""
+        items: List[Tuple] = []
+        for _seq, round_items in self.rounds.get(shard_id, ()):
+            items.extend(round_items)
+        return items
+
+
+def _fsync_dir(directory: str) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - non-POSIX directory open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed, segmented, single-writer WAL (see module
+    docstring).
+
+    Parameters
+    ----------
+    directory:
+        The log directory (created if missing).  Existing segments are
+        recovered on open: torn tail truncated, state folded, stray
+        ``.tmp`` files and superseded segments removed.
+    segment_bytes:
+        Rotate to a fresh segment once the current one exceeds this.
+    compact_min_bytes:
+        :meth:`maybe_compact` is a no-op below this total size.
+    fsync:
+        ``False`` downgrades :meth:`sync` to a buffer flush — the log
+        then survives process death (``kill -9``) but not power loss.
+        The durability contract in PERFORMANCE.md spells this out.
+    faults:
+        Disk-fault injection plan (tests only); see module docstring.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        segment_bytes: int = 4 << 20,
+        compact_min_bytes: int = 1 << 20,
+        fsync: bool = True,
+        faults: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.directory = directory
+        self.segment_bytes = segment_bytes
+        self.compact_min_bytes = compact_min_bytes
+        self._fsync_enabled = fsync
+        self.faults = dict(faults or {})
+        self._appends = 0
+        self._fsyncs = 0
+        self._poisoned: Optional[str] = None
+        self._lock = threading.Lock()
+        self._file = None
+        self._lock_fh = None
+        os.makedirs(directory, exist_ok=True)
+        self._acquire_lock()
+        self.state = WalState()
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # open / recover
+    # ------------------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        path = os.path.join(self.directory, LOCK_NAME)
+        self._lock_fh = open(path, "ab")
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX
+            return
+        try:
+            fcntl.flock(self._lock_fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            self._lock_fh.close()
+            self._lock_fh = None
+            raise WalLockedError(
+                f"another process holds the WAL writer lock in "
+                f"{self.directory!r}"
+            ) from None
+
+    def _recover(self) -> None:
+        # Stray compaction temp: the rename never happened, the old
+        # segments are authoritative.
+        for name in os.listdir(self.directory):
+            if name.endswith(".tmp"):
+                os.remove(os.path.join(self.directory, name))
+        segments = list_segments(self.directory)
+        base_at = 0
+        for position in range(len(segments) - 1, -1, -1):
+            if self._starts_with_snapshot(segments[position][1]):
+                base_at = position
+                break
+        # Segments behind the snapshot base are superseded (a crash
+        # between compaction's rename and its deletes leaves them).
+        for _index, path in segments[:base_at]:
+            os.remove(path)
+        segments = segments[base_at:]
+        for position, (_index, path) in enumerate(segments):
+            torn_at = self._fold_segment(path)
+            if torn_at is not None:
+                with open(path, "r+b") as fh:
+                    fh.truncate(torn_at)
+                # A tear can only be the final write of a dead process;
+                # anything filed after it is unreachable garbage.
+                for _later, later_path in segments[position + 1:]:
+                    os.remove(later_path)
+                segments = segments[: position + 1]
+                break
+        self.recovered = self.state.num_shards is not None
+        if segments:
+            self._segment_index, self._segment_path = segments[-1]
+            self._file = open(self._segment_path, "ab")
+            self._tail_bytes = self._file.tell()
+            self._base_bytes = sum(
+                os.path.getsize(path) for _i, path in segments[:-1]
+            )
+        else:
+            self._segment_index = 1
+            self._segment_path = os.path.join(
+                self.directory, _segment_name(1)
+            )
+            self._file = open(self._segment_path, "ab")
+            self._tail_bytes = 0
+            self._base_bytes = 0
+            _fsync_dir(self.directory)
+
+    @staticmethod
+    def _starts_with_snapshot(path: str) -> bool:
+        try:
+            with open(path, "rb") as fh:
+                record = read_frame(fh)
+        except (WalError, OSError):
+            return False
+        return bool(record) and record[0] == "SNAP"
+
+    def _fold_segment(self, path: str) -> Optional[int]:
+        """Fold every intact frame of ``path``; return the tear offset
+        (``None`` when the segment is clean)."""
+        with open(path, "rb") as fh:
+            while True:
+                offset = fh.tell()
+                try:
+                    record = read_frame(fh)
+                except WalError:
+                    return offset
+                if record is None:
+                    return None
+                self.state.fold(record)
+
+    # ------------------------------------------------------------------
+    # append path
+    # ------------------------------------------------------------------
+
+    def append(self, record: Tuple, sync: bool = False) -> None:
+        """Fold ``record`` into the mirror and write one frame.
+
+        The write is flushed to the OS (surviving process death); pass
+        ``sync=True`` — or call :meth:`sync` after a group of appends —
+        to force it to stable storage before acknowledging anything.
+        """
+        with self._lock:
+            self._check_usable()
+            self.state.fold(record)
+            frame = encode_frame(record)
+            self._appends += 1
+            torn_at = self.faults.get("torn_append_at")
+            if torn_at is not None and self._appends >= torn_at:
+                # A short write followed by death: the signature torn-tail
+                # crash the recovery path must absorb.
+                self._file.write(frame[: max(1, len(frame) // 2)])
+                self._file.flush()
+                self._crash("torn append")
+            self._file.write(frame)
+            self._file.flush()
+            self._tail_bytes += len(frame)
+            crash_after = self.faults.get("crash_after_appends")
+            if crash_after is not None and self._appends >= crash_after:
+                self._crash("post-append crash")
+            if sync:
+                self._sync_locked()
+            if self._tail_bytes >= self.segment_bytes:
+                self._rotate_locked()
+
+    def sync(self) -> None:
+        """Force every accepted append to stable storage (fsync)."""
+        with self._lock:
+            self._check_usable()
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        self._file.flush()
+        if not self._fsync_enabled:
+            return
+        self._fsyncs += 1
+        fail_at = self.faults.get("fsync_error_after")
+        try:
+            if fail_at is not None and self._fsyncs >= fail_at:
+                raise OSError(5, "injected fsync failure")
+            os.fsync(self._file.fileno())
+        except OSError as error:
+            # Fail-stop: a log that cannot promise durability must stop
+            # accepting writes, not degrade silently.
+            self._poisoned = f"fsync failed: {error}"
+            raise WalError(self._poisoned) from error
+
+    def _rotate_locked(self) -> None:
+        self._sync_locked()
+        self._file.close()
+        self._base_bytes += self._tail_bytes
+        self._segment_index += 1
+        self._segment_path = os.path.join(
+            self.directory, _segment_name(self._segment_index)
+        )
+        self._file = open(self._segment_path, "ab")
+        self._tail_bytes = 0
+        _fsync_dir(self.directory)
+
+    # ------------------------------------------------------------------
+    # compaction
+    # ------------------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        return self._base_bytes + self._tail_bytes
+
+    def maybe_compact(self, force: bool = False) -> bool:
+        """Checkpoint-gated compaction: fold the whole log into one
+        ``SNAP`` segment once every shard has a checkpoint (otherwise a
+        snapshot would still drag the full redo history along) and the
+        log has grown past ``compact_min_bytes``.  Returns whether a
+        compaction ran."""
+        with self._lock:
+            self._check_usable()
+            if self.state.num_shards is None:
+                return False
+            if len(self.state.checkpoints) < self.state.num_shards:
+                return False
+            if not force and self.total_bytes() < self.compact_min_bytes:
+                return False
+            self._compact_locked()
+            return True
+
+    def _compact_locked(self) -> None:
+        self._sync_locked()
+        old_segments = list_segments(self.directory)
+        next_index = self._segment_index + 1
+        final_path = os.path.join(self.directory, _segment_name(next_index))
+        tmp_path = final_path + ".tmp"
+        with open(tmp_path, "wb") as fh:
+            fh.write(encode_frame(("SNAP", self.state)))
+            fh.flush()
+            if self._fsync_enabled:
+                os.fsync(fh.fileno())
+        if self.faults.get("crash_in_compact") == "before_replace":
+            self._crash("compaction before rename")
+        os.replace(tmp_path, final_path)
+        _fsync_dir(self.directory)
+        if self.faults.get("crash_in_compact") == "after_replace":
+            self._crash("compaction after rename")
+        self._file.close()
+        for _index, path in old_segments:
+            os.remove(path)
+        _fsync_dir(self.directory)
+        self._segment_index = next_index
+        self._segment_path = final_path
+        self._file = open(final_path, "ab")
+        self._tail_bytes = self._file.tell()
+        self._base_bytes = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def _check_usable(self) -> None:
+        if self._file is None:
+            raise WalError("WAL is closed")
+        if self._poisoned is not None:
+            raise WalError(f"WAL is poisoned fail-stop ({self._poisoned})")
+
+    def _crash(self, what: str) -> None:
+        if self.faults.get("exit"):
+            import signal
+
+            os.kill(0, signal.SIGKILL)  # the whole sacrificial process group
+        raise WalCrash(what)
+
+    def close(self) -> None:
+        """Flush, fsync, release the writer lock (idempotent)."""
+        if self._file is not None:
+            try:
+                if self._poisoned is None:
+                    self._sync_locked()
+            except WalError:
+                pass
+            self._file.close()
+            self._file = None
+        if self._lock_fh is not None:
+            self._lock_fh.close()  # closing drops the flock
+            self._lock_fh = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog({self.directory!r}, segment={self._segment_index}, "
+            f"bytes={self.total_bytes()}, appends={self._appends})"
+        )
+
+
+class WalTailer:
+    """Incremental, read-only WAL follower (the replica's feed).
+
+    Tracks a ``(segment, offset)`` cursor and yields every *complete*
+    frame appended since the last poll.  A torn frame at the tail of the
+    **newest** segment is an append in progress — the tailer waits
+    (never truncates: it does not own the log).  When the cursor's
+    segment has been compacted away (``FileNotFoundError``), the tailer
+    restarts from the current snapshot base; consumers see the ``SNAP``
+    record and rebuild from it, which makes the race with the primary's
+    segment deletion self-healing.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self._segment_index: Optional[int] = None
+        self._offset = 0
+
+    def poll(self, limit: Optional[int] = None) -> List[Tuple]:
+        records: List[Tuple] = []
+        while True:
+            segments = list_segments(self.directory)
+            if not segments:
+                return records
+            if self._segment_index is None or not any(
+                index == self._segment_index for index, _p in segments
+            ):
+                # First attach, or our segment was compacted away:
+                # restart from the newest snapshot base.
+                base_at = 0
+                for position in range(len(segments) - 1, -1, -1):
+                    if WriteAheadLog._starts_with_snapshot(
+                        segments[position][1]
+                    ):
+                        base_at = position
+                        break
+                self._segment_index = segments[base_at][0]
+                self._offset = 0
+            position = next(
+                i for i, (index, _p) in enumerate(segments)
+                if index == self._segment_index
+            )
+            path = segments[position][1]
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(self._offset)
+                    while limit is None or len(records) < limit:
+                        offset = fh.tell()
+                        try:
+                            record = read_frame(fh)
+                        except WalError:
+                            record = None  # torn tail: wait for the writer
+                        if record is None:
+                            self._offset = offset
+                            break
+                        records.append(record)
+                    else:
+                        self._offset = fh.tell()
+                        return records
+            except FileNotFoundError:
+                self._segment_index = None  # compacted under us: re-anchor
+                continue
+            if position + 1 < len(segments):
+                # A newer segment exists, so this one is finished;
+                # anything unparsed at its tail is dead garbage.
+                self._segment_index = segments[position + 1][0]
+                self._offset = 0
+                continue
+            return records

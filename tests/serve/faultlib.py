@@ -22,6 +22,13 @@ lands in the window is both flaky and slow; everything here is
   ``tests/serve`` conftest arms it around every test).
 * :func:`refuse_submits` — backpressure injection: make an executor
   refuse its next N non-blocking submits (the coalescing path).
+* disk-fault injection — :func:`shear_tail` (torn write: drop the last N
+  bytes of a file, as a crash mid-``write`` would), :func:`flip_byte`
+  (silent media corruption at an offset, which CRC framing must catch),
+  :func:`wal_files` (a WAL directory's segment files, for size and
+  layout assertions).  The WAL's own ``faults`` dict covers the
+  *in-process* seams (fsync raising, crash-mid-compaction); these
+  helpers corrupt the bytes **at rest**, after the writer is gone.
 * :func:`shm_segment_names` / :func:`assert_no_segments` — enumerate a
   server's named shared-memory segments (ingress rings + value stores)
   and assert they are gone after teardown: the leak check for the
@@ -43,6 +50,7 @@ A typical scripted crash::
 from __future__ import annotations
 
 import contextlib
+import os
 import signal
 import threading
 import time
@@ -212,6 +220,46 @@ def refuse_submits(executor, times: int):
         yield state
     finally:
         executor.try_submit = original
+
+
+def shear_tail(path, nbytes: int) -> int:
+    """Torn write: drop the last ``nbytes`` bytes of ``path`` in place.
+
+    Models a crash mid-``write(2)`` (or a power cut before the page hit
+    the platter): a frame's payload — or even its header — is only
+    partially present.  Returns the file's new size.
+    """
+    size = os.path.getsize(path)
+    keep = max(0, size - nbytes)
+    with open(path, "r+b") as fh:
+        fh.truncate(keep)
+        fh.flush()
+        os.fsync(fh.fileno())
+    return keep
+
+
+def flip_byte(path, offset: int) -> None:
+    """Silent media corruption: XOR one byte of ``path`` at ``offset``
+    (negative offsets index from the end).  The length prefix still
+    parses, so only the CRC can catch this."""
+    with open(path, "r+b") as fh:
+        if offset < 0:
+            fh.seek(offset, os.SEEK_END)
+        else:
+            fh.seek(offset)
+        position = fh.tell()
+        byte = fh.read(1)
+        fh.seek(position)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def wal_files(directory) -> List[str]:
+    """The WAL's segment files, oldest first (absolute paths)."""
+    from repro.serve.wal import list_segments
+
+    return [path for _index, path in list_segments(directory)]
 
 
 def shm_segment_names(server) -> List[str]:
