@@ -21,6 +21,12 @@ configuration) it measures sustained write throughput three ways:
 
 Results append to ``BENCH_serve.json`` at the repo root so CI accumulates
 the trajectory (the ``shm`` column records the shared-memory transport).
+Every row records its transport, frame codec (``binary`` record frames vs
+``pickle`` payloads — see :mod:`repro.serve.frames`) and ingress bytes
+per delivered event; each shm shard count also runs a **pickled-codec
+control** (``binary_frames=False`` on the same ring transport), and the
+``binary_vs_pickled`` column records the binary data plane's speedup
+over it.
 ``--smoke`` shrinks the workload and asserts the acceptance floors: serve
 at the highest shard count must beat threaded, the shm transport must
 actually resolve, and no ``/dev/shm`` segment may survive teardown.
@@ -52,7 +58,10 @@ from repro.graph.streams import WriteEvent
 from repro.serve import EAGrServer
 
 BATCH_SIZE = 256
-NUM_EVENTS = 6_000
+# Full runs time ~90 batch submissions per pass: at >500k events/s a
+# smaller workload is a <15 ms timed region, and scheduler noise on a
+# shared single core swings codec comparisons by ±30%.
+NUM_EVENTS = 24_000
 SHARD_COUNTS = (1, 2, 4)
 WRITE_THREADS = 2
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), os.pardir))
@@ -111,8 +120,9 @@ def bench_serve(
     executor: str,
     passes: int,
     transport: str = "auto",
+    binary_frames="auto",
     check_segments=None,
-) -> float:
+):
     from repro.core.aggregates import Sum
     from repro.core.query import EgoQuery
     from repro.core.windows import TupleWindow
@@ -129,6 +139,7 @@ def bench_serve(
         num_shards=num_shards,
         executor=executor,
         transport=transport,
+        binary_frames=binary_frames,
         overlay_algorithm="vnm_a",
         dataflow="mincut",
         queue_depth=16,
@@ -147,7 +158,20 @@ def bench_serve(
     ]
     try:
         run(events)  # warm: boots workers, compiles every shard's plans
-        return measure(run, events, passes)
+        eps = measure(run, events, passes)
+        stats = server.server_stats()
+        mix = stats["codec_mix"]
+        delivered = max(1, stats["writes_delivered"])
+        meta = {
+            "transport": server.transport,
+            "codec": "binary" if stats["binary_frames"] else "pickle",
+            "bytes_per_event": round(
+                mix.get("ingress_bytes", 0) / delivered, 1
+            ),
+            "write_frames_binary": mix.get("write_frames_binary", 0),
+            "write_frames_pickle": mix.get("write_frames_pickle", 0),
+        }
+        return eps, meta
     finally:
         server.close()
         if check_segments is not None:
@@ -168,31 +192,49 @@ def run_bench(num_events: int = NUM_EVENTS, shard_counts=SHARD_COUNTS, passes: i
         "threaded_eps": 0.0,
         "serve": {},
         "shm": {},
+        "shm_pickled": {},
         "serve_inprocess_eps": 0.0,
     }
 
     threaded = bench_threaded(graph, events, passes)
     results["threaded_eps"] = round(threaded)
 
-    inproc = bench_serve(graph, events, 2, "inprocess", passes)
+    inproc, inproc_meta = bench_serve(graph, events, 2, "inprocess", passes)
     results["serve_inprocess_eps"] = round(inproc)
 
-    rows = [["threaded x%d" % WRITE_THREADS, f"{threaded:,.0f}", "1.00x"],
-            ["serve-inproc x2", f"{inproc:,.0f}",
-             f"{inproc / threaded:.2f}x" if threaded else "-"]]
+    def row(label, eps, meta):
+        return [
+            label,
+            f"{eps:,.0f}",
+            f"{eps / threaded:.2f}x" if threaded else "-",
+            meta["codec"] if meta else "-",
+            f"{meta['bytes_per_event']:,.0f}" if meta else "-",
+        ]
+
+    rows = [["threaded x%d" % WRITE_THREADS, f"{threaded:,.0f}", "1.00x",
+             "-", "-"],
+            row("serve-inproc x2", inproc, inproc_meta)]
     for shards in shard_counts:
-        queue_eps = bench_serve(
+        queue_eps, queue_meta = bench_serve(
             graph, events, shards, "process", passes, transport="queue"
         )
-        shm_eps = bench_serve(
+        shm_eps, shm_meta = bench_serve(
             graph, events, shards, "process", passes,
             transport="shm", check_segments=_assert_segments_gone,
+        )
+        # The pickled-codec control on the same transport: what the shm
+        # ring costs when every frame payload is pickle.dumps/loads.
+        pickled_eps, pickled_meta = bench_serve(
+            graph, events, shards, "process", passes,
+            transport="shm", binary_frames=False,
+            check_segments=_assert_segments_gone,
         )
         results["serve"][str(shards)] = {
             "eps": round(queue_eps),
             "speedup_vs_threaded": round(
                 queue_eps / threaded if threaded else 0.0, 2
             ),
+            **queue_meta,
         }
         results["shm"][str(shards)] = {
             "eps": round(shm_eps),
@@ -202,20 +244,25 @@ def run_bench(num_events: int = NUM_EVENTS, shard_counts=SHARD_COUNTS, passes: i
             "speedup_vs_queue": round(
                 shm_eps / queue_eps if queue_eps else 0.0, 2
             ),
+            "binary_vs_pickled": round(
+                shm_eps / pickled_eps if pickled_eps else 0.0, 2
+            ),
+            **shm_meta,
         }
-        rows.append([
-            f"serve-proc x{shards} (queue)", f"{queue_eps:,.0f}",
-            f"{queue_eps / threaded:.2f}x" if threaded else "-",
-        ])
-        rows.append([
-            f"serve-proc x{shards} (shm)", f"{shm_eps:,.0f}",
-            f"{shm_eps / threaded:.2f}x" if threaded else "-",
-        ])
+        results["shm_pickled"][str(shards)] = {
+            "eps": round(pickled_eps),
+            **pickled_meta,
+        }
+        rows.append(row(f"serve-proc x{shards} (queue)", queue_eps, queue_meta))
+        rows.append(row(f"serve-proc x{shards} (shm)", shm_eps, shm_meta))
+        rows.append(
+            row(f"serve-proc x{shards} (shm, pickled)", pickled_eps, pickled_meta)
+        )
     emit_table(
         "serve_scaling",
         f"Serving layer [SUM, vnm_a+mincut, batch={BATCH_SIZE}]: "
         "write throughput (events/s)",
-        ["sink", "events/s", "vs threaded"],
+        ["sink", "events/s", "vs threaded", "codec", "B/event"],
         rows,
     )
     return results
@@ -250,7 +297,9 @@ def persist(results, num_events: int) -> None:
 
 def main(argv):
     smoke = "--smoke" in argv
-    num_events = 1_500 if smoke else NUM_EVENTS
+    # Smoke still needs a timed region big enough that the 1-shard
+    # binary-vs-pickled floor below measures the codec, not the timer.
+    num_events = 4_000 if smoke else NUM_EVENTS
     shard_counts = (1, 2) if smoke else SHARD_COUNTS
     # Full runs take best-of-5: at 4 shard processes on a shared single
     # core, scheduler noise swings single passes ±20% — enough to flip a
@@ -261,12 +310,14 @@ def main(argv):
     top = str(max(int(s) for s in results["serve"]))
     best = results["serve"][top]
     best_shm = results["shm"][top]
+    one_shard = results["shm"].get("1")
     print(
         f"threaded: {results['threaded_eps']:,} ev/s; "
         f"serve x{top} queue: {best['eps']:,} ev/s "
         f"({best['speedup_vs_threaded']}x); "
         f"shm: {best_shm['eps']:,} ev/s "
-        f"({best_shm['speedup_vs_queue']}x vs queue); JSON -> {JSON_PATH}"
+        f"({best_shm['speedup_vs_queue']}x vs queue, "
+        f"{best_shm['binary_vs_pickled']}x vs pickled); JSON -> {JSON_PATH}"
     )
     if smoke:
         # CI tripwires, deliberately loose: the serve layer clears the
@@ -282,6 +333,13 @@ def main(argv):
         assert best_shm["speedup_vs_queue"] >= 0.5, (
             f"shm transport grossly regressed vs queue: "
             f"{best_shm['speedup_vs_queue']}x"
+        )
+        # The binary codec must never *lose* to pickling the same frames
+        # (the full-run acceptance target is >= 1.3x at one shard; the
+        # smoke floor only trips on a real regression, not runner noise).
+        assert one_shard is None or one_shard["binary_vs_pickled"] >= 0.8, (
+            f"binary frames regressed vs pickled frames: "
+            f"{one_shard['binary_vs_pickled']}x"
         )
 
 

@@ -120,7 +120,7 @@ from repro.core.overlay import (
     OverlayError,
 )
 from repro.core.query import EgoQuery
-from repro.core.statestore import make_value_store
+from repro.core.statestore import WriteFrame, make_value_store
 from repro.core.windows import NO_VALUE, TimeWindow, TupleWindow, WindowBuffer
 
 NodeId = Hashable
@@ -584,6 +584,16 @@ class Runtime:
             ingest_get = self._ingest.get
             tally: Dict[int, int] = {}
             for batch in raw:
+                if batch.__class__ is tuple:
+                    # ``("nodes", [...])`` from the WriteFrame fast path:
+                    # only the node column was retained (triples batches
+                    # are lists, so the tag is unambiguous).
+                    for node in batch[1]:
+                        route = ingest_get(node)
+                        if route is not None:
+                            handle = route[0]
+                            tally[handle] = tally.get(handle, 0) + 1
+                    continue
                 for node, _value, _timestamp in batch:
                     route = ingest_get(node)
                     if route is not None:
@@ -1013,6 +1023,20 @@ class Runtime:
         """
         self._check_plans()
         self.stamp += 1
+        if writes.__class__ is WriteFrame:
+            # Packed binary batch (serve ingress / WAL replay): the ROWS-1
+            # columnar path scatters straight from the record columns; any
+            # other configuration falls back to plain triples.
+            if (
+                self._columnar_delta
+                and self.trace is None
+                and self._unit_window
+                and not self._time_window
+            ):
+                result = self._write_frame_unit(writes)
+                if result is not None:
+                    return result
+            writes = writes.tolist()
         if self._columnar_delta and self.trace is None:
             return self._write_batch_columnar(writes)
         overlay = self.overlay
@@ -1426,6 +1450,70 @@ class Runtime:
         # key order (matching the per-event loop's coalescing order).
         last = dict(map(_TRIPLE_NV, triples))
         ingest_get = self._ingest.get
+        use_count = "count" in self._spec.sources
+        writers: List[int] = []
+        value_deltas: List[float] = []
+        count_deltas: List[int] = []
+        try:
+            if use_value:  # SUM / MEAN
+                for node, value in last.items():
+                    route = ingest_get(node)
+                    if route is None:
+                        continue
+                    old = route[1](value, clock)
+                    if old is NO_VALUE:
+                        dv = value
+                        dc = 1
+                    else:
+                        dv = value - old
+                        dc = 0
+                    if dv or (dc and use_count):
+                        writers.append(route[0])
+                        value_deltas.append(dv)
+                        count_deltas.append(dc)
+            else:  # COUNT: only first-fill changes the count
+                for node, value in last.items():
+                    route = ingest_get(node)
+                    if route is None:
+                        continue
+                    if route[1](value, clock) is NO_VALUE:
+                        writers.append(route[0])
+                        count_deltas.append(1)
+        finally:
+            self.clock = clock
+            self.counters.writes += count
+            self._scatter_deltas(writers, value_deltas, count_deltas, None)
+        return count
+
+    def _write_frame_unit(self, frame: WriteFrame) -> Optional[int]:
+        """:meth:`_write_batch_unit` fed straight from a packed frame.
+
+        Mirrors the grouped ROWS-1 path exactly — same last-per-writer
+        grouping in first-touch order, same per-unique-writer route loop,
+        same scatter — but extracts the batch from the frame's record
+        columns in three C-level ``tolist()`` calls instead of a
+        per-item unpack, and defers observed-push credits as the node
+        column alone.  Frames never carry ``None`` timestamps (they are
+        packed ``f8``), so the sequential-clock fallback of the triple
+        path cannot trigger here.
+        """
+        count = len(frame)
+        if not count:
+            return 0
+        clock = self.clock
+        records = frame.records
+        ts_max = float(records["timestamp"].max())
+        if ts_max > clock:
+            clock = ts_max
+        nodes = records["node"].tolist()
+        # Whole-batch observed-push deferral: only the node column is
+        # needed for the per-writer tally (see _flush_observed).
+        self._obs_raw_batches.append(("nodes", nodes))
+        if len(self._obs_raw_batches) >= 256:
+            self._flush_observed()
+        last = dict(zip(nodes, records["value"].tolist()))
+        ingest_get = self._ingest.get
+        use_value = "value" in self._spec.sources
         use_count = "count" in self._spec.sources
         writers: List[int] = []
         value_deltas: List[float] = []

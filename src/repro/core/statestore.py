@@ -502,6 +502,151 @@ class SharedColumnarStore(ColumnarStore):
         )
 
 
+# ---------------------------------------------------------------------------
+# columnar write batches
+# ---------------------------------------------------------------------------
+
+#: Record layout of a packed write batch: one row per write event.
+WRITE_DTYPE = (
+    None
+    if _np is None
+    else _np.dtype([("node", "<i8"), ("value", "<f8"), ("timestamp", "<f8")])
+)
+
+
+#: Exact column types :meth:`WriteFrame.from_items` packs losslessly.
+_INT_ONLY = frozenset((int,))
+_FLOAT_TYPES = (
+    frozenset((float,)) if _np is None else frozenset((float, _np.float64))
+)
+
+
+def _writeframe_from_bytes(data: bytes) -> "WriteFrame":
+    """Unpickle helper for :meth:`WriteFrame.__reduce__` (module-level so
+    queue transports can resolve it by name)."""
+    return WriteFrame(_np.frombuffer(data, dtype=WRITE_DTYPE))
+
+
+class WriteFrame:
+    """A write batch packed as a ``(node, value, timestamp)`` record array.
+
+    The binary data plane's unit of ingress: the serving front-end packs
+    integer-keyed batches once (:meth:`from_items`), and the same frame
+    then rides the shm ring (raw record bytes behind a fixed header), the
+    redo log, and the WAL without being re-encoded.  Consumers that stay
+    columnar scatter straight from the column views (:attr:`nodes` /
+    :attr:`values` / :attr:`timestamps`); everything else falls back to
+    the sequence protocol — iterating a frame yields plain
+    ``(int, float, float)`` triples, so any code written against write
+    lists (object-store runtimes, replicas, oracles) works unchanged.
+
+    Frames are immutable after construction (views over received buffers
+    are read-only by design).  Pickling round-trips through the raw
+    record bytes (:meth:`__reduce__`), so a frame crossing an
+    ``mp.Queue`` or entering the WAL costs one buffer copy, not a
+    per-tuple object walk.
+    """
+
+    __slots__ = ("records",)
+
+    dtype = WRITE_DTYPE
+
+    def __init__(self, records) -> None:
+        self.records = records
+
+    @classmethod
+    def from_items(cls, items) -> Optional["WriteFrame"]:
+        """Pack ``items`` (``(node, value, timestamp)`` triples) or return
+        ``None`` when the batch is not losslessly packable.
+
+        The gate is strict so the pickle fallback keeps exact semantics:
+        nodes must be plain ``int`` (graph keys; bools and numpy ints are
+        rejected), values and timestamps must be ``float`` (``np.float64``
+        passes; ints and ``np.float32`` do not).  Both the gate and the
+        pack run column-wise in C — one transpose, one ``set(map(type,
+        column))`` per column, one array assignment per column — because
+        a per-item Python loop here would cost as much as the
+        ``pickle.dumps`` the frame exists to avoid.
+        """
+        if _np is None or not items:
+            return None
+        try:
+            if sum(map(len, items)) != 3 * len(items):
+                return None  # a non-triple hides somewhere in the batch
+            nodes, values, stamps = zip(*items)
+        except (TypeError, ValueError):
+            return None
+        if (
+            set(map(type, nodes)) != _INT_ONLY
+            or not set(map(type, values)) <= _FLOAT_TYPES
+            or not set(map(type, stamps)) <= _FLOAT_TYPES
+        ):
+            return None
+        records = _np.empty(len(nodes), dtype=WRITE_DTYPE)
+        records["node"] = nodes
+        records["value"] = values
+        records["timestamp"] = stamps
+        return cls(records)
+
+    @classmethod
+    def concat(cls, frames) -> "WriteFrame":
+        """One frame holding every row of ``frames`` in order."""
+        if len(frames) == 1:
+            return frames[0]
+        return cls(_np.concatenate([frame.records for frame in frames]))
+
+    # -- column views (the zero-deserialization scatter input) --------------
+
+    @property
+    def nodes(self):
+        return self.records["node"]
+
+    @property
+    def values(self):
+        return self.records["value"]
+
+    @property
+    def timestamps(self):
+        return self.records["timestamp"]
+
+    # -- sequence protocol (universal triple fallback) -----------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.tolist())
+
+    def __getitem__(self, index):
+        row = self.records[index]
+        return (int(row["node"]), float(row["value"]), float(row["timestamp"]))
+
+    def tolist(self) -> List[Tuple[int, float, float]]:
+        """The batch as plain ``(int, float, float)`` triples."""
+        return list(
+            zip(
+                self.records["node"].tolist(),
+                self.records["value"].tolist(),
+                self.records["timestamp"].tolist(),
+            )
+        )
+
+    # -- wire form -----------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return self.records.nbytes
+
+    def tobytes(self) -> bytes:
+        return self.records.tobytes()
+
+    def __reduce__(self):
+        return (_writeframe_from_bytes, (self.records.tobytes(),))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WriteFrame({len(self.records)} rows)"
+
+
 def resolve_value_store(aggregate: AggregateFunction, mode: str = "auto") -> str:
     """The backend ``mode`` resolves to for ``aggregate`` on this host."""
     if mode not in VALUE_STORE_MODES:

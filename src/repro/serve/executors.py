@@ -17,12 +17,19 @@ an ``on_reply`` callback:
   this is the executor tests and CI smoke jobs run on.
 * :class:`ShmShardExecutor` — a worker process fed through the shard's
   **shared-memory ingress ring** (:mod:`repro.serve.shm`) instead of a
-  request queue: the front-end pickles request tuples straight into the
+  request queue: the front-end encodes request frames straight into the
   ring (FIFO — every queue-transport ordering guarantee carries over),
   the worker polls, and backpressure is ring space instead of queue
-  depth.  Replies still ride an ``mp.Queue`` (they are rare on the hot
-  path: write batches publish their applied watermark through the ring
-  header and only reply when carrying notices or errors).
+  depth.  Frames use the :mod:`repro.serve.frames` codec: packed write
+  batches go in as raw ``K_WRITE`` record bytes (no pickling on either
+  side), everything else as ``K_PICKLE`` fallback payloads.  Replies
+  still ride an ``mp.Queue`` (they are rare on the hot path: write
+  batches publish their applied watermark through the ring header and
+  only reply when carrying notices or errors).
+
+Every executor tallies its ingress codec mix and byte volume in ``io``
+(``write_frames_binary`` / ``write_frames_pickle`` / ``control_frames``
+/ ``ingress_bytes``), surfaced per shard by ``server_stats()``.
 
 ``on_reply`` may be invoked from a drainer thread (process executor) or
 the submitting thread (in-process); the front-end's handler is written to
@@ -31,15 +38,44 @@ be thread-safe either way.
 
 from __future__ import annotations
 
-import pickle
 import threading
 import time
-from typing import Callable, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
+from repro.core.statestore import WriteFrame
+from repro.serve import frames as _frames
 from repro.serve.messages import OP_STOP, OP_WRITE, R_STOPPED
 from repro.serve.shard import ShardSpec, shard_worker, shard_worker_shm
 
 OnReply = Callable[[Tuple], None]
+
+
+def _io_counters() -> Dict[str, int]:
+    """Fresh per-executor ingress codec/byte counters."""
+    return {
+        "ingress_bytes": 0,
+        "write_frames_binary": 0,
+        "write_frames_pickle": 0,
+        "control_frames": 0,
+    }
+
+
+def _tally_request(io: Dict[str, int], request: Tuple) -> None:
+    """Count one accepted request in an executor's codec-mix counters.
+
+    Queue/in-process transports move objects, not encoded payloads, so
+    only binary frames have a meaningful byte count (their raw record
+    bytes); pickled requests count codec-only.
+    """
+    if request[0] == OP_WRITE:
+        items = request[3]
+        if items.__class__ is WriteFrame:
+            io["write_frames_binary"] += 1
+            io["ingress_bytes"] += items.nbytes
+        else:
+            io["write_frames_pickle"] += 1
+    else:
+        io["control_frames"] += 1
 
 
 class InProcessShardExecutor:
@@ -60,6 +96,7 @@ class InProcessShardExecutor:
         self.shard_id = spec.shard_id
         self._host = spec.build()
         self._on_reply = on_reply
+        self.io = _io_counters()
         self._stopped = False
         self._crashed = False
         faults = spec.faults or {}
@@ -87,6 +124,7 @@ class InProcessShardExecutor:
             raise RuntimeError(f"shard {self.shard_id} worker died")
         if self._stopped:
             raise RuntimeError(f"shard {self.shard_id} executor is stopped")
+        _tally_request(self.io, request)
         if request[0] == OP_WRITE:
             self._writes_seen += 1
             if (
@@ -153,6 +191,7 @@ class ProcessShardExecutor:
 
         self.shard_id = spec.shard_id
         self._on_reply = on_reply
+        self.io = _io_counters()
         ctx = multiprocessing.get_context(mp_context)
         self._requests = ctx.Queue(queue_depth) if queue_depth else ctx.Queue()
         self._replies = ctx.Queue()
@@ -205,9 +244,10 @@ class ProcessShardExecutor:
             return False
         try:
             self._requests.put_nowait(request)
-            return True
         except _queue.Full:
             return False
+        _tally_request(self.io, request)
+        return True
 
     def submit(self, request: Tuple) -> None:
         """Blocking submit: waits for queue space (backpressure).
@@ -223,6 +263,7 @@ class ProcessShardExecutor:
         while True:
             try:
                 self._requests.put(request, timeout=1.0)
+                _tally_request(self.io, request)
                 return
             except _queue.Full:
                 if not self._process.is_alive():
@@ -310,6 +351,7 @@ class ShmShardExecutor(ProcessShardExecutor):
 
         self.shard_id = spec.shard_id
         self._on_reply = on_reply
+        self.io = _io_counters()
         self.ring = ring
         #: In-flight frame bound — the queue transport's depth semantics.
         #: Byte capacity alone would let a fast producer enqueue hundreds
@@ -340,7 +382,19 @@ class ShmShardExecutor(ProcessShardExecutor):
         self._stopped = False
         self._bell_pending = False
 
-    def _push(self, payload: bytes) -> bool:
+    def _encode(self, request: Tuple) -> Tuple[bytes, str]:
+        """``(ring payload, codec-counter key)`` for one request tuple."""
+        if request[0] == OP_WRITE and request[3].__class__ is WriteFrame:
+            return (
+                _frames.encode_write(request[1], request[2], request[3]),
+                "write_frames_binary",
+            )
+        return (
+            _frames.encode_pickle(request),
+            "write_frames_pickle" if request[0] == OP_WRITE else "control_frames",
+        )
+
+    def _push(self, payload: bytes, codec: str = "control_frames") -> bool:
         """Push one frame; the wake-up is *deferred* to :meth:`flush_bell`.
 
         Ringing per push would wake the worker mid-multicast and let the
@@ -357,6 +411,9 @@ class ShmShardExecutor(ProcessShardExecutor):
             if not self.ring.try_push(payload):
                 return False
             self._bell_pending = True
+            io = self.io
+            io[codec] += 1
+            io["ingress_bytes"] += len(payload)
         return True
 
     def flush_bell(self) -> None:
@@ -390,20 +447,21 @@ class ShmShardExecutor(ProcessShardExecutor):
         like a backed-up queue shard)."""
         if self._stopped or not self._process.is_alive():
             return False
-        return self._push(pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL))
+        payload, codec = self._encode(request)
+        return self._push(payload, codec)
 
     def submit(self, request: Tuple) -> None:
         """Blocking push: waits for ring space; fails fast on a corpse."""
         if self._stopped:
             raise RuntimeError(f"shard {self.shard_id} executor is stopped")
-        payload = pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+        payload, codec = self._encode(request)
         while True:
             if not self._process.is_alive():
                 raise RuntimeError(
                     f"shard {self.shard_id} worker died; ingress ring "
                     "abandoned until restart"
                 )
-            if self._push(payload):
+            if self._push(payload, codec):
                 return
             # Ring full: make sure the worker is awake to drain it.
             self.flush_bell()
@@ -414,7 +472,7 @@ class ShmShardExecutor(ProcessShardExecutor):
         if self._stopped:
             return
         self._stopped = True
-        payload = pickle.dumps((OP_STOP, seq), protocol=pickle.HIGHEST_PROTOCOL)
+        payload = _frames.encode_pickle((OP_STOP, seq))
         deadline = time.monotonic() + timeout
         while self._process.is_alive():
             if self._push(payload):

@@ -1,0 +1,286 @@
+"""Binary frame codec for the serve data plane.
+
+The serving layer's hot path moves two kinds of payloads: write batches
+(front-end → shard, through the shm ingress ring or the queue executor)
+and change notifications (shard → front-end → subscriber).  Both default
+to *binary frames* — raw numpy record bytes behind tiny fixed headers —
+so a steady-state columnar batch flows client → ring → scatter →
+notification → subscriber without a single ``pickle.dumps``/``loads``.
+
+Wire format of a ring payload (the first byte always tags the codec):
+
+* ``K_PICKLE`` (``0x00``): the remaining bytes are a pickled request
+  tuple — the universal fallback carrying control ops (reads, drains,
+  checkpoints, stop) and any write batch that fails the packing gate
+  (non-``int`` node keys, non-``float`` values, heterogeneous rows).
+* ``K_WRITE`` (``0x01``): a 32-byte header ``<B7xqqq`` (kind, padding,
+  ``seq``, ``batch_no`` with ``-1`` encoding ``None``, row count)
+  followed by the raw bytes of a
+  :class:`~repro.core.statestore.WriteFrame` record array — decoded with
+  one ``np.frombuffer`` view, zero per-row work.
+
+Egress has no ring: change reports and journaled notifications travel as
+:class:`ChangeFrame` / :class:`NoteFrame` objects whose pickling reduces
+to their raw record bytes (``__reduce__``), so crossing an ``mp``
+connection or entering the notification journal costs one buffer copy.
+That residual framing (the queue transport's own pickling of a
+bytes-carrying frame) is *below* the codec layer: the codec counters
+exported by ``server_stats()`` count what this module chose, and the
+steady-state columnar path chooses pickle exactly zero times.
+
+Everything here degrades gracefully without numpy: the encode helpers
+fall back to ``K_PICKLE`` and the frame classes simply go unused (the
+server's packing gate never produces them).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, List, Optional, Sequence
+
+from repro.core.statestore import WriteFrame, _np
+from repro.serve.messages import OP_WRITE, Notification
+
+# -- payload codec kinds (first byte of every ring payload) -----------------
+K_PICKLE = 0
+K_WRITE = 1
+
+_K_PICKLE_BYTE = bytes([K_PICKLE])
+
+#: Header of a ``K_WRITE`` payload: kind, 7 pad bytes, seq, batch_no
+#: (``-1`` encodes ``None``: a redo replay below the merge floor), count.
+WRITE_HEADER = struct.Struct("<B7xqqq")
+
+#: Record layout of a :class:`NoteFrame` (one row per notification).
+NOTE_DTYPE = (
+    None
+    if _np is None
+    else _np.dtype(
+        [("ego", "<i8"), ("value", "<f8"), ("stamp", "<i8"), ("batch", "<i8")]
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# ring payload codec
+# ---------------------------------------------------------------------------
+
+
+def encode_pickle(request: Any) -> bytes:
+    """Pack any request tuple as a ``K_PICKLE`` payload (the fallback)."""
+    return _K_PICKLE_BYTE + pickle.dumps(request, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def encode_write(seq: int, batch_no: Optional[int], frame: WriteFrame) -> bytes:
+    """Pack an ``OP_WRITE`` carrying a :class:`WriteFrame` as ``K_WRITE``."""
+    return (
+        WRITE_HEADER.pack(
+            K_WRITE, seq, -1 if batch_no is None else batch_no, len(frame)
+        )
+        + frame.records.tobytes()
+    )
+
+
+def decode(payload: bytes) -> Any:
+    """One ring payload back into a request tuple.
+
+    ``K_WRITE`` payloads decode with a single ``np.frombuffer`` over the
+    received bytes (the ring pop hands the consumer an owned copy, so the
+    views stay valid for the request's lifetime); the items slot of the
+    returned tuple is a :class:`WriteFrame` the shard scatters from
+    directly.
+    """
+    if payload[0] == K_WRITE:
+        _kind, seq, batch_no, count = WRITE_HEADER.unpack_from(payload)
+        records = _np.frombuffer(
+            payload, dtype=WriteFrame.dtype, count=count, offset=WRITE_HEADER.size
+        )
+        return (OP_WRITE, seq, None if batch_no < 0 else batch_no, WriteFrame(records))
+    return pickle.loads(memoryview(payload)[1:])
+
+
+# ---------------------------------------------------------------------------
+# egress frames
+# ---------------------------------------------------------------------------
+
+
+def _changeframe_from_bytes(ego_bytes: bytes, value_bytes: bytes, batch: int):
+    return ChangeFrame(
+        _np.frombuffer(ego_bytes, dtype=_np.int64),
+        _np.frombuffer(value_bytes, dtype=_np.float64),
+        batch,
+    )
+
+
+class ChangeFrame:
+    """A shard's changed-ego report for one write batch, columnar.
+
+    Replaces the per-object notice list in ``R_WRITE`` replies on the
+    binary path: ``egos``/``values`` are parallel int64/float64 arrays of
+    every *watched* ego whose finalized value changed, and ``batch`` is
+    the shard runtime's global write stamp for the batch.  Subscriber
+    fan-out happens front-side (the front-end keeps the ego → watchers
+    reverse map), so the frame stays one row per changed ego no matter
+    how many subscribers watch it.
+    """
+
+    __slots__ = ("egos", "values", "batch")
+
+    def __init__(self, egos, values, batch: int) -> None:
+        self.egos = egos
+        self.values = values
+        self.batch = batch
+
+    def __len__(self) -> int:
+        return len(self.egos)
+
+    @property
+    def nbytes(self) -> int:
+        return self.egos.nbytes + self.values.nbytes
+
+    def __reduce__(self):
+        return (
+            _changeframe_from_bytes,
+            (self.egos.tobytes(), self.values.tobytes(), self.batch),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChangeFrame({len(self.egos)} egos, batch={self.batch})"
+
+
+def _noteframe_from_bytes(subscriber, shard: int, data: bytes):
+    return NoteFrame(subscriber, shard, _np.frombuffer(data, dtype=NOTE_DTYPE))
+
+
+class NoteFrame:
+    """A contiguous run of one subscriber's notifications, columnar.
+
+    The binary counterpart of a list of
+    :class:`~repro.serve.messages.Notification` objects: one record per
+    notification (``ego``, finalized ``value``, per-subscriber delivery
+    ``stamp``, shard ``batch`` tag), plus the subscriber and shard ids
+    shared by every row.  Stamps within a frame are contiguous and the
+    frame exposes ``.stamp`` (its *last* stamp) so the notification
+    journal can treat it as one monotone entry; :meth:`after` slices a
+    resume suffix and :meth:`upto` an acknowledged prefix without
+    materializing objects.  Subscribers get the raw records from
+    ``Subscription.poll_batch()`` and pay :meth:`notifications` only on
+    demand.
+    """
+
+    __slots__ = ("subscriber", "shard", "records")
+
+    def __init__(self, subscriber, shard: int, records) -> None:
+        self.subscriber = subscriber
+        self.shard = shard
+        self.records = records
+
+    @classmethod
+    def build(cls, subscriber, shard, egos, values, first_stamp, batch):
+        """One frame from parallel ego/value arrays, stamping rows
+        ``first_stamp, first_stamp+1, ...`` (the journal contract)."""
+        records = _np.empty(len(egos), dtype=NOTE_DTYPE)
+        records["ego"] = egos
+        records["value"] = values
+        records["stamp"] = _np.arange(
+            first_stamp, first_stamp + len(egos), dtype=_np.int64
+        )
+        records["batch"] = batch
+        return cls(subscriber, shard, records)
+
+    # -- journal protocol ----------------------------------------------------
+
+    @property
+    def stamp(self) -> int:
+        """The frame's *last* (highest) stamp — its journal-order key."""
+        return int(self.records["stamp"][-1])
+
+    @property
+    def first_stamp(self) -> int:
+        return int(self.records["stamp"][0])
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def after(self, stamp: int) -> Optional["NoteFrame"]:
+        """The suffix with stamps ``> stamp`` (``None`` when empty)."""
+        if self.first_stamp > stamp:
+            return self
+        if self.stamp <= stamp:
+            return None
+        # stamps are contiguous: the cut index is arithmetic, not a search
+        return NoteFrame(
+            self.subscriber,
+            self.shard,
+            self.records[stamp - self.first_stamp + 1 :],
+        )
+
+    def upto(self, stamp: int) -> Optional["NoteFrame"]:
+        """The prefix with stamps ``<= stamp`` (``None`` when empty)."""
+        if self.stamp <= stamp:
+            return self
+        if self.first_stamp > stamp:
+            return None
+        return NoteFrame(
+            self.subscriber, self.shard, self.records[: stamp - self.first_stamp + 1]
+        )
+
+    # -- materialization (on demand only) ------------------------------------
+
+    def notifications(self) -> List[Notification]:
+        """The frame as :class:`Notification` objects (allocates)."""
+        subscriber = self.subscriber
+        shard = self.shard
+        records = self.records
+        return [
+            Notification(subscriber, ego, value, stamp, shard, batch)
+            for ego, value, stamp, batch in zip(
+                records["ego"].tolist(),
+                records["value"].tolist(),
+                records["stamp"].tolist(),
+                records["batch"].tolist(),
+            )
+        ]
+
+    @property
+    def nbytes(self) -> int:
+        return self.records.nbytes
+
+    def __reduce__(self):
+        return (
+            _noteframe_from_bytes,
+            (self.subscriber, self.shard, self.records.tobytes()),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NoteFrame({self.subscriber!r}, shard={self.shard}, "
+            f"stamps=[{self.first_stamp}..{self.stamp}])"
+        )
+
+
+# ---------------------------------------------------------------------------
+# batch merging (shared by coalescing, WAL folding and the replica)
+# ---------------------------------------------------------------------------
+
+
+def merge_items(batches: Sequence) -> Any:
+    """Concatenate write batches, staying columnar when possible.
+
+    Each element is either a :class:`WriteFrame` or a list of triples;
+    an all-frame run concatenates into one frame (array concat, no
+    per-row objects), anything mixed materializes into a plain list —
+    both shapes are valid ``OP_WRITE`` items.
+    """
+    if not batches:
+        return []
+    if all(batch.__class__ is WriteFrame for batch in batches):
+        return WriteFrame.concat(list(batches))
+    merged: List = []
+    for batch in batches:
+        if batch.__class__ is WriteFrame:
+            merged.extend(batch.tolist())
+        else:
+            merged.extend(batch)
+    return merged

@@ -29,7 +29,16 @@ Frames on disk are ``("C", evicted_through, entries)`` compaction snapshots,
 ``("A", entry)`` appends, and ``("T", upto)`` truncation markers; loading
 replays them in order.  Entries are whatever picklable record carries a
 monotone integer ``stamp`` attribute — in the serving layer,
-:class:`~repro.serve.messages.Notification` instances.
+:class:`~repro.serve.messages.Notification` instances on the pickle data
+plane, or columnar :class:`~repro.serve.frames.NoteFrame` batches on the
+binary one.  A frame entry carries a contiguous stamp *run*: its
+``stamp`` attribute is the run's **last** stamp (the monotone journal
+key), ``first_stamp`` its first, ``len()`` its notification count, and
+``after(s)`` slices a suffix — capacity, eviction, truncation and replay
+all count and cut **notifications**, not entries, so the resume window
+is the same number of notifications whichever codec filled it.  A frame
+entry pickles to its raw record bytes (``__reduce__``), so the disk
+format is unchanged — the same three frame kinds, cheaper payloads.
 """
 
 from __future__ import annotations
@@ -39,6 +48,57 @@ import os
 import pickle
 from collections import deque
 from typing import Any, Deque, List, Optional
+
+
+def _count(entry: Any) -> int:
+    """Notifications carried by one entry (frame batches carry many)."""
+    return entry.__len__() if hasattr(entry, "__len__") else 1
+
+
+def _drop_through(entries: Deque[Any], upto: int) -> int:
+    """Drop every notification with stamp ``<= upto`` from ``entries``.
+
+    Whole entries pop off the left; a frame straddling ``upto`` is
+    replaced by its retained suffix (stamps are contiguous within a
+    frame, so the cut is arithmetic).  Returns the number of
+    notifications dropped.
+    """
+    dropped = 0
+    while entries and entries[0].stamp <= upto:
+        dropped += _count(entries.popleft())
+    if entries:
+        head = entries[0]
+        if getattr(head, "first_stamp", head.stamp) <= upto:
+            kept = head.after(upto)
+            dropped += _count(head) - _count(kept)
+            entries[0] = kept
+    return dropped
+
+
+def _evict_excess(entries: Deque[Any], total: int, capacity: int, evicted: int):
+    """Evict the oldest notifications until ``total <= capacity``.
+
+    Frames evict at notification granularity — a frame holding more than
+    the excess sheds an acknowledged-by-overflow *prefix* and stays — so
+    the resume window always retains exactly the newest ``capacity``
+    notifications, byte-identical to the per-object plane.  Returns the
+    updated ``(total, evicted_through)``.
+    """
+    while total > capacity and entries:
+        head = entries[0]
+        excess = total - capacity
+        carried = _count(head)
+        if carried <= excess:
+            entries.popleft()
+            total -= carried
+            evicted = head.stamp
+        else:
+            first = getattr(head, "first_stamp", head.stamp)
+            cut = first + excess - 1
+            entries[0] = head.after(cut)
+            total -= excess
+            evicted = cut
+    return total, evicted
 
 
 class ResumeGapError(RuntimeError):
@@ -81,6 +141,8 @@ class NotificationLog:
         self.capacity = capacity
         self.path = path
         self._entries: Deque[Any] = deque()
+        #: Retained notifications (>= len(self._entries): frames batch).
+        self._note_total = 0
         #: Highest stamp no longer retained (0: nothing ever evicted).
         self.evicted_through = 0
         self._compact_every = compact_every or 2 * capacity
@@ -102,11 +164,19 @@ class NotificationLog:
 
     @property
     def first_stamp(self) -> int:
-        """Stamp of the oldest retained entry (0 when empty and pristine)."""
-        return self._entries[0].stamp if self._entries else self.evicted_through
+        """Oldest retained stamp (0 when empty and pristine)."""
+        if not self._entries:
+            return self.evicted_through
+        head = self._entries[0]
+        return getattr(head, "first_stamp", head.stamp)
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def note_count(self) -> int:
+        """Retained notifications (what :attr:`capacity` bounds)."""
+        return self._note_total
 
     def entries(self) -> List[Any]:
         """Every retained entry, oldest first (a copy, safe to keep).
@@ -121,16 +191,19 @@ class NotificationLog:
         return list(self._entries)
 
     def append(self, entry: Any) -> None:
-        """Record ``entry`` (its ``stamp`` must exceed :attr:`last_stamp`)."""
-        if entry.stamp <= self.last_stamp:
+        """Record ``entry`` (its stamps must all exceed :attr:`last_stamp`)."""
+        if getattr(entry, "first_stamp", entry.stamp) <= self.last_stamp:
             raise ValueError(
                 f"non-monotone journal append: stamp {entry.stamp} after "
                 f"{self.last_stamp}"
             )
         self._entries.append(entry)
-        if len(self._entries) > self.capacity:
-            evicted = self._entries.popleft()
-            self.evicted_through = evicted.stamp
+        self._note_total, self.evicted_through = _evict_excess(
+            self._entries,
+            self._note_total + _count(entry),
+            self.capacity,
+            self.evicted_through,
+        )
         self._write_frame(("A", entry))
 
     def replay(self, resume_from: int) -> List[Any]:
@@ -155,20 +228,27 @@ class NotificationLog:
                 f"cannot resume from stamp {resume_from}: the journal's "
                 f"last stamp is {self.last_stamp}"
             )
-        return [e for e in self._entries if e.stamp > resume_from]
+        out: List[Any] = []
+        for entry in self._entries:
+            if entry.stamp <= resume_from:
+                continue
+            if getattr(entry, "first_stamp", entry.stamp) <= resume_from:
+                # Frame straddling the resume point: replay its suffix only.
+                entry = entry.after(resume_from)
+            out.append(entry)
+        return out
 
     def truncate(self, upto: int) -> int:
-        """Drop entries with stamp ``<= upto`` (an acknowledged prefix).
+        """Drop notifications with stamp ``<= upto`` (an acknowledged prefix).
 
-        Returns the number of entries dropped.  Moves the resumable
+        Returns the number of notifications dropped (equal to entries
+        dropped on the pickle plane; frame entries straddling ``upto``
+        shed their acknowledged prefix and stay).  Moves the resumable
         horizon: a later ``resume_from < upto`` raises
         :class:`ResumeGapError`.
         """
-        entries = self._entries
-        dropped = 0
-        while entries and entries[0].stamp <= upto:
-            entries.popleft()
-            dropped += 1
+        dropped = _drop_through(self._entries, upto)
+        self._note_total -= dropped
         moved = upto > self.evicted_through
         if moved:
             self.evicted_through = upto
@@ -189,6 +269,7 @@ class NotificationLog:
         """
         entries: Deque[Any] = deque()
         evicted = 0
+        total = 0
         torn_at: Optional[int] = None
         with open(path, "rb") as fh:
             while True:
@@ -206,19 +287,21 @@ class NotificationLog:
                 if kind == "C":
                     evicted = frame[1]
                     entries = deque(frame[2])
+                    total = sum(_count(e) for e in entries)
                 elif kind == "A":
                     entries.append(frame[1])
-                    if len(entries) > self.capacity:
-                        evicted = entries.popleft().stamp
+                    total, evicted = _evict_excess(
+                        entries, total + _count(frame[1]), self.capacity, evicted
+                    )
                 elif kind == "T":
                     upto = frame[1]
-                    while entries and entries[0].stamp <= upto:
-                        entries.popleft()
+                    total -= _drop_through(entries, upto)
                     evicted = max(evicted, upto)
         if torn_at is not None:
             with open(path, "r+b") as fh:
                 fh.truncate(torn_at)
         self._entries = entries
+        self._note_total = total
         self.evicted_through = evicted
 
     def _write_frame(self, frame) -> None:

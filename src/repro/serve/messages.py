@@ -34,11 +34,37 @@ Requests — ``(op, seq, *payload)``:
 
 Transports: requests normally ride the executor's bounded ``mp.Queue``.
 On the shared-memory transport (:mod:`repro.serve.shm`) the *same
-request tuples* are pickled into the shard's ingress ring instead —
-FIFO order, and therefore every ordering guarantee documented here, is
+request tuples* travel through the shard's ingress ring instead — FIFO
+order, and therefore every ordering guarantee documented here, is
 preserved — and write batches stop producing ``R_WRITE`` replies unless
 they carry notices: the applied watermark is published through the
-ring's header, so an empty acknowledgement would be pure pickle traffic.
+ring's header, so an empty acknowledgement would be pure codec traffic.
+
+Wire frames and codec negotiation (:mod:`repro.serve.frames`): every
+ring payload starts with a one-byte frame kind.
+
+* ``K_PICKLE`` (0) — ``pickle.dumps`` of the request tuple, the
+  universal fallback.  Control ops (read/subscribe/drain/...) always
+  use it; so do write batches whose items fail the packing gate.
+* ``K_WRITE`` (1) — a pickle-free write batch: a 32-byte fixed header
+  (kind, seq, batch_no, count) followed by the raw bytes of a
+  ``(node, value, timestamp)`` numpy record array
+  (:class:`repro.core.statestore.WriteFrame`).  The shard decodes it
+  with one ``np.frombuffer`` — zero per-item deserialization before
+  the columnar scatter.
+
+Negotiation is server-wide, resolved once at construction from the
+``binary_frames`` parameter (``True`` / ``False`` / ``"auto"``, where
+auto honours the ``EAGR_BINARY_FRAMES`` env toggle and otherwise
+enables binary exactly when numpy is importable).  Fallback is always
+per-batch and lossless: a batch that cannot pack — non-int node ids,
+non-float values, control traffic — rides ``K_PICKLE`` on the same
+ring with identical ordering and replay semantics, so mixed workloads
+need no client-side switches.  On the binary plane, changed-ego
+notices travel front-ward as columnar ``ChangeFrame``/``NoteFrame``
+record batches instead of per-object tuples; ``R_WRITE``'s documented
+shape below describes the pickle plane, with frames carrying the same
+fields column-wise.
 
 Replies:
 

@@ -46,6 +46,7 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.core.query import EgoQuery
 from repro.graph.dynamic_graph import DynamicGraph
+from repro.serve.frames import merge_items
 from repro.serve.shard import ShardHost, ShardSpec
 from repro.serve.wal import WalState, WalTailer, list_segments
 
@@ -172,14 +173,17 @@ class ReplicaServer:
                     self._rounds.setdefault(shard_id, []).append((seq, items))
             elif kind == "B":
                 _k, shard_id, batch_no, covered = record
-                items: List[Tuple] = []
-                keep: List[Tuple[int, List[Tuple]]] = []
+                parts: List[Any] = []
+                keep: List[Tuple[int, Any]] = []
                 for seq, round_items in self._rounds.get(shard_id, ()):
                     if seq <= covered:
-                        items.extend(round_items)
+                        parts.append(round_items)
                     else:
                         keep.append((seq, round_items))
                 self._rounds[shard_id] = keep
+                # Binary rounds stay columnar end-to-end: frame concat
+                # here, frame scatter in ``apply_write_batch``.
+                items = merge_items(parts)
                 self._covered[shard_id] = covered
                 host = self._hosts[shard_id]
                 if self._rolled_back.pop(shard_id, None) == batch_no:

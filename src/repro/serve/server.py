@@ -64,8 +64,10 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tupl
 
 from repro.core.execution import normalize_write
 from repro.core.query import EgoQuery
+from repro.core.statestore import WriteFrame, _np
 from repro.graph.dynamic_graph import DynamicGraph
 from repro.serve.executors import make_executor
+from repro.serve.frames import ChangeFrame, NoteFrame
 from repro.serve.journal import (
     NotificationLog,
     ResumeGapError,
@@ -144,30 +146,106 @@ class _SubState:
         self.acked = 0
 
 
+def _note_count(item: Any) -> int:
+    """Notifications carried by one delivery-queue item (frame or object)."""
+    return len(item) if item.__class__ is NoteFrame else 1
+
+
+def _merge_segments(items: List) -> Any:
+    """Outbox segments (triples and/or WriteFrames) -> one submit payload.
+
+    The columnar write fast path appends per-shard subframes to the
+    outboxes as segments; legacy rounds append plain triples.  A pure
+    triple list passes through untouched, consecutive frames concatenate
+    into one, and a mixed backlog (only under backpressure coalescing)
+    flattens to triples — ``_submit_write`` re-packs it if it can.
+    """
+    if not any(seg.__class__ is WriteFrame for seg in items):
+        return items
+    if all(seg.__class__ is WriteFrame for seg in items):
+        return WriteFrame.concat(items)
+    flat: List[Tuple] = []
+    for seg in items:
+        if seg.__class__ is WriteFrame:
+            flat.extend(seg.tolist())
+        else:
+            flat.append(seg)
+    return flat
+
+
+def _pending_count(segments: List) -> int:
+    """Write events held in an outbox (frames count their rows)."""
+    return sum(
+        len(seg) if seg.__class__ is WriteFrame else 1 for seg in segments
+    )
+
+
 class Subscription:
     """A subscriber's handle: baseline snapshot + delivery queue.
 
     Notifications arrive in per-subscriber stamp order;
     :attr:`snapshot` holds the value of every subscribed ego at
     subscription time (the diffing baseline).
+
+    On the binary data plane the queue carries
+    :class:`~repro.serve.frames.NoteFrame` record batches instead of
+    individual :class:`~repro.serve.messages.Notification` objects.
+    :meth:`get` and :meth:`poll` hide the difference — frames
+    materialize into notification objects on demand — while
+    :meth:`poll_batch` hands the raw frames (columnar record-array
+    views) straight to subscribers that want to stay allocation-free.
     """
 
     def __init__(self, subscriber: Hashable) -> None:
         self.subscriber = subscriber
         self.snapshot: Dict[NodeId, Any] = {}
-        self._queue: "_queue.Queue[Notification]" = _queue.Queue()
+        self._queue: "_queue.Queue[Any]" = _queue.Queue()
+        #: notifications materialized from a partially-consumed frame.
+        self._buffer: List[Notification] = []
 
     def get(self, timeout: Optional[float] = None) -> Optional[Notification]:
         """Next notification, blocking up to ``timeout`` (``None``: forever);
         returns ``None`` on timeout."""
+        if self._buffer:
+            return self._buffer.pop(0)
         try:
-            return self._queue.get(timeout=timeout)
+            item = self._queue.get(timeout=timeout)
         except _queue.Empty:
             return None
+        if item.__class__ is NoteFrame:
+            notes = item.notifications()
+            self._buffer.extend(notes[1:])
+            return notes[0]
+        return item
 
     def poll(self) -> List[Notification]:
         """Drain everything currently queued without blocking."""
-        drained: List[Notification] = []
+        drained: List[Notification] = list(self._buffer)
+        self._buffer.clear()
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except _queue.Empty:
+                return drained
+            if item.__class__ is NoteFrame:
+                drained.extend(item.notifications())
+            else:
+                drained.append(item)
+
+    def poll_batch(self) -> List[Any]:
+        """Drain without materializing: the columnar fast path.
+
+        Returns the queued delivery items as they arrived — on the
+        binary plane, :class:`~repro.serve.frames.NoteFrame` batches
+        whose ``records`` attribute is the raw ``(ego, value, stamp,
+        batch)`` record array (call :meth:`NoteFrame.notifications` per
+        frame only if objects are needed); on the pickle plane, plain
+        :class:`Notification` objects.  Notifications already
+        materialized by an interleaved :meth:`get` are prepended as
+        objects so no stamp is ever skipped or reordered.
+        """
+        drained: List[Any] = list(self._buffer)
+        self._buffer.clear()
         while True:
             try:
                 drained.append(self._queue.get_nowait())
@@ -177,7 +255,9 @@ class Subscription:
     @property
     def pending(self) -> int:
         """Number of undelivered notifications currently queued."""
-        return self._queue.qsize()
+        with self._queue.mutex:
+            queued = sum(_note_count(item) for item in self._queue.queue)
+        return len(self._buffer) + queued
 
 
 class EAGrServer:
@@ -204,6 +284,22 @@ class EAGrServer:
         no numpy, object-store aggregates such as TOP-K).  ``"queue"``
         forces the fallback; ``"shm"`` demands shared memory and raises
         :class:`ServeError` when unsupported.
+    binary_frames:
+        Whether the data plane runs pickle-free (see
+        :mod:`repro.serve.frames`).  ``"auto"`` (default) turns binary
+        frames on whenever numpy is present, honouring the
+        ``EAGR_BINARY_FRAMES`` environment variable (``"1"``/``"0"``)
+        when set; pass ``True``/``False`` to override both.  When on,
+        integer-keyed write batches pack once into
+        :class:`~repro.core.statestore.WriteFrame` record arrays that
+        ride the ingress ring, the redo log and the WAL as raw bytes,
+        and shard change reports come back as columnar
+        :class:`~repro.serve.frames.ChangeFrame`\\ s fanned out
+        front-side into per-subscriber
+        :class:`~repro.serve.frames.NoteFrame` batches.  Batches that
+        fail the packing gate (non-``int`` keys, non-``float`` values)
+        fall back to the pickle codec item-for-item — semantics are
+        codec-independent.
     assign:
         Optional reader→shard assignment.  Defaults to the
         locality-aware :func:`~repro.core.partitioned.community_assignment`
@@ -266,6 +362,7 @@ class EAGrServer:
         num_shards: int = 2,
         executor: str = "process",
         transport: str = "auto",
+        binary_frames: Any = "auto",
         assign: Optional[Callable[[NodeId], int]] = None,
         queue_depth: int = 8,
         ring_bytes: int = 1 << 20,
@@ -320,6 +417,7 @@ class EAGrServer:
         if journal_dir is not None:
             _os.makedirs(journal_dir, exist_ok=True)
         self.transport = self._resolve_transport(transport, executor, query)
+        self.binary_frames = self._resolve_binary(binary_frames)
 
         # Reader-locality sharding by default: BFS-grown communities keep
         # each neighborhood on one shard, so a write multicasts to fewer
@@ -375,6 +473,11 @@ class EAGrServer:
         self._subs_lock = threading.Lock()
         self._async_errors: List[str] = []
         self._outbox: List[List[Tuple]] = [[] for _ in range(num_shards)]
+        #: lazy node->shard routing array for the columnar write fast
+        #: path (``None`` = not built yet, ``False`` = not applicable:
+        #: sparse/non-int writer keys).  ``writer_shards`` is fixed at
+        #: construction, so the table never invalidates.
+        self._route_array: Any = None
         self._route_lock = threading.Lock()
         # One flush lock per shard, held across outbox-pop *and* submit:
         # without it a reader's blocking flush could observe an empty
@@ -419,6 +522,21 @@ class EAGrServer:
         self.restarts = 0
         self.replayed_batches = 0
         self.shm_reads = 0
+
+        # -- binary data plane bookkeeping --------------------------------
+        #: per-shard ego -> ordered {subscriber: None} reverse watch map,
+        #: mirrored from the shard-side registries under the subs lock:
+        #: binary change reports carry one row per changed ego and the
+        #: subscriber fan-out happens here, front-side.
+        self._ego_watchers: List[Dict[NodeId, Dict[Hashable, None]]] = [
+            {} for _ in range(num_shards)
+        ]
+        #: per-shard egress codec counters (complements each executor's
+        #: ingress ``io`` dict in :meth:`server_stats`).
+        self._egress: List[Dict[str, int]] = [
+            {"egress_bytes": 0, "notes_binary": 0, "notes_pickle": 0}
+            for _ in range(num_shards)
+        ]
 
         # -- shared-memory transport wiring ------------------------------
         # The front-end names (and crash-safely unlinks) every segment:
@@ -475,6 +593,7 @@ class EAGrServer:
                 value_store=value_store,
                 engine_kwargs=engine_kwargs,
                 shm=shm_specs[shard_id],
+                binary_notices=self.binary_frames,
             )
             for shard_id in range(num_shards)
         ]
@@ -523,6 +642,32 @@ class EAGrServer:
         if transport == "queue":
             return "queue"
         return "shm" if supported else "queue"
+
+    @staticmethod
+    def _resolve_binary(binary_frames: Any) -> bool:
+        """Resolve the ``binary_frames`` toggle (see __init__).
+
+        Precedence: explicit ``True``/``False`` > ``EAGR_BINARY_FRAMES``
+        env var > auto (on iff numpy is importable).  Binary frames are
+        record arrays, so without numpy the resolved flag is always
+        ``False`` — an explicit ``True`` on a no-numpy host raises
+        instead of silently degrading.
+        """
+        if binary_frames is True:
+            if _np is None:
+                raise ServeError("binary_frames=True requires numpy")
+            return True
+        if binary_frames is False:
+            return False
+        if binary_frames != "auto":
+            raise ValueError(
+                "binary_frames must be True, False or 'auto', "
+                f"got {binary_frames!r}"
+            )
+        env = _os.environ.get("EAGR_BINARY_FRAMES")
+        if env is not None and env.strip() != "":
+            return env.strip() not in ("0", "false", "no", "off") and _np is not None
+        return _np is not None
 
     def _make_shard_executor(self, spec: ShardSpec):
         """Build the executor matching this deployment's transport."""
@@ -577,10 +722,21 @@ class EAGrServer:
                 if not egos:
                     continue
                 state.watches[shard_id] = dict.fromkeys(egos)
+                watchers = self._ego_watchers[shard_id]
                 for ego, seed in egos.items():
                     state.last_batch[ego] = seed
+                    watchers.setdefault(ego, {})[subscriber] = None
             for note in state.journal.entries():
-                if state.last_batch.get(note.ego, -1) < note.batch:
+                if note.__class__ is NoteFrame:
+                    # One journal entry may cover many egos: rehydrate the
+                    # replay filter row by row from the record columns.
+                    for ego, batch in zip(
+                        note.records["ego"].tolist(),
+                        note.records["batch"].tolist(),
+                    ):
+                        if state.last_batch.get(ego, -1) < batch:
+                            state.last_batch[ego] = batch
+                elif state.last_batch.get(note.ego, -1) < note.batch:
                     state.last_batch[note.ego] = note.batch
             with self._subs_lock:
                 self._subs[subscriber] = state
@@ -640,7 +796,11 @@ class EAGrServer:
         def handle(reply: Tuple) -> None:
             kind = reply[0]
             if kind == R_WRITE:
-                self._deliver(shard_id, reply[3])
+                payload = reply[3]
+                if payload.__class__ is ChangeFrame:
+                    self._deliver_frame(shard_id, payload)
+                else:
+                    self._deliver(shard_id, payload)
                 return
             if kind == R_STOPPED:
                 return
@@ -697,6 +857,61 @@ class EAGrServer:
                 if state.queue is not None:
                     state.queue.put(note)
                 self.notifications_delivered += 1
+                self._egress[shard_id]["notes_pickle"] += 1
+
+    def _deliver_frame(self, shard_id: int, frame: ChangeFrame) -> None:
+        """Binary counterpart of :meth:`_deliver`.
+
+        The shard reports one ``(ego, value)`` row per changed watched
+        ego; subscriber fan-out happens here against the front-side
+        reverse watch map.  Suppression, stamping and journaling follow
+        the exact rules of :meth:`_deliver` — per-subscriber stamps are
+        contiguous and each subscriber sees its changed egos in the
+        shard's report order, so stamp assignment is codec-identical to
+        the pickle plane.  Each subscriber's rows for the batch land as
+        one :class:`~repro.serve.frames.NoteFrame`: one journal entry,
+        one queue put, zero ``Notification`` allocations.
+        """
+        if not len(frame):
+            return
+        egos = frame.egos.tolist()
+        values = frame.values.tolist()
+        batch = frame.batch
+        with self._subs_lock:
+            watchers = self._ego_watchers[shard_id]
+            per_sub: Dict[Hashable, Tuple[List[int], List[float]]] = {}
+            for ego, value in zip(egos, values):
+                subs = watchers.get(ego)
+                if not subs:
+                    continue
+                for subscriber in subs:
+                    state = self._subs.get(subscriber)
+                    if state is None:  # unsubscribed while in flight
+                        continue
+                    last = state.last_batch
+                    if last.get(ego, -1) >= batch:
+                        self.notifications_suppressed += 1
+                        continue
+                    last[ego] = batch
+                    entry = per_sub.get(subscriber)
+                    if entry is None:
+                        entry = per_sub[subscriber] = ([], [])
+                    entry[0].append(ego)
+                    entry[1].append(value)
+            egress = self._egress[shard_id]
+            for subscriber, (sub_egos, sub_values) in per_sub.items():
+                state = self._subs[subscriber]
+                first_stamp = state.stamp + 1
+                state.stamp += len(sub_egos)
+                note_frame = NoteFrame.build(
+                    subscriber, shard_id, sub_egos, sub_values, first_stamp, batch
+                )
+                state.journal.append(note_frame)
+                if state.queue is not None:
+                    state.queue.put(note_frame)
+                self.notifications_delivered += len(sub_egos)
+                egress["notes_binary"] += len(sub_egos)
+                egress["egress_bytes"] += note_frame.nbytes
 
     def _submit_call(self, shard_id: int, op: int, *payload: Any) -> _Call:
         seq = self._next_seq()
@@ -739,6 +954,63 @@ class EAGrServer:
     # writes (multicast, coalescing, backpressure)
     # ------------------------------------------------------------------
 
+    def _route_table(self):
+        """Lazy node -> shard numpy lookup for packed write batches.
+
+        ``-1`` marks writers no reader aggregates, ``-2`` multicast
+        writers (those batches route on the per-item path).  Returns
+        ``None`` when the writer key space is not dense non-negative
+        ints (the table would be huge or impossible).  ``writer_shards``
+        is fixed at construction, so the table never invalidates.
+        """
+        table = self._route_array
+        if table is None:
+            table = False
+            if _np is not None and self.writer_shards:
+                top = -1
+                dense = True
+                for node in self.writer_shards:
+                    if type(node) is not int or node < 0:
+                        dense = False
+                        break
+                    if node > top:
+                        top = node
+                if dense and top < 4 * len(self.writer_shards) + 1024:
+                    arr = _np.full(top + 1, -1, dtype=_np.int64)
+                    for node, shards in self.writer_shards.items():
+                        arr[node] = shards[0] if len(shards) == 1 else -2
+                    table = arr
+            self._route_array = table
+        return None if table is False else table
+
+    def _route_frame(self, frame) -> Optional[Dict[int, Any]]:
+        """Split a packed batch into per-shard subframes, or ``None``.
+
+        ``None`` falls back to the per-item path (multicast writers in
+        the batch, writer ids outside the table).  Rows whose writer no
+        reader aggregates are dropped, exactly like the per-item path
+        drops them; a batch that lands wholly on one shard reuses the
+        input frame without copying.
+        """
+        table = self._route_table()
+        if table is None:
+            return None
+        nodes = frame.nodes
+        if int(nodes.min()) < 0 or int(nodes.max()) >= len(table):
+            return None
+        route = table[nodes]
+        parts: Dict[int, Any] = {}
+        for shard_id in _np.unique(route).tolist():
+            if shard_id == -2:
+                return None
+            if shard_id < 0:
+                continue
+            mask = route == shard_id
+            parts[shard_id] = (
+                frame if mask.all() else WriteFrame(frame.records[mask])
+            )
+        return parts
+
     def write_batch(self, writes: Sequence) -> int:
         """Accept a batch of writes; returns the number accepted.
 
@@ -754,28 +1026,59 @@ class EAGrServer:
         touched: Dict[int, None] = {}
         logged: Dict[int, List[Tuple]] = {}
         count = 0
+        # Columnar fast path: a batch of explicit (int, float, float)
+        # triples packs ONCE at the door and routes through the numpy
+        # node->shard table — no per-item Python below this point.  The
+        # per-shard subframes land in the outboxes as segments (the
+        # flush path merges segments back into one submit payload), and
+        # the same subframes are the WAL round record.  Multicast
+        # writers, unpackable items and exotic key spaces fall through
+        # to the per-item loop with identical semantics.
+        parts = frame = None
+        if self.binary_frames and writes.__class__ is list:
+            frame = WriteFrame.from_items(writes)
+            if frame is not None:
+                parts = self._route_frame(frame)
         with self._route_lock:
             outbox = self._outbox
             clock = self._clock
-            for item in writes:
-                node, value, timestamp = normalize_write(item)
-                count += 1
-                if timestamp is None:
-                    timestamp = clock = clock + 1.0
-                elif timestamp > clock:
-                    clock = timestamp
-                shards = writer_shards.get(node)
-                if not shards:
-                    continue  # no reader anywhere aggregates this writer
-                triple = (node, value, timestamp)
-                for shard_id in shards:
-                    outbox[shard_id].append(triple)
+            if parts is not None:
+                count = len(frame)
+                top = float(frame.timestamps.max())
+                if top > clock:
+                    clock = top
+                for shard_id, sub in parts.items():
+                    outbox[shard_id].append(sub)
                     touched[shard_id] = None
-                    if wal is not None:
-                        logged.setdefault(shard_id, []).append(triple)
+                logged = parts
+            else:
+                for item in writes:
+                    node, value, timestamp = normalize_write(item)
+                    count += 1
+                    if timestamp is None:
+                        timestamp = clock = clock + 1.0
+                    elif timestamp > clock:
+                        clock = timestamp
+                    shards = writer_shards.get(node)
+                    if not shards:
+                        continue  # no reader anywhere aggregates this writer
+                    triple = (node, value, timestamp)
+                    for shard_id in shards:
+                        outbox[shard_id].append(triple)
+                        touched[shard_id] = None
+                        if wal is not None:
+                            logged.setdefault(shard_id, []).append(triple)
             self._clock = clock
             self.writes_sent += count
             if wal is not None and count:
+                if parts is None and self.binary_frames:
+                    # Binary batch records: replay decodes each shard's
+                    # round with one frombuffer instead of per-triple
+                    # unpickling (unpackable rounds stay lists).
+                    logged = {
+                        shard_id: WriteFrame.from_items(triples) or triples
+                        for shard_id, triples in logged.items()
+                    }
                 # Acceptance record, appended under the route lock: WAL
                 # file order *is* acceptance order, so batch-number
                 # coverage ("B" records) stays a simple seq interval.
@@ -816,9 +1119,10 @@ class EAGrServer:
             # Shard backed up: coalesce into the outbox; later flushes (or
             # the cap) carry these items in one bigger batch.
             with self._route_lock:
-                self._outbox[shard_id] = items + self._outbox[shard_id]
+                restored = [items] if items.__class__ is WriteFrame else items
+                self._outbox[shard_id] = restored + self._outbox[shard_id]
                 self.writes_delivered -= len(items)
-                pending = len(self._outbox[shard_id])
+                pending = _pending_count(self._outbox[shard_id])
             self.coalesced_flushes += 1
             if pending >= self._coalesce_max:
                 taken = self._take_outbox(shard_id)
@@ -839,7 +1143,18 @@ class EAGrServer:
         submit rolls both back (the items return to the outbox and will
         renumber when they eventually flush; the WAL gets a compensating
         ``RB`` record).  Returns whether the batch was enqueued.
+
+        On the binary plane the items pack **once** here into a
+        :class:`~repro.core.statestore.WriteFrame`: the redo log, the
+        executor submit (hence the ring payload or queue pickle) and any
+        restart/recovery replay all share the same record array — no
+        repacking, no per-item work downstream.  Batches that fail the
+        packing gate stay lists and ride the pickle codec unchanged.
         """
+        if self.binary_frames and items.__class__ is list:
+            frame = WriteFrame.from_items(items)
+            if frame is not None:
+                items = frame
         batch_no = self._batch_no[shard_id] + 1
         self._batch_no[shard_id] = batch_no
         self._write_log[shard_id].append((batch_no, items))
@@ -873,8 +1188,9 @@ class EAGrServer:
             if not items:
                 return None
             self._outbox[shard_id] = []
-            self.writes_delivered += len(items)
-            return items, self._wal_seq
+            payload = _merge_segments(items)
+            self.writes_delivered += len(payload)
+            return payload, self._wal_seq
 
     def flush(self) -> None:
         """Force every outbox into its shard queue (blocking on full queues)."""
@@ -1140,7 +1456,9 @@ class EAGrServer:
                 state.queue = subscription._queue
                 for note in replayed:
                     state.queue.put(note)
-                self.notifications_replayed += len(replayed)
+                self.notifications_replayed += sum(
+                    _note_count(note) for note in replayed
+                )
             elif state.queue is None:
                 # Re-baseline after a disconnect (e.g. the resume window
                 # was lost to a ResumeGapError): fresh queue, no replay —
@@ -1172,6 +1490,9 @@ class EAGrServer:
                 state.watches.setdefault(shard_id, {}).update(
                     dict.fromkeys(shard_nodes)
                 )
+                watchers = self._ego_watchers[shard_id]
+                for ego in shard_nodes:
+                    watchers.setdefault(ego, {})[subscriber] = None
                 for ego in snapshot:
                     # Seed the replay filter at the subscribe-time stamp:
                     # a redo replay of earlier batches must not notify
@@ -1264,6 +1585,11 @@ class EAGrServer:
             # this is the one path that forgets a subscriber entirely.
             with self._subs_lock:
                 state = self._subs.pop(subscriber, None)
+                for watchers in self._ego_watchers:
+                    for ego in list(watchers):
+                        watchers[ego].pop(subscriber, None)
+                        if not watchers[ego]:
+                            del watchers[ego]
             if state is not None:
                 state.journal.close()
                 if state.journal.path is not None:
@@ -1277,9 +1603,15 @@ class EAGrServer:
                 if state is not None:
                     for shard_id, shard_nodes in per_shard.items():
                         watched = state.watches.get(shard_id)
+                        watchers = self._ego_watchers[shard_id]
                         for node in shard_nodes:
                             if watched is not None:
                                 watched.pop(node, None)
+                            subs = watchers.get(node)
+                            if subs is not None:
+                                subs.pop(subscriber, None)
+                                if not subs:
+                                    del watchers[node]
                             # Forget the replay filter: a re-subscribe
                             # re-seeds it at the new subscribe stamp.
                             state.last_batch.pop(node, None)
@@ -1511,7 +1843,24 @@ class EAGrServer:
         and its multicast **replication factor** — the average number of
         shards each accepted write fans out to, the serve tier's dominant
         write cost — plus transport counters (zero-copy reads served,
-        coalesced flushes, restarts)."""
+        coalesced flushes, restarts).
+
+        ``shard_io`` reports, per shard, what the frame codec chose on
+        each hot path: ingress bytes and binary-vs-pickle write-frame
+        counts (from the shard's executor), egress notification bytes
+        and binary-vs-pickle notification counts (from the delivery
+        threads).  ``codec_mix`` is the same, summed over shards — on a
+        steady-state columnar workload with ``binary_frames`` on,
+        ``write_frames_pickle`` and ``notes_pickle`` stay at zero.
+        """
+        shard_io = [
+            {**self._executors[shard_id].io, **self._egress[shard_id]}
+            for shard_id in range(self.num_shards)
+        ]
+        codec_mix: Dict[str, int] = {}
+        for row in shard_io:
+            for key, value in row.items():
+                codec_mix[key] = codec_mix.get(key, 0) + value
         return {
             "num_shards": self.num_shards,
             "executor": self.executor_kind,
@@ -1529,6 +1878,9 @@ class EAGrServer:
             "wal": self._wal is not None,
             "wal_bytes": self._wal.total_bytes() if self._wal else 0,
             "recovered_batches": self.recovered_batches,
+            "binary_frames": self.binary_frames,
+            "shard_io": shard_io,
+            "codec_mix": codec_mix,
         }
 
     def __enter__(self) -> "EAGrServer":

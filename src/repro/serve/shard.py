@@ -24,6 +24,7 @@ import pickle
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.core.query import EgoQuery
+from repro.serve import frames as _frames
 from repro.serve.messages import (
     OP_CHECKPOINT,
     OP_DRAIN,
@@ -111,6 +112,12 @@ class ShardSpec:
         pre-crash epoch delivered, so the front-end's stamp-keyed replay
         filter suppresses precisely the duplicates and nothing else.
         Batches beyond it are fresh traffic and free to merge.
+    binary_notices:
+        When true, changed-ego reports for watched egos travel as
+        columnar :class:`~repro.serve.frames.ChangeFrame` replies (one
+        row per changed ego; subscriber fan-out happens front-side)
+        whenever the batch's egos/values pass the packing gate; the
+        per-subscriber notice list stays the fallback.
     """
 
     def __init__(
@@ -126,6 +133,7 @@ class ShardSpec:
         faults: Optional[Dict[str, int]] = None,
         shm: Optional[Dict[str, str]] = None,
         merge_after: int = 0,
+        binary_notices: bool = False,
     ) -> None:
         self.graph = graph
         # The user's predicate is already folded into ``readers`` by the
@@ -149,6 +157,7 @@ class ShardSpec:
         self.faults = faults
         self.shm = shm
         self.merge_after = merge_after
+        self.binary_notices = binary_notices
 
     def with_checkpoint(
         self, checkpoint: Optional[ShardCheckpoint]
@@ -212,6 +221,7 @@ class ShardHost:
             shm_name=shm_name,
             **spec.engine_kwargs,
         )
+        self._binary_notices = bool(getattr(spec, "binary_notices", False))
         #: ego -> subscribers watching it (dict-as-ordered-set).
         self.watchers: Dict[NodeId, Dict[Hashable, None]] = {}
         #: ego -> last value delivered (or baselined at subscribe time).
@@ -306,12 +316,18 @@ class ShardHost:
         ``batch_no`` is the front-end's per-shard monotone batch number;
         a batch at or below :attr:`applied_through` was already absorbed
         (this request is a redo-log replay after a restart) and is
-        skipped, making replays idempotent.  ``notices`` holds
+        skipped, making replays idempotent.  ``items`` is a triple list
+        or a packed :class:`~repro.core.statestore.WriteFrame` (the
+        engine dispatches on the type).  ``notices`` holds
         ``(subscriber, ego, value, stamp)`` for every watched ego whose
         aggregate value actually changed — candidates come from the
         O(affected) changed-reader report, a re-read (batched, pull
         subtrees shared) filters out cancellations, and ``stamp`` is the
-        runtime's global write stamp (stable across restarts).
+        runtime's global write stamp (stable across restarts).  With
+        ``spec.binary_notices`` the same changes pack into one
+        :class:`~repro.serve.frames.ChangeFrame` instead (one row per
+        changed ego; the front-end fans out to subscribers) whenever the
+        egos/values pass the packing gate.
         """
         if batch_no is not None and batch_no <= self.applied_through:
             return 0, []
@@ -330,7 +346,7 @@ class ShardHost:
         candidates = [node for node in changed if node in watchers]
         if not candidates:
             return count, []
-        notices: List[Tuple[Hashable, NodeId, Any, int]] = []
+        pairs: List[Tuple[NodeId, Any]] = []
         baseline = self.baseline
         for node, value in zip(
             candidates, self._guarded(engine.read_batch, candidates)
@@ -338,10 +354,37 @@ class ShardHost:
             if value == baseline.get(node, _MISSING):
                 continue
             baseline[node] = value
+            pairs.append((node, value))
+        if not pairs:
+            return count, []
+        if self._binary_notices:
+            frame = self._change_frame(pairs, stamp)
+            if frame is not None:
+                self.notices_emitted += len(frame)
+                return count, frame
+        notices: List[Tuple[Hashable, NodeId, Any, int]] = []
+        for node, value in pairs:
             for subscriber in watchers[node]:
                 notices.append((subscriber, node, value, stamp))
         self.notices_emitted += len(notices)
         return count, notices
+
+    @staticmethod
+    def _change_frame(pairs: List[Tuple[NodeId, Any]], stamp: int):
+        """Pack changed ``(ego, value)`` pairs, or ``None`` to fall back
+        (same lossless gate as the ingress frames: int egos, float
+        values)."""
+        np = _frames._np
+        if np is None:
+            return None
+        for node, value in pairs:
+            if type(node) is not int or not isinstance(value, float):
+                return None
+        egos = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+        values = np.fromiter(
+            (p[1] for p in pairs), dtype=np.float64, count=len(pairs)
+        )
+        return _frames.ChangeFrame(egos, values, stamp)
 
     def apply_write_group(
         self, group: List[Tuple[Optional[int], List[Tuple]]]
@@ -367,9 +410,9 @@ class ShardHost:
             return 0, []
         if len(live) == 1:
             return self.apply_write_batch(live[0][0], live[0][1])
-        merged: List[Tuple] = []
-        for _batch_no, items in live:
-            merged.extend(items)
+        # An all-frame run concatenates columnar (array concat, no per-row
+        # objects); mixed groups materialize into a plain list.
+        merged = _frames.merge_items([items for _batch_no, items in live])
         self.engine.runtime.stamp += len(live) - 1
         return self.apply_write_batch(live[-1][0], merged)
 
@@ -536,9 +579,11 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
     (the ring is single-producer/single-consumer) — with three transport
     differences:
 
-    * requests arrive as pickled frames popped from the shard's shared
-      ingress ring (:class:`~repro.serve.shm.ShmRing`) instead of a
-      bounded ``mp.Queue``;
+    * requests arrive as codec-tagged frames popped from the shard's
+      shared ingress ring (:class:`~repro.serve.shm.ShmRing`) instead of
+      a bounded ``mp.Queue``: packed write batches decode with one
+      ``np.frombuffer`` view over the frame bytes
+      (:func:`repro.serve.frames.decode`), everything else unpickles;
     * after every applied write batch the worker publishes ``(applied
       batch_no, runtime write stamp)`` through the ring header — the
       front-end's read-your-writes watermark — and **skips** the
@@ -569,8 +614,7 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
     counts queue ones — the crash/restart harness drives both transports
     through one dial.
     """
-    import pickle
-
+    from repro.serve.frames import decode
     from repro.serve.shm import ShmRing
 
     ring = ShmRing(ring_name, create=False)
@@ -608,7 +652,7 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
                 ring.set_waiting(False)
                 continue
             ring.set_waiting(False)
-        request = pickle.loads(frame)
+        request = decode(frame)
         op = request[0]
         if op == OP_WRITE:
             writes_seen += 1
@@ -630,7 +674,7 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
                     extra = ring.try_pop()
                     if extra is None:
                         break
-                    extra_request = pickle.loads(extra)
+                    extra_request = decode(extra)
                     if extra_request[0] == OP_WRITE:
                         group.append(extra_request)
                     else:

@@ -25,7 +25,10 @@ Records are pickled tuples, one per frame:
   the stamped ``(node, value, timestamp)`` triples each shard's outbox
   received, appended under the route lock (file order = acceptance
   order) and fsynced before ``write_batch`` returns — an acknowledged
-  batch is durable.
+  batch is durable.  With ``binary_frames`` on, ``items`` is a
+  :class:`~repro.core.statestore.WriteFrame` whose pickled form is its
+  raw record bytes, so replay rebuilds each round with one
+  ``frombuffer`` instead of unpickling per-triple objects.
 * ``("B", shard, batch_no, covered_seq)`` — a batch-number assignment:
   shard ``shard``'s batch ``batch_no`` consists of every accepted round
   with ``wal_seq`` in ``(previous covered_seq, covered_seq]``.  Logged
@@ -96,6 +99,9 @@ import struct
 import threading
 import zlib
 from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.core.statestore import WriteFrame
+from repro.serve.frames import merge_items
 
 _HEADER = struct.Struct("<II")
 SEGMENT_PREFIX = "wal-"
@@ -218,15 +224,18 @@ class WalState:
                 self.rounds.setdefault(shard_id, []).append((seq, items))
         elif kind == "B":
             _kind, shard_id, batch_no, covered = record
-            items: List[Tuple] = []
+            parts: List[Any] = []
             rounds = self.rounds.get(shard_id, [])
             keep = []
             for seq, round_items in rounds:
                 if seq <= covered:
-                    items.extend(round_items)
+                    parts.append(round_items)
                 else:
                     keep.append((seq, round_items))
             self.rounds[shard_id] = keep
+            # Binary rounds concatenate array-to-array (no per-triple
+            # work); mixed or pickled rounds materialize to one list.
+            items = merge_items(parts)
             self.redo.setdefault(shard_id, []).append((batch_no, items))
             self.batch_no[shard_id] = batch_no
             self.covered[shard_id] = covered
@@ -284,10 +293,17 @@ class WalState:
             raise WalError(f"unknown WAL record kind {kind!r}")
 
     def pending_items(self, shard_id: int) -> List[Tuple]:
-        """Accepted-but-unbatched triples for ``shard_id`` (outbox refill)."""
+        """Accepted-but-unbatched triples for ``shard_id`` (outbox refill).
+
+        Always a plain list of triples — the outbox is append-mutable, so
+        binary rounds materialize here (recovery-only, off the hot path).
+        """
         items: List[Tuple] = []
         for _seq, round_items in self.rounds.get(shard_id, ()):
-            items.extend(round_items)
+            if round_items.__class__ is WriteFrame:
+                items.extend(round_items.tolist())
+            else:
+                items.extend(round_items)
         return items
 
 

@@ -430,3 +430,153 @@ def test_no_resource_tracker_warnings_on_clean_shutdown():
         if "resource_tracker" in line or "KeyError" in line or "leaked" in line
     ]
     assert not noise, noise
+
+
+# ---------------------------------------------------------------------------
+# binary data plane: codec byte-parity and the pickle-free hot path
+# ---------------------------------------------------------------------------
+
+
+def _codec_workload(binary_frames):
+    """One seeded write → notify → read workload; returns its observables.
+
+    Single shard so per-subscriber stamp assignment is deterministic
+    (with multiple shards the reply drainers race, making cross-shard
+    stamp interleaving legitimately order-free on *both* planes).
+    """
+    import random
+
+    graph = random_graph(20, 80, seed=97)
+    query = make_query()
+    nodes = list(graph.nodes())
+    rng = random.Random(11)
+    with EAGrServer(
+        graph, query, num_shards=1, executor="process",
+        overlay_algorithm="vnm_a", reply_timeout=30.0,
+        binary_frames=binary_frames,
+    ) as server:
+        assert server.transport == "shm"
+        assert server.binary_frames is binary_frames
+        sub = server.subscribe("parity", nodes)
+        notes = []
+        for _round in range(10):
+            batch = [
+                (rng.choice(nodes), float(rng.randrange(50)))
+                for _ in range(16)
+            ]
+            server.write_batch(batch)
+            server.drain()  # R_WRITE replies precede the drain ack (FIFO)
+            notes.extend(sub.poll())
+        reads = server.read_batch(nodes)
+        stats = server.server_stats()
+    return reads, notes, stats
+
+
+class TestBinaryDataPlane:
+    def test_codec_planes_byte_identical_with_pickle_free_hot_path(self):
+        """The tentpole property: the same seeded workload through the
+        binary and pickle codecs yields identical reads and identical
+        notifications (egos, values, stamps, batch tags) — and the codec
+        counters prove the binary run never chose pickle on the
+        steady-state write → notify path, while the pickle run never
+        chose a binary frame."""
+        reads_b, notes_b, stats_b = _codec_workload(True)
+        reads_p, notes_p, stats_p = _codec_workload(False)
+        assert reads_b == reads_p
+        assert notes_b and notes_b == notes_p
+        mix_b, mix_p = stats_b["codec_mix"], stats_p["codec_mix"]
+        assert mix_b["write_frames_binary"] > 0 and mix_b["notes_binary"] > 0
+        assert mix_b["write_frames_pickle"] == 0 and mix_b["notes_pickle"] == 0
+        assert mix_b["ingress_bytes"] > 0 and mix_b["egress_bytes"] > 0
+        assert mix_p["write_frames_pickle"] > 0 and mix_p["notes_pickle"] > 0
+        assert mix_p["write_frames_binary"] == 0 and mix_p["notes_binary"] == 0
+        assert stats_b["binary_frames"] and not stats_p["binary_frames"]
+
+    def test_unpackable_batches_fall_back_per_batch(self):
+        """A batch failing the packing gate (non-float value) rides the
+        pickle codec; packable batches around it stay binary — results
+        match a single engine either way."""
+        graph = random_graph(12, 36, seed=53)
+        query = make_query()
+        single = EAGrEngine(
+            graph, query, overlay_algorithm="identity", dataflow="all_push"
+        )
+        with EAGrServer(
+            graph, query, num_shards=1, executor="process",
+            overlay_algorithm="identity", dataflow="all_push",
+            binary_frames=True,
+        ) as server:
+            nodes = list(graph.nodes())
+            packable = [(n, 1.5) for n in nodes]
+            unpackable = [(nodes[0], 2), (nodes[1], True)]  # ints, not floats
+            for batch in (packable, unpackable, packable):
+                server.write_batch(batch)
+                server.drain()
+                single.write_batch(batch)
+            assert server.read_batch(nodes) == single.read_batch(nodes)
+            mix = server.server_stats()["codec_mix"]
+            assert mix["write_frames_binary"] >= 2
+            assert mix["write_frames_pickle"] >= 1
+
+    def test_poll_batch_hands_columnar_frames(self):
+        from repro.serve.frames import NoteFrame
+
+        graph = random_graph(14, 44, seed=59)
+        with EAGrServer(
+            graph, make_query(), num_shards=1, executor="process",
+            overlay_algorithm="vnm_a", binary_frames=True,
+        ) as server:
+            nodes = list(graph.nodes())
+            sub = server.subscribe("columnar", nodes)
+            for value in (3.0, 4.0):
+                server.write_batch([(n, value) for n in nodes])
+                server.drain()
+            items = sub.poll_batch()
+            assert items and all(i.__class__ is NoteFrame for i in items)
+            notes = [n for item in items for n in item.notifications()]
+            stamps = [n.stamp for n in notes]
+            assert stamps == list(range(1, len(notes) + 1))  # contiguous
+            # interleaved get()/poll_batch() never skips or reorders
+            server.write_batch([(n, 9.0) for n in nodes])
+            server.drain()
+            first = sub.get(timeout=10.0)
+            assert first is not None and first.stamp == stamps[-1] + 1
+            rest = sub.poll_batch()
+            tail = [
+                n
+                for item in rest
+                for n in (
+                    item.notifications() if item.__class__ is NoteFrame else [item]
+                )
+            ]
+            got = [first.stamp] + [n.stamp for n in tail]
+            assert got == list(range(stamps[-1] + 1, stamps[-1] + 1 + len(got)))
+            server.unsubscribe("columnar")
+
+    def test_resume_slices_binary_journal_frames(self):
+        """A reconnect whose ``resume_from`` lands *inside* a journaled
+        NoteFrame replays exactly the frame's suffix — same stamps, same
+        values as the per-object plane would have kept."""
+        graph = random_graph(12, 36, seed=61)
+        with EAGrServer(
+            graph, make_query(), num_shards=1, executor="inprocess",
+            overlay_algorithm="identity", dataflow="all_push",
+            binary_frames=True,
+        ) as server:
+            nodes = list(graph.nodes())
+            sub = server.subscribe("resumer", nodes)
+            server.write_batch([(n, 5.0) for n in nodes])
+            server.drain()
+            seen = sub.poll()
+            assert seen
+            cut = seen[len(seen) // 2].stamp
+            server.disconnect("resumer")
+            server.write_batch([(n, 6.0) for n in nodes])
+            server.drain()
+            resumed = server.subscribe("resumer", resume_from=cut)
+            replayed = resumed.poll()
+            stamps = [n.stamp for n in replayed]
+            assert stamps == list(range(cut + 1, cut + 1 + len(stamps)))
+            # the pre-disconnect suffix replays with its original values
+            for note in seen[len(seen) // 2 + 1 :]:
+                assert replayed[stamps.index(note.stamp)] == note
