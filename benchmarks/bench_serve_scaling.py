@@ -27,6 +27,11 @@ per delivered event; each shm shard count also runs a **pickled-codec
 control** (``binary_frames=False`` on the same ring transport), and the
 ``binary_vs_pickled`` column records the binary data plane's speedup
 over it.
+Every serve row also records the end-to-end **write→notify latency**
+percentiles its pass observed (the metrics plane's
+``write_notify_latency`` summary), and a ``metrics_overhead`` control leg
+re-runs the fastest shm configuration with ``metrics=False`` so the
+instrumentation tax is itself a committed number.
 ``--smoke`` shrinks the workload and asserts the acceptance floors: serve
 at the highest shard count must beat threaded, the shm transport must
 actually resolve, and no ``/dev/shm`` segment may survive teardown.
@@ -121,6 +126,7 @@ def bench_serve(
     passes: int,
     transport: str = "auto",
     binary_frames="auto",
+    metrics="auto",
     check_segments=None,
 ):
     from repro.core.aggregates import Sum
@@ -140,12 +146,17 @@ def bench_serve(
         executor=executor,
         transport=transport,
         binary_frames=binary_frames,
+        metrics=metrics,
         overlay_algorithm="vnm_a",
         dataflow="mincut",
         queue_depth=16,
     )
     if transport == "shm":
         assert server.transport == "shm", "shm transport failed to resolve"
+    # A small watched set exercises the notification path so each row's
+    # write->notify percentiles are sampled from real deliveries (same
+    # set on every serve leg; the threaded baseline has no equivalent).
+    server.subscribe("bench-watch", sorted(graph.nodes(), key=repr)[:8])
 
     def run(items):
         write_batch = server.write_batch
@@ -162,6 +173,7 @@ def bench_serve(
         stats = server.server_stats()
         mix = stats["codec_mix"]
         delivered = max(1, stats["writes_delivered"])
+        lat = stats.get("write_notify_latency", {})
         meta = {
             "transport": server.transport,
             "codec": "binary" if stats["binary_frames"] else "pickle",
@@ -170,6 +182,12 @@ def bench_serve(
             ),
             "write_frames_binary": mix.get("write_frames_binary", 0),
             "write_frames_pickle": mix.get("write_frames_pickle", 0),
+            # End-to-end write->notify latency over every timed pass, in
+            # ms; zeros when the metrics plane is off (the control leg).
+            "write_notify_p50_ms": round(lat.get("p50", 0.0) * 1e3, 3),
+            "write_notify_p95_ms": round(lat.get("p95", 0.0) * 1e3, 3),
+            "write_notify_p99_ms": round(lat.get("p99", 0.0) * 1e3, 3),
+            "write_notify_samples": int(lat.get("count", 0)),
         }
         return eps, meta
     finally:
@@ -258,6 +276,27 @@ def run_bench(num_events: int = NUM_EVENTS, shard_counts=SHARD_COUNTS, passes: i
         rows.append(
             row(f"serve-proc x{shards} (shm, pickled)", pickled_eps, pickled_meta)
         )
+
+    # The metrics-off control leg: the fastest configuration (1-shard shm
+    # binary) re-run with the metrics plane disabled.  Relative
+    # instrumentation overhead is largest where per-event work is
+    # smallest, so this is the worst case for the observability tax
+    # (bench_obs_overhead.py measures the same ratio with interleaved
+    # passes on the noise-free in-process executor).
+    first = str(min(int(s) for s in results["shm"]))
+    off_eps, off_meta = bench_serve(
+        graph, events, int(first), "process", passes,
+        transport="shm", metrics=False, check_segments=_assert_segments_gone,
+    )
+    on_eps = results["shm"][first]["eps"]
+    results["metrics_overhead"] = {
+        "shards": int(first),
+        "transport": "shm",
+        "metrics_on_eps": on_eps,
+        "metrics_off_eps": round(off_eps),
+        "on_vs_off": round(on_eps / off_eps, 3) if off_eps else 0.0,
+    }
+    rows.append(row(f"serve-proc x{first} (shm, metrics off)", off_eps, off_meta))
     emit_table(
         "serve_scaling",
         f"Serving layer [SUM, vnm_a+mincut, batch={BATCH_SIZE}]: "
@@ -317,7 +356,10 @@ def main(argv):
         f"({best['speedup_vs_threaded']}x); "
         f"shm: {best_shm['eps']:,} ev/s "
         f"({best_shm['speedup_vs_queue']}x vs queue, "
-        f"{best_shm['binary_vs_pickled']}x vs pickled); JSON -> {JSON_PATH}"
+        f"{best_shm['binary_vs_pickled']}x vs pickled); "
+        f"write→notify p99 {best_shm['write_notify_p99_ms']} ms; "
+        f"metrics on/off {results['metrics_overhead']['on_vs_off']}x; "
+        f"JSON -> {JSON_PATH}"
     )
     if smoke:
         # CI tripwires, deliberately loose: the serve layer clears the

@@ -11,6 +11,11 @@ prints the notifications as the shards push them.  A
 WAL and serves staleness-bounded reads a bounded lag behind the primary.
 
 Run:  python examples/live_feed_server.py            (2 shard processes)
+      python examples/live_feed_server.py --stats-interval 0.5
+          (same, plus a one-line dashboard printed every 0.5 s while
+          streaming: events/s, ring depth, p99 write→notify latency and
+          p99 WAL fsync — all read from ``server.metrics()``, i.e. the
+          shared-memory metrics plane, not the shards.)
       python examples/live_feed_server.py --smoke    (in-process shards,
           small workload, asserts round-trips and clean shutdown — the
           configuration the CI smoke job boots.  Also performs a real
@@ -19,6 +24,7 @@ Run:  python examples/live_feed_server.py            (2 shard processes)
           acknowledged batch and resume the subscription gap-free.)
 """
 
+import math
 import os
 import random
 import shutil
@@ -26,6 +32,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import time
 
 from repro import EAGrEngine, EgoQuery, Neighborhood, Sum, TupleWindow
 from repro.graph.generators import social_graph
@@ -48,6 +55,28 @@ def build_workload(nodes, num_events, seed=5):
         for event in events
         if hasattr(event, "value")
     ]
+
+
+def dashboard_line(server, events_done, elapsed):
+    """One line of ops truth, assembled purely from ``server.metrics()``.
+
+    Everything here is scraped from the front-end registry and the
+    per-shard shared-memory slabs — printing it costs no control message
+    to any shard worker.
+    """
+    m = server.metrics()
+    eps = events_done / elapsed if elapsed > 0 else 0.0
+    depth = max(
+        (r["depth_frames"] for r in m["rings"].values()), default=0
+    )
+    lat = m["server"].get("srv_write_notify_seconds", {})
+    fsync = m["server"].get("wal_fsync_seconds", {})
+    return (
+        f"[stats] {eps:>9.0f} ev/s | ring depth {depth:>3} | "
+        f"write→notify p99 {lat.get('p99', 0.0) * 1e3:7.2f} ms "
+        f"({int(lat.get('count', 0))} samples) | "
+        f"wal fsync p99 {fsync.get('p99', 0.0) * 1e3:6.2f} ms"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -147,6 +176,9 @@ def main(argv) -> None:
         return  # unreachable: sacrifice() ends in SIGKILL
 
     smoke = "--smoke" in argv
+    stats_interval = 0.0
+    if "--stats-interval" in argv:
+        stats_interval = float(argv[argv.index("--stats-interval") + 1])
     executor = "inprocess" if smoke else "process"
     num_nodes = 120 if smoke else 400
     num_events = 2_000 if smoke else 20_000
@@ -176,9 +208,21 @@ def main(argv) -> None:
             feed = server.subscribe("feed-widget", watched)
             print(f"subscribed {len(watched)} egos; baseline: {feed.snapshot}")
 
+            stream_t0 = time.monotonic()
+            next_stats = stream_t0 + stats_interval
             for start in range(0, len(writes), BATCH_SIZE):
                 server.write_batch(writes[start : start + BATCH_SIZE])
+                now = time.monotonic()
+                if stats_interval and now >= next_stats:
+                    print(dashboard_line(
+                        server, start + BATCH_SIZE, now - stream_t0
+                    ))
+                    next_stats = now + stats_interval
             server.drain()
+            if stats_interval:
+                print(dashboard_line(
+                    server, len(writes), time.monotonic() - stream_t0
+                ))
 
             notes = feed.poll()
             print(f"\n{len(notes)} notifications pushed while streaming "
@@ -218,6 +262,16 @@ def main(argv) -> None:
                     )
 
             if smoke:
+                # The metrics plane must report a real end-to-end
+                # write→notify distribution: every percentile field
+                # present and finite, with at least one sample behind it.
+                lat = front["write_notify_latency"]
+                for field in ("count", "sum", "p50", "p95", "p99"):
+                    assert field in lat, f"latency summary missing {field}"
+                    assert math.isfinite(lat[field]), (field, lat[field])
+                assert lat["count"] > 0, "no write→notify samples recorded"
+                assert 0.0 < lat["p99"] < 3600.0, lat
+                print(dashboard_line(server, len(writes), 1.0))
                 # CI assertions: round-trips agree with a single engine
                 # and the subscription stream is exactly the changed
                 # watched egos.

@@ -94,6 +94,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from time import monotonic as _monotonic
 from operator import attrgetter, itemgetter
 from typing import (
     Any,
@@ -159,12 +160,20 @@ def normalize_write(item) -> Tuple[NodeId, Any, Optional[float]]:
 
 @dataclass
 class RuntimeCounters:
-    """Operation counters for throughput accounting."""
+    """Operation counters for throughput accounting.
+
+    ``write_seconds`` / ``read_seconds`` accumulate wall time inside the
+    batched entry points — but only while ``Runtime.op_timing`` is on
+    (the serve layer's metrics plane flips it); they stay 0.0 otherwise
+    so the unmetered engine pays nothing for them.
+    """
 
     writes: int = 0
     reads: int = 0
     push_ops: int = 0
     pull_ops: int = 0
+    write_seconds: float = 0.0
+    read_seconds: float = 0.0
 
     @property
     def events(self) -> int:
@@ -427,6 +436,11 @@ class Runtime:
         self._obs_pending_events: List[int] = []
         self._obs_raw_batches: List[List] = []
         self.counters = RuntimeCounters()
+        # Engine-op wall-time accounting for the observability plane:
+        # off by default; the serve layer's ShardHost re-syncs it onto
+        # whatever runtime the engine currently holds (recompiles swap
+        # the instance) before each batch.
+        self.op_timing = False
         self.clock = 0.0
         self._expiry_heap: List[Tuple[float, int]] = []
         self.trace: Optional[List[TraceOp]] = [] if collect_trace else None
@@ -1021,6 +1035,15 @@ class Runtime:
         single compiled-plan execution carries the combined delta.  Returns
         the number of writes processed.
         """
+        if not self.op_timing:
+            return self._write_batch_impl(writes)
+        t0 = _monotonic()
+        try:
+            return self._write_batch_impl(writes)
+        finally:
+            self.counters.write_seconds += _monotonic() - t0
+
+    def _write_batch_impl(self, writes: Sequence) -> int:
         self._check_plans()
         self.stamp += 1
         if writes.__class__ is WriteFrame:
@@ -1934,6 +1957,15 @@ class Runtime:
         while ``observed_pull`` — the adaptive controller's traffic signal
         — is still credited as if every reader evaluated alone.
         """
+        if not self.op_timing:
+            return self._read_batch_impl(nodes)
+        t0 = _monotonic()
+        try:
+            return self._read_batch_impl(nodes)
+        finally:
+            self.counters.read_seconds += _monotonic() - t0
+
+    def _read_batch_impl(self, nodes: Sequence[NodeId]) -> List[Any]:
         memo: Dict = {}
         read = self.read
         return [read(node, _memo=memo) for node in nodes]

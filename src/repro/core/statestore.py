@@ -521,10 +521,11 @@ _FLOAT_TYPES = (
 )
 
 
-def _writeframe_from_bytes(data: bytes) -> "WriteFrame":
+def _writeframe_from_bytes(data: bytes, ingress: float = None) -> "WriteFrame":
     """Unpickle helper for :meth:`WriteFrame.__reduce__` (module-level so
-    queue transports can resolve it by name)."""
-    return WriteFrame(_np.frombuffer(data, dtype=WRITE_DTYPE))
+    queue transports can resolve it by name; ``ingress`` defaults so
+    frames pickled before the stamp existed still load)."""
+    return WriteFrame(_np.frombuffer(data, dtype=WRITE_DTYPE), ingress=ingress)
 
 
 class WriteFrame:
@@ -547,12 +548,19 @@ class WriteFrame:
     per-tuple object walk.
     """
 
-    __slots__ = ("records",)
+    __slots__ = ("records", "ingress")
 
     dtype = WRITE_DTYPE
 
-    def __init__(self, records) -> None:
+    def __init__(self, records, ingress: Optional[float] = None) -> None:
         self.records = records
+        #: Front-end ``time.monotonic()`` at ``write_batch`` acceptance
+        #: (``None`` on un-stamped frames, e.g. recovery replays) — the
+        #: T0 of the end-to-end write→notify latency measurement.  The
+        #: stamp rides along the frame everywhere the records do, but is
+        #: *not* part of the batch's identity (equality, WAL folding and
+        #: byte parity all ignore it).
+        self.ingress = ingress
 
     @classmethod
     def from_items(cls, items) -> Optional["WriteFrame"]:
@@ -590,10 +598,19 @@ class WriteFrame:
 
     @classmethod
     def concat(cls, frames) -> "WriteFrame":
-        """One frame holding every row of ``frames`` in order."""
+        """One frame holding every row of ``frames`` in order.
+
+        The merged frame keeps the *oldest* ingress stamp of its inputs:
+        a coalesced batch is exactly as late as its longest-waiting
+        member, so the latency histogram must not be flattered by the
+        newest arrival."""
         if len(frames) == 1:
             return frames[0]
-        return cls(_np.concatenate([frame.records for frame in frames]))
+        stamps = [f.ingress for f in frames if f.ingress is not None]
+        return cls(
+            _np.concatenate([frame.records for frame in frames]),
+            ingress=min(stamps) if stamps else None,
+        )
 
     # -- column views (the zero-deserialization scatter input) --------------
 
@@ -641,7 +658,7 @@ class WriteFrame:
         return self.records.tobytes()
 
     def __reduce__(self):
-        return (_writeframe_from_bytes, (self.records.tobytes(),))
+        return (_writeframe_from_bytes, (self.records.tobytes(), self.ingress))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"WriteFrame({len(self.records)} rows)"

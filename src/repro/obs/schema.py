@@ -1,0 +1,43 @@
+"""Fixed shard-side metric schema: worker and scraper must agree on slots.
+
+A shard worker publishes its registry's flat value array into its
+:class:`~repro.obs.slab.MetricsSlab`; the front-end decodes the scrape
+by loading those values into a registry of its own.  Both sides build
+their registry with :func:`declare_shard_metrics`, which registers the
+same metrics in the same order — the order **is** the wire format, so
+changes here are wire-format changes: append new metrics at the end and
+never reorder, or front-end and workers from the same build disagree on
+slot layout.
+"""
+
+from __future__ import annotations
+
+from .registry import KIND_COUNTER, KIND_GAUGE, KIND_HISTOGRAM
+
+#: (name, kind) in slot order.  Appended-to, never reordered.
+SHARD_METRICS = (
+    ("shard_apply_seconds", KIND_HISTOGRAM),
+    ("shard_recompute_seconds", KIND_HISTOGRAM),
+    ("shard_batches_applied", KIND_COUNTER),
+    ("shard_writes_applied", KIND_COUNTER),
+    ("shard_notices_emitted", KIND_COUNTER),
+    ("shard_groups_merged", KIND_COUNTER),
+    ("shard_parks", KIND_COUNTER),
+    ("shard_doorbell_wakeups", KIND_COUNTER),
+    ("shard_engine_write_seconds", KIND_GAUGE),
+    ("shard_engine_read_seconds", KIND_GAUGE),
+)
+
+_REGISTRARS = {
+    KIND_COUNTER: lambda reg, name: reg.counter(name),
+    KIND_GAUGE: lambda reg, name: reg.gauge(name),
+    KIND_HISTOGRAM: lambda reg, name: reg.histogram(name),
+}
+
+
+def declare_shard_metrics(registry):
+    """Register the shard schema on ``registry``; return ``{name: metric}``."""
+    out = {}
+    for name, kind in SHARD_METRICS:
+        out[name] = _REGISTRARS[kind](registry, name)
+    return out

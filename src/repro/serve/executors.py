@@ -51,12 +51,19 @@ OnReply = Callable[[Tuple], None]
 
 
 def _io_counters() -> Dict[str, int]:
-    """Fresh per-executor ingress codec/byte counters."""
+    """Fresh per-executor ingress codec/byte counters.
+
+    ``ring_stalls`` counts rejected pushes (ring full / depth bound hit
+    — the frame parks in the outbox) and ``doorbell_rings`` the actual
+    wake-up bytes sent; both stay 0 on non-shm transports.
+    """
     return {
         "ingress_bytes": 0,
         "write_frames_binary": 0,
         "write_frames_pickle": 0,
         "control_frames": 0,
+        "ring_stalls": 0,
+        "doorbell_rings": 0,
     }
 
 
@@ -407,8 +414,10 @@ class ShmShardExecutor(ProcessShardExecutor):
         """
         with self._push_lock:
             if self._depth and self.ring.pending_frames >= self._depth:
+                self.io["ring_stalls"] += 1
                 return False
             if not self.ring.try_push(payload):
+                self.io["ring_stalls"] += 1
                 return False
             self._bell_pending = True
             io = self.io
@@ -438,6 +447,7 @@ class ShmShardExecutor(ProcessShardExecutor):
             return  # worker is processing; it will see the frames itself
         try:
             self._bell.send_bytes(b"!")
+            self.io["doorbell_rings"] += 1
         except (BrokenPipeError, OSError):  # pragma: no cover - dead worker
             pass
 

@@ -13,9 +13,11 @@ Wire format of a ring payload (the first byte always tags the codec):
   tuple — the universal fallback carrying control ops (reads, drains,
   checkpoints, stop) and any write batch that fails the packing gate
   (non-``int`` node keys, non-``float`` values, heterogeneous rows).
-* ``K_WRITE`` (``0x01``): a 32-byte header ``<B7xqqq`` (kind, padding,
-  ``seq``, ``batch_no`` with ``-1`` encoding ``None``, row count)
-  followed by the raw bytes of a
+* ``K_WRITE`` (``0x01``): a 40-byte header ``<B7xqqqd`` (kind, padding,
+  ``seq``, ``batch_no`` with ``-1`` encoding ``None``, row count, and the
+  front-end's monotonic ingress timestamp with ``0.0`` encoding ``None``
+  — the T0 of the write→notify latency measurement) followed by the raw
+  bytes of a
   :class:`~repro.core.statestore.WriteFrame` record array — decoded with
   one ``np.frombuffer`` view, zero per-row work.
 
@@ -49,8 +51,9 @@ K_WRITE = 1
 _K_PICKLE_BYTE = bytes([K_PICKLE])
 
 #: Header of a ``K_WRITE`` payload: kind, 7 pad bytes, seq, batch_no
-#: (``-1`` encodes ``None``: a redo replay below the merge floor), count.
-WRITE_HEADER = struct.Struct("<B7xqqq")
+#: (``-1`` encodes ``None``: a redo replay below the merge floor), count,
+#: ingress timestamp (``0.0`` encodes ``None``: an un-stamped frame).
+WRITE_HEADER = struct.Struct("<B7xqqqd")
 
 #: Record layout of a :class:`NoteFrame` (one row per notification).
 NOTE_DTYPE = (
@@ -74,9 +77,14 @@ def encode_pickle(request: Any) -> bytes:
 
 def encode_write(seq: int, batch_no: Optional[int], frame: WriteFrame) -> bytes:
     """Pack an ``OP_WRITE`` carrying a :class:`WriteFrame` as ``K_WRITE``."""
+    ingress = frame.ingress
     return (
         WRITE_HEADER.pack(
-            K_WRITE, seq, -1 if batch_no is None else batch_no, len(frame)
+            K_WRITE,
+            seq,
+            -1 if batch_no is None else batch_no,
+            len(frame),
+            0.0 if ingress is None else ingress,
         )
         + frame.records.tobytes()
     )
@@ -92,11 +100,12 @@ def decode(payload: bytes) -> Any:
     directly.
     """
     if payload[0] == K_WRITE:
-        _kind, seq, batch_no, count = WRITE_HEADER.unpack_from(payload)
+        _kind, seq, batch_no, count, ingress = WRITE_HEADER.unpack_from(payload)
         records = _np.frombuffer(
             payload, dtype=WriteFrame.dtype, count=count, offset=WRITE_HEADER.size
         )
-        return (OP_WRITE, seq, None if batch_no < 0 else batch_no, WriteFrame(records))
+        frame = WriteFrame(records, ingress=None if ingress == 0.0 else ingress)
+        return (OP_WRITE, seq, None if batch_no < 0 else batch_no, frame)
     return pickle.loads(memoryview(payload)[1:])
 
 
@@ -105,11 +114,14 @@ def decode(payload: bytes) -> Any:
 # ---------------------------------------------------------------------------
 
 
-def _changeframe_from_bytes(ego_bytes: bytes, value_bytes: bytes, batch: int):
+def _changeframe_from_bytes(
+    ego_bytes: bytes, value_bytes: bytes, batch: int, ingress: float = None
+):
     return ChangeFrame(
         _np.frombuffer(ego_bytes, dtype=_np.int64),
         _np.frombuffer(value_bytes, dtype=_np.float64),
         batch,
+        ingress=ingress,
     )
 
 
@@ -125,12 +137,16 @@ class ChangeFrame:
     how many subscribers watch it.
     """
 
-    __slots__ = ("egos", "values", "batch")
+    __slots__ = ("egos", "values", "batch", "ingress")
 
-    def __init__(self, egos, values, batch: int) -> None:
+    def __init__(self, egos, values, batch: int, ingress: Optional[float] = None) -> None:
         self.egos = egos
         self.values = values
         self.batch = batch
+        #: The triggering write batch's front-end ingress timestamp,
+        #: carried through the shard so the front-end can close the
+        #: write→notify latency loop (``None`` on un-stamped batches).
+        self.ingress = ingress
 
     def __len__(self) -> int:
         return len(self.egos)
@@ -142,15 +158,17 @@ class ChangeFrame:
     def __reduce__(self):
         return (
             _changeframe_from_bytes,
-            (self.egos.tobytes(), self.values.tobytes(), self.batch),
+            (self.egos.tobytes(), self.values.tobytes(), self.batch, self.ingress),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ChangeFrame({len(self.egos)} egos, batch={self.batch})"
 
 
-def _noteframe_from_bytes(subscriber, shard: int, data: bytes):
-    return NoteFrame(subscriber, shard, _np.frombuffer(data, dtype=NOTE_DTYPE))
+def _noteframe_from_bytes(subscriber, shard: int, data: bytes, ingress: float = None):
+    return NoteFrame(
+        subscriber, shard, _np.frombuffer(data, dtype=NOTE_DTYPE), ingress=ingress
+    )
 
 
 class NoteFrame:
@@ -169,15 +187,21 @@ class NoteFrame:
     demand.
     """
 
-    __slots__ = ("subscriber", "shard", "records")
+    __slots__ = ("subscriber", "shard", "records", "ingress")
 
-    def __init__(self, subscriber, shard: int, records) -> None:
+    def __init__(
+        self, subscriber, shard: int, records, ingress: Optional[float] = None
+    ) -> None:
         self.subscriber = subscriber
         self.shard = shard
         self.records = records
+        #: Ingress timestamp of the triggering write batch (``None`` on
+        #: un-stamped frames — recovery replays, journal resumes from a
+        #: prior process whose monotonic clock is meaningless here).
+        self.ingress = ingress
 
     @classmethod
-    def build(cls, subscriber, shard, egos, values, first_stamp, batch):
+    def build(cls, subscriber, shard, egos, values, first_stamp, batch, ingress=None):
         """One frame from parallel ego/value arrays, stamping rows
         ``first_stamp, first_stamp+1, ...`` (the journal contract)."""
         records = _np.empty(len(egos), dtype=NOTE_DTYPE)
@@ -187,7 +211,7 @@ class NoteFrame:
             first_stamp, first_stamp + len(egos), dtype=_np.int64
         )
         records["batch"] = batch
-        return cls(subscriber, shard, records)
+        return cls(subscriber, shard, records, ingress=ingress)
 
     # -- journal protocol ----------------------------------------------------
 
@@ -214,6 +238,7 @@ class NoteFrame:
             self.subscriber,
             self.shard,
             self.records[stamp - self.first_stamp + 1 :],
+            ingress=self.ingress,
         )
 
     def upto(self, stamp: int) -> Optional["NoteFrame"]:
@@ -223,7 +248,10 @@ class NoteFrame:
         if self.first_stamp > stamp:
             return None
         return NoteFrame(
-            self.subscriber, self.shard, self.records[: stamp - self.first_stamp + 1]
+            self.subscriber,
+            self.shard,
+            self.records[: stamp - self.first_stamp + 1],
+            ingress=self.ingress,
         )
 
     # -- materialization (on demand only) ------------------------------------
@@ -250,7 +278,7 @@ class NoteFrame:
     def __reduce__(self):
         return (
             _noteframe_from_bytes,
-            (self.subscriber, self.shard, self.records.tobytes()),
+            (self.subscriber, self.shard, self.records.tobytes(), self.ingress),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

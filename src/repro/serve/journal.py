@@ -145,6 +145,10 @@ class NotificationLog:
         self._note_total = 0
         #: Highest stamp no longer retained (0: nothing ever evicted).
         self.evicted_through = 0
+        #: Notifications evicted by capacity pressure this process
+        #: lifetime (``truncate`` — an intentional ack release — is not
+        #: an eviction and does not count).
+        self.evictions = 0
         self._compact_every = compact_every or 2 * capacity
         self._frames_since_compact = 0
         self._file: Optional[io.BufferedWriter] = None
@@ -198,12 +202,17 @@ class NotificationLog:
                 f"{self.last_stamp}"
             )
         self._entries.append(entry)
+        before = self.evicted_through
         self._note_total, self.evicted_through = _evict_excess(
             self._entries,
             self._note_total + _count(entry),
             self.capacity,
             self.evicted_through,
         )
+        if self.evicted_through > before:
+            # Stamps are per-note contiguous, so the horizon delta *is*
+            # the number of notifications evicted.
+            self.evictions += self.evicted_through - before
         self._write_frame(("A", entry))
 
     def replay(self, resume_from: int) -> List[Any]:

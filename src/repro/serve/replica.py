@@ -109,6 +109,14 @@ class ReplicaServer:
         self.resets = 0
         self._closed = False
         self._stop = threading.Event()
+        from repro.obs import MetricsRegistry
+
+        #: Replica-side registry: lag + apply progress, refreshed on
+        #: :meth:`metrics` (pull-model — the tail loop stays untimed).
+        self._registry = MetricsRegistry(enabled=True)
+        self._m_lag = self._registry.gauge("replica_lag_bytes")
+        self._m_applied = self._registry.gauge("replica_batches_applied")
+        self._m_resets = self._registry.gauge("replica_snapshot_resets")
         # Attach synchronously: fold whatever the log already holds, so a
         # constructed replica is immediately serviceable (further records
         # stream in on the tailer thread).
@@ -357,6 +365,18 @@ class ReplicaServer:
             "lag_bytes": self.lag_bytes(),
             "watermark": self.watermark(),
             "snapshot_resets": self.resets,
+        }
+
+    def metrics(self, include_buckets: bool = False) -> Dict[str, Any]:
+        """Registry-shaped snapshot (same contract as the server's):
+        ``{"enabled": True, "replica": {metric: value}}``, with the lag
+        gauge refreshed at call time."""
+        self._m_lag.set(self.lag_bytes())
+        self._m_applied.set(self.batches_applied)
+        self._m_resets.set(self.resets)
+        return {
+            "enabled": True,
+            "replica": self._registry.snapshot(include_buckets),
         }
 
     def close(self) -> None:

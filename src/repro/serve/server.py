@@ -300,6 +300,20 @@ class EAGrServer:
         fail the packing gate (non-``int`` keys, non-``float`` values)
         fall back to the pickle codec item-for-item — semantics are
         codec-independent.
+    metrics:
+        Whether the metrics plane is on (see :mod:`repro.obs` and the
+        Observability section of PERFORMANCE.md).  ``"auto"`` (default)
+        turns it on, honouring the ``EAGR_METRICS`` environment variable
+        (``"0"``/``"false"``/``"no"``/``"off"`` disable); pass
+        ``True``/``False`` to override.  When on, the front-end registry
+        tracks routing/WAL/latency histograms, each shard worker
+        publishes its own registry into a named shared-memory slab
+        (scraped by :meth:`EAGrServer.metrics` with **zero IPC** on the
+        shm transport), and every accepted binary write batch carries a
+        monotonic ingress timestamp so ``server_stats()`` can report
+        true end-to-end write→notify latency percentiles.  Designed to
+        stay on in production — the overhead bound is benchmarked in
+        ``benchmarks/bench_obs_overhead.py``.
     assign:
         Optional reader→shard assignment.  Defaults to the
         locality-aware :func:`~repro.core.partitioned.community_assignment`
@@ -363,6 +377,7 @@ class EAGrServer:
         executor: str = "process",
         transport: str = "auto",
         binary_frames: Any = "auto",
+        metrics: Any = "auto",
         assign: Optional[Callable[[NodeId], int]] = None,
         queue_depth: int = 8,
         ring_bytes: int = 1 << 20,
@@ -380,6 +395,29 @@ class EAGrServer:
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         from repro.core.partitioned import community_assignment, partition_readers
+        from repro.obs import MetricsRegistry, SlowOpLog, declare_shard_metrics
+
+        # -- metrics plane: the registry comes up before the WAL so the
+        # log's append/fsync paths can write straight into its slots ----
+        self.metrics_enabled = self._resolve_metrics(metrics)
+        self._registry = MetricsRegistry(enabled=self.metrics_enabled)
+        reg = self._registry
+        self._m_route = reg.histogram("srv_route_seconds")
+        self._m_batch_rows = reg.histogram("srv_write_batch_rows")
+        self._m_latency = reg.histogram("srv_write_notify_seconds")
+        self._m_wal_append = reg.histogram("wal_append_seconds")
+        self._m_wal_fsync = reg.histogram("wal_fsync_seconds")
+        self._m_wal_bytes = reg.gauge("wal_total_bytes")
+        self._m_write_calls = reg.counter("srv_write_batches")
+        self._m_latency_discarded = reg.counter("srv_latency_discarded")
+        self.slow_ops = SlowOpLog(
+            threshold=float(_os.environ.get("EAGR_SLOW_OP_THRESHOLD") or 0.050)
+        )
+        #: layout-compatible decoder registry for shard slab scrapes (the
+        #: worker registers the same schema in the same order).
+        self._shard_schema = MetricsRegistry(enabled=True)
+        declare_shard_metrics(self._shard_schema)
+        self._scrape_lock = threading.Lock()
 
         # -- write-ahead log: open (and recover) before anything else ----
         self._wal = None
@@ -391,7 +429,17 @@ class EAGrServer:
                 journal_dir = _os.path.join(wal_dir, "journals")
             if checkpoint_interval is None:
                 checkpoint_interval = 256
-            self._wal = WriteAheadLog(wal_dir, **(wal_options or {}))
+            wal_kwargs = dict(wal_options or {})
+            if self.metrics_enabled:
+                wal_kwargs.setdefault(
+                    "metrics",
+                    {
+                        "append": self._m_wal_append,
+                        "fsync": self._m_wal_fsync,
+                        "bytes": self._m_wal_bytes,
+                    },
+                )
+            self._wal = WriteAheadLog(wal_dir, **wal_kwargs)
             if self._wal.recovered:
                 recovered = self._wal.state
                 if recovered.num_shards != num_shards:
@@ -473,6 +521,12 @@ class EAGrServer:
         self._subs_lock = threading.Lock()
         self._async_errors: List[str] = []
         self._outbox: List[List[Tuple]] = [[] for _ in range(num_shards)]
+        #: per-shard oldest ingress stamp of the writes currently parked
+        #: in the outbox (route-lock-protected).  Covers the per-item
+        #: path, whose triples cannot carry a stamp themselves — the
+        #: flush attaches it to the frame ``_submit_write`` packs, so
+        #: write→notify latency includes outbox dwell time either way.
+        self._outbox_ingress: List[Optional[float]] = [None] * num_shards
         #: lazy node->shard routing array for the columnar write fast
         #: path (``None`` = not built yet, ``False`` = not applicable:
         #: sparse/non-int writer keys).  ``writer_shards`` is fixed at
@@ -550,9 +604,16 @@ class EAGrServer:
         self._handle_maps: Dict[
             int, Tuple[str, Dict[NodeId, Tuple[int, bool]]]
         ] = {}
+        #: per-shard metrics slabs (shm transport + metrics on): created
+        #: here by name, attached and published by the workers, scraped
+        #: by :meth:`metrics` with zero IPC, unlinked in _release_shm.
+        self._metric_slabs: List[Optional[Any]] = [None] * num_shards
         shm_specs: List[Optional[Dict[str, str]]] = [None] * num_shards
         if self.transport == "shm":
             from repro.serve.shm import ShmRing
+
+            if self.metrics_enabled:
+                from repro.obs import MetricsSlab
 
             base = "eagr{:x}_{:x}".format(
                 _os.getpid(), int.from_bytes(_os.urandom(4), "little")
@@ -566,6 +627,11 @@ class EAGrServer:
                     "ring": f"{base}r{shard_id}",
                     "store": f"{base}v{shard_id}",
                 }
+                if self.metrics_enabled:
+                    self._metric_slabs[shard_id] = MetricsSlab.create(
+                        f"{base}m{shard_id}", self._shard_schema.n_slots
+                    )
+                    shm_specs[shard_id]["metrics"] = f"{base}m{shard_id}"
         else:
             self._shm_base = None
         # Zero-copy reads stay off for time windows (a read advances
@@ -594,6 +660,7 @@ class EAGrServer:
                 engine_kwargs=engine_kwargs,
                 shm=shm_specs[shard_id],
                 binary_notices=self.binary_frames,
+                metrics=self.metrics_enabled,
             )
             for shard_id in range(num_shards)
         ]
@@ -668,6 +735,28 @@ class EAGrServer:
         if env is not None and env.strip() != "":
             return env.strip() not in ("0", "false", "no", "off") and _np is not None
         return _np is not None
+
+    @staticmethod
+    def _resolve_metrics(metrics: Any) -> bool:
+        """Resolve the ``metrics`` toggle (see __init__).
+
+        Precedence: explicit ``True``/``False`` > ``EAGR_METRICS`` env
+        var > on.  Unlike binary frames, metrics have no numpy
+        dependency — the registry falls back to plain lists — so the
+        default is unconditionally on.
+        """
+        if metrics is True:
+            return True
+        if metrics is False:
+            return False
+        if metrics != "auto":
+            raise ValueError(
+                f"metrics must be True, False or 'auto', got {metrics!r}"
+            )
+        env = _os.environ.get("EAGR_METRICS")
+        if env is not None and env.strip() != "":
+            return env.strip() not in ("0", "false", "no", "off")
+        return True
 
     def _make_shard_executor(self, spec: ShardSpec):
         """Build the executor matching this deployment's transport."""
@@ -755,6 +844,11 @@ class EAGrServer:
                     (OP_SUBSCRIBE, self._next_seq(), subscriber, watch_nodes)
                 )
             for batch_no, items in self._write_log[shard_id]:
+                if items.__class__ is WriteFrame:
+                    # The dead epoch's monotonic ingress stamps are
+                    # meaningless against this process's clock — a
+                    # replayed batch must never produce a latency sample.
+                    items.ingress = None
                 ex.submit((OP_WRITE, self._next_seq(), batch_no, items))
                 replayed += 1
                 if crash_after is not None and replayed >= crash_after:
@@ -762,6 +856,9 @@ class EAGrServer:
             ex.flush_bell()
             pending = recovered.pending_items(shard_id)
             if pending:
+                for seg in pending:
+                    if seg.__class__ is WriteFrame:
+                        seg.ingress = None
                 self._outbox[shard_id] = pending
         self.recovered_batches = replayed
         self.replayed_batches += replayed
@@ -877,6 +974,18 @@ class EAGrServer:
         egos = frame.egos.tolist()
         values = frame.values.tolist()
         batch = frame.batch
+        ingress = frame.ingress
+        latency = None
+        if ingress is not None and self.metrics_enabled:
+            # T1 is taken here, in the same process whose clock stamped
+            # T0 — no cross-process monotonic skew.  A stamp from a dead
+            # epoch that slipped past the recovery zeroing would read as
+            # an absurd duration; the guard discards it (counted) rather
+            # than poisoning the histogram.
+            latency = _time.monotonic() - ingress
+            if not 0.0 <= latency < 3600.0:
+                self._m_latency_discarded.inc()
+                latency = None
         with self._subs_lock:
             watchers = self._ego_watchers[shard_id]
             per_sub: Dict[Hashable, Tuple[List[int], List[float]]] = {}
@@ -904,7 +1013,13 @@ class EAGrServer:
                 first_stamp = state.stamp + 1
                 state.stamp += len(sub_egos)
                 note_frame = NoteFrame.build(
-                    subscriber, shard_id, sub_egos, sub_values, first_stamp, batch
+                    subscriber,
+                    shard_id,
+                    sub_egos,
+                    sub_values,
+                    first_stamp,
+                    batch,
+                    ingress=ingress,
                 )
                 state.journal.append(note_frame)
                 if state.queue is not None:
@@ -912,6 +1027,12 @@ class EAGrServer:
                 self.notifications_delivered += len(sub_egos)
                 egress["notes_binary"] += len(sub_egos)
                 egress["egress_bytes"] += note_frame.nbytes
+                if latency is not None:
+                    self._m_latency.observe(latency)
+            if latency is not None and per_sub:
+                self.slow_ops.note(
+                    "write_notify", latency, shard=shard_id, egos=len(egos)
+                )
 
     def _submit_call(self, shard_id: int, op: int, *payload: Any) -> _Call:
         seq = self._next_seq()
@@ -1007,7 +1128,9 @@ class EAGrServer:
                 continue
             mask = route == shard_id
             parts[shard_id] = (
-                frame if mask.all() else WriteFrame(frame.records[mask])
+                frame
+                if mask.all()
+                else WriteFrame(frame.records[mask], ingress=frame.ingress)
             )
         return parts
 
@@ -1021,6 +1144,8 @@ class EAGrServer:
         writes coalesce until :attr:`coalesce_max` forces backpressure.
         """
         self._check_open()
+        metered = self.metrics_enabled
+        t0 = _time.monotonic() if metered else 0.0
         writer_shards = self.writer_shards
         wal = self._wal
         touched: Dict[int, None] = {}
@@ -1038,6 +1163,11 @@ class EAGrServer:
         if self.binary_frames and writes.__class__ is list:
             frame = WriteFrame.from_items(writes)
             if frame is not None:
+                if metered:
+                    # T0 of the write→notify latency measurement: rides
+                    # the frame through ring, shard and change report
+                    # back to _deliver_frame (same process, same clock).
+                    frame.ingress = t0
                 parts = self._route_frame(frame)
         with self._route_lock:
             outbox = self._outbox
@@ -1070,6 +1200,11 @@ class EAGrServer:
                             logged.setdefault(shard_id, []).append(triple)
             self._clock = clock
             self.writes_sent += count
+            if metered:
+                for shard_id in touched:
+                    current = self._outbox_ingress[shard_id]
+                    if current is None or t0 < current:
+                        self._outbox_ingress[shard_id] = t0
             if wal is not None and count:
                 if parts is None and self.binary_frames:
                     # Binary batch records: replay decodes each shard's
@@ -1084,6 +1219,16 @@ class EAGrServer:
                 # coverage ("B" records) stays a simple seq interval.
                 self._wal_seq += 1
                 wal.append(("W", self._wal_seq, logged, clock))
+        if metered:
+            self._m_write_calls.inc()
+            if count:
+                # Row-count histogram: observed in units of 1e-6 so the
+                # log2-µs buckets become log2-row buckets (a summary
+                # "µs" value of N reads as N rows).
+                self._m_batch_rows.observe(count * 1e-6)
+            route_cost = _time.monotonic() - t0
+            self._m_route.observe(route_cost)
+            self.slow_ops.note("write_batch.route", route_cost, rows=count)
         for shard_id in touched:
             self._flush_shard(shard_id, block=False)
         for shard_id in touched:
@@ -1113,14 +1258,21 @@ class EAGrServer:
             taken = self._take_outbox(shard_id)
             if taken is None:
                 return
-            items, covered = taken
-            if self._submit_write(shard_id, items, block=block, covered=covered):
+            items, covered, ingress = taken
+            if self._submit_write(
+                shard_id, items, block=block, covered=covered, ingress=ingress
+            ):
                 return
             # Shard backed up: coalesce into the outbox; later flushes (or
             # the cap) carry these items in one bigger batch.
             with self._route_lock:
                 restored = [items] if items.__class__ is WriteFrame else items
                 self._outbox[shard_id] = restored + self._outbox[shard_id]
+                if ingress is not None:
+                    current = self._outbox_ingress[shard_id]
+                    self._outbox_ingress[shard_id] = (
+                        ingress if current is None else min(current, ingress)
+                    )
                 self.writes_delivered -= len(items)
                 pending = _pending_count(self._outbox[shard_id])
             self.coalesced_flushes += 1
@@ -1128,11 +1280,20 @@ class EAGrServer:
                 taken = self._take_outbox(shard_id)
                 if taken is not None:
                     self._submit_write(
-                        shard_id, taken[0], block=True, covered=taken[1]
+                        shard_id,
+                        taken[0],
+                        block=True,
+                        covered=taken[1],
+                        ingress=taken[2],
                     )
 
     def _submit_write(
-        self, shard_id: int, items: List[Tuple], block: bool, covered: int = 0
+        self,
+        shard_id: int,
+        items: List[Tuple],
+        block: bool,
+        covered: int = 0,
+        ingress: Optional[float] = None,
     ) -> bool:
         """Number, redo-log, and enqueue one write batch (flush lock held).
 
@@ -1154,6 +1315,10 @@ class EAGrServer:
         if self.binary_frames and items.__class__ is list:
             frame = WriteFrame.from_items(items)
             if frame is not None:
+                # Packed here (not at the door: e.g. the producer let
+                # the server assign timestamps), so the outbox's oldest
+                # ingress stamp attaches here too.
+                frame.ingress = ingress
                 items = frame
         batch_no = self._batch_no[shard_id] + 1
         self._batch_no[shard_id] = batch_no
@@ -1175,22 +1340,33 @@ class EAGrServer:
 
     def _take_outbox(
         self, shard_id: int
-    ) -> Optional[Tuple[List[Tuple], int]]:
+    ) -> Optional[Tuple[List[Tuple], int, Optional[float]]]:
         """Pop a shard's outbox (caller holds that shard's flush lock).
 
-        Returns ``(items, covered)`` where ``covered`` is the WAL accept
-        seq the pop observed: every accepted round up to it that touched
-        this shard is in ``items`` — which is exactly what a ``B`` record
-        needs to reconstruct the batch from ``W`` records on recovery.
+        Returns ``(items, covered, ingress)`` where ``covered`` is the
+        WAL accept seq the pop observed: every accepted round up to it
+        that touched this shard is in ``items`` — which is exactly what a
+        ``B`` record needs to reconstruct the batch from ``W`` records on
+        recovery.  ``ingress`` is the oldest ingress stamp of the popped
+        writes (``None`` when un-metered); a frame payload absorbs it
+        directly, a list payload carries it to ``_submit_write``'s pack.
         """
         with self._route_lock:
             items = self._outbox[shard_id]
             if not items:
                 return None
             self._outbox[shard_id] = []
+            ingress = self._outbox_ingress[shard_id]
+            self._outbox_ingress[shard_id] = None
             payload = _merge_segments(items)
+            if payload.__class__ is WriteFrame:
+                stamps = [
+                    s for s in (payload.ingress, ingress) if s is not None
+                ]
+                payload.ingress = min(stamps) if stamps else None
+                ingress = payload.ingress
             self.writes_delivered += len(payload)
-            return payload, self._wal_seq
+            return payload, self._wal_seq, ingress
 
     def flush(self) -> None:
         """Force every outbox into its shard queue (blocking on full queues)."""
@@ -1754,6 +1930,11 @@ class EAGrServer:
                 ex.submit((OP_SUBSCRIBE, self._next_seq(), subscriber, watch_nodes))
             replayed = 0
             for batch_no, items in self._write_log[shard_id]:
+                if items.__class__ is WriteFrame:
+                    # A redo replay is not a fresh write: its re-derived
+                    # notifications must not report time-since-original-
+                    # ingress as write→notify latency.
+                    items.ingress = None
                 ex.submit((OP_WRITE, self._next_seq(), batch_no, items))
                 replayed += 1
             ex.flush_bell()
@@ -1833,9 +2014,138 @@ class EAGrServer:
             if ring is not None:
                 ring.unlink()
                 self._rings[shard_id] = None
+        for shard_id, slab in enumerate(self._metric_slabs):
+            if slab is not None:
+                slab.close()
+                slab.unlink()
+                self._metric_slabs[shard_id] = None
         for spec in self.specs:
             if spec.shm is not None:
                 unlink_segment(spec.shm["store"])
+
+    def _shard_metric_values(self, shard_id: int):
+        """One shard's flat metric value array, by the cheapest route:
+        shm slab scrape (zero IPC, no worker perturbation) > in-process
+        host registry (direct read) > an ``OP_STATS`` round trip (the
+        queue-transport fallback — the only route that costs a control
+        message).  ``None`` when the shard cannot be scraped (dead
+        worker, metrics off shard-side)."""
+        slab = self._metric_slabs[shard_id]
+        if slab is not None:
+            try:
+                return slab.scrape()
+            except Exception:  # noqa: BLE001 - scrape must never raise
+                return None
+        ex = self._executors[shard_id]
+        host = getattr(ex, "host", None)
+        if host is not None:
+            try:
+                return host.metrics_values()
+            except Exception:  # noqa: BLE001
+                return None
+        if not ex.alive():
+            return None
+        try:
+            stats = self._await([self._submit_call(shard_id, OP_STATS)])[0]
+        except ServeError:
+            return None
+        return stats.get("metrics_values")
+
+    def metrics(self, include_buckets: bool = False) -> Dict[str, Any]:
+        """Structured metrics snapshot — the metrics plane's API surface.
+
+        Sections: ``server`` (front-end registry: route/WAL/write→notify
+        histograms plus delivery counters), ``shard_io``/``codec_mix``
+        (per-shard and summed frame-codec counters), ``shards`` (each
+        shard's registry, scraped zero-IPC from its shared-memory slab on
+        the shm transport), ``rings`` (ingress-ring occupancy),
+        ``journal`` (notification-log occupancy and capacity evictions),
+        ``wal`` (size and append/fsync counts) and ``slow_ops`` (the
+        bounded structured event ring).  Shard-keyed sections are dicts
+        keyed by the shard id as a string, which the Prometheus exporter
+        turns into a ``shard=...`` label.  With ``include_buckets`` each
+        histogram summary also carries its raw bucket counts.
+
+        Safe to call concurrently with writes: scrapes are seqlock-
+        consistent and never block either party.
+        """
+        server = dict(self._registry.snapshot(include_buckets))
+        server.update(
+            writes_sent=self.writes_sent,
+            writes_delivered=self.writes_delivered,
+            notifications_delivered=self.notifications_delivered,
+            notifications_replayed=self.notifications_replayed,
+            notifications_suppressed=self.notifications_suppressed,
+            coalesced_flushes=self.coalesced_flushes,
+            restarts=self.restarts,
+            replayed_batches=self.replayed_batches,
+            recovered_batches=self.recovered_batches,
+            shm_reads=self.shm_reads,
+        )
+        shard_io: Dict[str, Dict[str, int]] = {}
+        codec_mix: Dict[str, int] = {}
+        for shard_id in range(self.num_shards):
+            row = {**self._executors[shard_id].io, **self._egress[shard_id]}
+            shard_io[str(shard_id)] = row
+            for key, value in row.items():
+                codec_mix[key] = codec_mix.get(key, 0) + value
+        shards: Dict[str, Dict[str, Any]] = {}
+        rings: Dict[str, Dict[str, Any]] = {}
+        if self.metrics_enabled and not self._closed:
+            with self._scrape_lock:
+                for shard_id in range(self.num_shards):
+                    values = self._shard_metric_values(shard_id)
+                    if values is None:
+                        continue
+                    try:
+                        self._shard_schema.load_values(values)
+                    except ValueError:
+                        continue  # schema drift: skip, don't lie
+                    shards[str(shard_id)] = self._shard_schema.snapshot(
+                        include_buckets
+                    )
+            for shard_id, ring in enumerate(self._rings):
+                if ring is not None:
+                    try:
+                        rings[str(shard_id)] = ring.depth_stats()
+                    except Exception:  # noqa: BLE001 - ring closed mid-scrape
+                        pass
+        with self._subs_lock:
+            states = list(self._subs.values())
+        journal = {
+            "subscribers": len(states),
+            "entries": sum(len(state.journal) for state in states),
+            "notes": sum(state.journal.note_count for state in states),
+            "evictions": sum(state.journal.evictions for state in states),
+        }
+        wal = self._wal
+        wal_section = {
+            "enabled": wal is not None,
+            "total_bytes": wal.total_bytes() if wal is not None else 0,
+            "appends": wal.appends if wal is not None else 0,
+            "fsyncs": wal.fsyncs if wal is not None else 0,
+        }
+        return {
+            "enabled": self.metrics_enabled,
+            "server": server,
+            "shard_io": shard_io,
+            "codec_mix": codec_mix,
+            "shards": shards,
+            "rings": rings,
+            "journal": journal,
+            "wal": wal_section,
+            "slow_ops": self.slow_ops.snapshot(),
+        }
+
+    def metrics_http(self, host: str = "127.0.0.1", port: int = 0):
+        """Start a stdlib HTTP endpoint serving ``GET /metrics`` as
+        Prometheus text exposition of :meth:`metrics`.  Returns the
+        endpoint handle (``.port`` — useful with ``port=0`` — and
+        ``.shutdown()``).  Entirely optional; nothing is started unless
+        this is called."""
+        from repro.obs import serve_metrics_http
+
+        return serve_metrics_http(self, host=host, port=port)
 
     def server_stats(self) -> Dict[str, Any]:
         """Front-end operational snapshot (complements per-shard
@@ -1845,6 +2155,8 @@ class EAGrServer:
         write cost — plus transport counters (zero-copy reads served,
         coalesced flushes, restarts).
 
+        A compatibility view over :meth:`metrics` — every counter here is
+        sourced from the same snapshot, so the two never disagree.
         ``shard_io`` reports, per shard, what the frame codec chose on
         each hot path: ingress bytes and binary-vs-pickle write-frame
         counts (from the shard's executor), egress notification bytes
@@ -1852,15 +2164,15 @@ class EAGrServer:
         threads).  ``codec_mix`` is the same, summed over shards — on a
         steady-state columnar workload with ``binary_frames`` on,
         ``write_frames_pickle`` and ``notes_pickle`` stay at zero.
+        ``write_notify_latency`` is the end-to-end write→notify latency
+        summary (count/sum/p50/p95/p99 in seconds) measured from
+        ``write_batch`` ingress to subscriber-queue delivery through the
+        full shm + binary-frame path; with metrics off (or on the pickle
+        codec, which carries no ingress stamps) it reports zeros —
+        present and finite either way.
         """
-        shard_io = [
-            {**self._executors[shard_id].io, **self._egress[shard_id]}
-            for shard_id in range(self.num_shards)
-        ]
-        codec_mix: Dict[str, int] = {}
-        for row in shard_io:
-            for key, value in row.items():
-                codec_mix[key] = codec_mix.get(key, 0) + value
+        m = self.metrics()
+        server = m["server"]
         return {
             "num_shards": self.num_shards,
             "executor": self.executor_kind,
@@ -1875,12 +2187,17 @@ class EAGrServer:
             "coalesced_flushes": self.coalesced_flushes,
             "restarts": self.restarts,
             "replayed_batches": self.replayed_batches,
-            "wal": self._wal is not None,
-            "wal_bytes": self._wal.total_bytes() if self._wal else 0,
+            "wal": m["wal"]["enabled"],
+            "wal_bytes": m["wal"]["total_bytes"],
             "recovered_batches": self.recovered_batches,
             "binary_frames": self.binary_frames,
-            "shard_io": shard_io,
-            "codec_mix": codec_mix,
+            "shard_io": [
+                m["shard_io"][str(shard_id)]
+                for shard_id in range(self.num_shards)
+            ],
+            "codec_mix": m["codec_mix"],
+            "metrics_enabled": m["enabled"],
+            "write_notify_latency": server["srv_write_notify_seconds"],
         }
 
     def __enter__(self) -> "EAGrServer":

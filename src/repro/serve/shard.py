@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import copy
 import pickle
+from time import monotonic as _monotonic
 from typing import Any, Dict, FrozenSet, Hashable, List, Optional, Tuple
 
 from repro.core.query import EgoQuery
@@ -118,6 +119,12 @@ class ShardSpec:
         row per changed ego; subscriber fan-out happens front-side)
         whenever the batch's egos/values pass the packing gate; the
         per-subscriber notice list stays the fallback.
+    metrics:
+        Whether the shard keeps a live metrics registry (apply/recompute
+        histograms, engine op seconds — see ``repro.obs``).  With the shm
+        transport the worker additionally publishes the registry into the
+        front-end-named metrics slab (``spec.shm["metrics"]``) after each
+        applied group, so the front-end scrapes it with zero IPC.
     """
 
     def __init__(
@@ -134,6 +141,7 @@ class ShardSpec:
         shm: Optional[Dict[str, str]] = None,
         merge_after: int = 0,
         binary_notices: bool = False,
+        metrics: bool = True,
     ) -> None:
         self.graph = graph
         # The user's predicate is already folded into ``readers`` by the
@@ -158,6 +166,7 @@ class ShardSpec:
         self.shm = shm
         self.merge_after = merge_after
         self.binary_notices = binary_notices
+        self.metrics = metrics
 
     def with_checkpoint(
         self, checkpoint: Optional[ShardCheckpoint]
@@ -222,6 +231,15 @@ class ShardHost:
             **spec.engine_kwargs,
         )
         self._binary_notices = bool(getattr(spec, "binary_notices", False))
+        # -- observability (repro.obs): a local slot-backed registry.
+        # Disabled registries hand out shared no-op metrics, so the
+        # metrics-off hot path pays one truthy check per batch.
+        from repro.obs import MetricsRegistry, declare_shard_metrics
+
+        self._metrics_on = bool(getattr(spec, "metrics", True))
+        self.metrics_registry = MetricsRegistry(enabled=self._metrics_on)
+        self.metrics = declare_shard_metrics(self.metrics_registry)
+        self.engine.runtime.op_timing = self._metrics_on
         #: ego -> subscribers watching it (dict-as-ordered-set).
         self.watchers: Dict[NodeId, Dict[Hashable, None]] = {}
         #: ego -> last value delivered (or baselined at subscribe time).
@@ -332,48 +350,74 @@ class ShardHost:
         if batch_no is not None and batch_no <= self.applied_through:
             return 0, []
         engine = self.engine
+        metered = self._metrics_on
+        if metered:
+            # Recompiles swap the runtime instance; keep its op-timing
+            # flag in lockstep (one attribute store per batch).
+            engine.runtime.op_timing = True
+            t0 = _monotonic()
         count = self._guarded(engine.write_batch, items)
+        if metered:
+            t1 = _monotonic()
+            self.metrics["shard_apply_seconds"].observe(t1 - t0)
+            self.metrics["shard_batches_applied"].inc()
+            self.metrics["shard_writes_applied"].inc(count)
         if batch_no is not None:
             self.applied_through = batch_no
         self.batches += 1
-        watchers = self.watchers
-        if not watchers:
-            # Nobody is listening: consume the pending changed-writer set
-            # (keeping it bounded) without compiling reader closures.
-            engine.runtime.pop_changed_writers()
-            return count, []
-        stamp, changed = engine.changed_report()
-        candidates = [node for node in changed if node in watchers]
-        if not candidates:
-            return count, []
-        pairs: List[Tuple[NodeId, Any]] = []
-        baseline = self.baseline
-        for node, value in zip(
-            candidates, self._guarded(engine.read_batch, candidates)
-        ):
-            if value == baseline.get(node, _MISSING):
-                continue
-            baseline[node] = value
-            pairs.append((node, value))
-        if not pairs:
-            return count, []
-        if self._binary_notices:
-            frame = self._change_frame(pairs, stamp)
-            if frame is not None:
-                self.notices_emitted += len(frame)
-                return count, frame
-        notices: List[Tuple[Hashable, NodeId, Any, int]] = []
-        for node, value in pairs:
-            for subscriber in watchers[node]:
-                notices.append((subscriber, node, value, stamp))
-        self.notices_emitted += len(notices)
-        return count, notices
+        ingress = getattr(items, "ingress", None)
+        try:
+            watchers = self.watchers
+            if not watchers:
+                # Nobody is listening: consume the pending changed-writer set
+                # (keeping it bounded) without compiling reader closures.
+                engine.runtime.pop_changed_writers()
+                return count, []
+            stamp, changed = engine.changed_report()
+            candidates = [node for node in changed if node in watchers]
+            if not candidates:
+                return count, []
+            pairs: List[Tuple[NodeId, Any]] = []
+            baseline = self.baseline
+            for node, value in zip(
+                candidates, self._guarded(engine.read_batch, candidates)
+            ):
+                if value == baseline.get(node, _MISSING):
+                    continue
+                baseline[node] = value
+                pairs.append((node, value))
+            if not pairs:
+                return count, []
+            if self._binary_notices:
+                frame = self._change_frame(pairs, stamp, ingress)
+                if frame is not None:
+                    self.notices_emitted += len(frame)
+                    if metered:
+                        self.metrics["shard_notices_emitted"].inc(len(frame))
+                    return count, frame
+            notices: List[Tuple[Hashable, NodeId, Any, int]] = []
+            for node, value in pairs:
+                for subscriber in watchers[node]:
+                    notices.append((subscriber, node, value, stamp))
+            self.notices_emitted += len(notices)
+            if metered:
+                self.metrics["shard_notices_emitted"].inc(len(notices))
+            return count, notices
+        finally:
+            if metered:
+                # Everything after the scatter — change diffing, the
+                # filtering re-read, notice/frame packing — is recompute
+                # + egress work.
+                self.metrics["shard_recompute_seconds"].observe(_monotonic() - t1)
 
     @staticmethod
-    def _change_frame(pairs: List[Tuple[NodeId, Any]], stamp: int):
+    def _change_frame(
+        pairs: List[Tuple[NodeId, Any]], stamp: int, ingress: Optional[float] = None
+    ):
         """Pack changed ``(ego, value)`` pairs, or ``None`` to fall back
         (same lossless gate as the ingress frames: int egos, float
-        values)."""
+        values).  ``ingress`` rides along so the front-end can close the
+        write→notify latency loop."""
         np = _frames._np
         if np is None:
             return None
@@ -384,7 +428,7 @@ class ShardHost:
         values = np.fromiter(
             (p[1] for p in pairs), dtype=np.float64, count=len(pairs)
         )
-        return _frames.ChangeFrame(egos, values, stamp)
+        return _frames.ChangeFrame(egos, values, stamp, ingress=ingress)
 
     def apply_write_group(
         self, group: List[Tuple[Optional[int], List[Tuple]]]
@@ -414,6 +458,7 @@ class ShardHost:
         # objects); mixed groups materialize into a plain list.
         merged = _frames.merge_items([items for _batch_no, items in live])
         self.engine.runtime.stamp += len(live) - 1
+        self.metrics["shard_groups_merged"].inc()
         return self.apply_write_batch(live[-1][0], merged)
 
     def subscribe(
@@ -474,6 +519,18 @@ class ShardHost:
             for node, handle in overlay.reader_of.items()
         }
 
+    def metrics_values(self):
+        """The registry's flat value array, engine gauges refreshed.
+
+        This is what the shm worker publishes into its metrics slab and
+        what ``stats()`` carries for the queue transport — one schema
+        (``repro.obs.schema.SHARD_METRICS``) either way.
+        """
+        counters = self.engine.counters
+        self.metrics["shard_engine_write_seconds"].set(counters.write_seconds)
+        self.metrics["shard_engine_read_seconds"].set(counters.read_seconds)
+        return self.metrics_registry.values_snapshot()
+
     def stats(self) -> Dict[str, Any]:
         """Operational snapshot (counters, backend, registry sizes)."""
         counters = self.engine.counters
@@ -488,6 +545,11 @@ class ShardHost:
             "watched_egos": len(self.watchers),
             "notices_emitted": self.notices_emitted,
             "value_store_backend": self.engine.value_store_backend,
+            # Same flat layout as the shm slab (SHARD_METRICS schema):
+            # the queue transport's shard-metrics carrier.
+            "metrics_values": (
+                list(self.metrics_values()) if self._metrics_on else None
+            ),
         }
 
     # ------------------------------------------------------------------
@@ -620,6 +682,24 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
     ring = ShmRing(ring_name, create=False)
     host = spec.build()
     runtime = host.engine.runtime
+    # Metrics slab: front-end-created segment this worker bulk-publishes
+    # its registry values into after every applied group (and before
+    # parking), so the front-end scrapes shard metrics with zero IPC.
+    slab = None
+    slab_name = (spec.shm or {}).get("metrics")
+    if slab_name is not None and host._metrics_on:
+        from repro.obs import MetricsSlab
+
+        try:
+            slab = MetricsSlab.attach(slab_name, host.metrics_registry.n_slots)
+        except Exception:
+            slab = None  # scrape degrades to OP_STATS; never kill the worker
+    metrics = host.metrics
+
+    def publish_metrics():
+        if slab is not None:
+            slab.publish(host.metrics_values())
+
     # The published watermark is *processed-through*, not applied-through:
     # it advances past failed (R_ERR) and replay-skipped batches too.  Its
     # one consumer is the front-end's read barrier, and a batch that was
@@ -643,8 +723,11 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
             ring.set_waiting(True)
             frame = ring.try_pop()
             if frame is None:
+                metrics["shard_parks"].inc()
+                publish_metrics()  # idle worker: keep the scrape fresh
                 try:
                     if doorbell.poll(0.5):
+                        metrics["shard_doorbell_wakeups"].inc()
                         while doorbell.poll(0):  # swallow queued rings
                             doorbell.recv_bytes()
                 except (EOFError, OSError):
@@ -695,6 +778,7 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
                 if last_no is not None and last_no > processed:
                     processed = last_no
                 ring.publish_applied(processed, runtime.stamp)
+                publish_metrics()
                 if reply[0] == R_ERR or reply[3]:
                     replies.put(reply)
                 if follow_up is None:
@@ -711,6 +795,7 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
             if batch_no is not None and batch_no > processed:
                 processed = batch_no
             ring.publish_applied(processed, runtime.stamp)
+            publish_metrics()
             if reply[0] == R_WRITE and not reply[3]:
                 continue  # watermark published; empty ack saved
             replies.put(reply)
@@ -726,4 +811,6 @@ def shard_worker_shm(spec: ShardSpec, ring_name: str, replies, doorbell) -> None
     store_close = getattr(host.engine.runtime.values, "close", None)
     if store_close is not None:
         store_close()
+    if slab is not None:
+        slab.close()
     ring.close()

@@ -144,6 +144,24 @@ class ShmRing:
         """
         return self._load(_SLOT_PUSHED) - self._load(_SLOT_POPPED)
 
+    def depth_stats(self) -> dict:
+        """One-shot occupancy snapshot for the metrics plane.
+
+        Reads only header slots — no lock, no effect on either party.
+        The fields may be mutually torn by a concurrent push/pop; each is
+        individually consistent, which is all a gauge needs.
+        """
+        pushed = self._load(_SLOT_PUSHED)
+        popped = self._load(_SLOT_POPPED)
+        return {
+            "depth_frames": pushed - popped,
+            "depth_bytes": self._load(_SLOT_TAIL) - self._load(_SLOT_HEAD),
+            "capacity_bytes": self.capacity,
+            "pushed": pushed,
+            "popped": popped,
+            "consumer_waiting": self._load(_SLOT_WAITING) != 0,
+        }
+
     def set_waiting(self, waiting: bool) -> None:
         """Consumer side: announce (before blocking on the doorbell) or
         retract the about-to-park state.  The consumer must re-check the

@@ -98,6 +98,7 @@ import pickle
 import struct
 import threading
 import zlib
+from time import monotonic as _monotonic
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
 from repro.core.statestore import WriteFrame
@@ -340,6 +341,11 @@ class WriteAheadLog:
         The durability contract in PERFORMANCE.md spells this out.
     faults:
         Disk-fault injection plan (tests only); see module docstring.
+    metrics:
+        Optional dict of metric objects from the server's registry:
+        ``append`` / ``fsync`` (latency histograms with an ``observe``
+        method) and ``bytes`` (a gauge with ``set``, tracking total log
+        bytes).  Absent keys — or ``None`` — leave the path untimed.
     """
 
     def __init__(
@@ -350,12 +356,17 @@ class WriteAheadLog:
         compact_min_bytes: int = 1 << 20,
         fsync: bool = True,
         faults: Optional[Dict[str, Any]] = None,
+        metrics: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.directory = directory
         self.segment_bytes = segment_bytes
         self.compact_min_bytes = compact_min_bytes
         self._fsync_enabled = fsync
         self.faults = dict(faults or {})
+        metrics = metrics or {}
+        self._m_append = metrics.get("append")
+        self._m_fsync = metrics.get("fsync")
+        self._m_bytes = metrics.get("bytes")
         self._appends = 0
         self._fsyncs = 0
         self._poisoned: Optional[str] = None
@@ -468,6 +479,7 @@ class WriteAheadLog:
         ``sync=True`` — or call :meth:`sync` after a group of appends —
         to force it to stable storage before acknowledging anything.
         """
+        t0 = _monotonic() if self._m_append is not None else 0.0
         with self._lock:
             self._check_usable()
             self.state.fold(record)
@@ -490,6 +502,10 @@ class WriteAheadLog:
                 self._sync_locked()
             if self._tail_bytes >= self.segment_bytes:
                 self._rotate_locked()
+            if self._m_append is not None:
+                self._m_append.observe(_monotonic() - t0)
+            if self._m_bytes is not None:
+                self._m_bytes.set(self._base_bytes + self._tail_bytes)
 
     def sync(self) -> None:
         """Force every accepted append to stable storage (fsync)."""
@@ -503,10 +519,13 @@ class WriteAheadLog:
             return
         self._fsyncs += 1
         fail_at = self.faults.get("fsync_error_after")
+        t0 = _monotonic() if self._m_fsync is not None else 0.0
         try:
             if fail_at is not None and self._fsyncs >= fail_at:
                 raise OSError(5, "injected fsync failure")
             os.fsync(self._file.fileno())
+            if self._m_fsync is not None:
+                self._m_fsync.observe(_monotonic() - t0)
         except OSError as error:
             # Fail-stop: a log that cannot promise durability must stop
             # accepting writes, not degrade silently.
@@ -531,6 +550,16 @@ class WriteAheadLog:
 
     def total_bytes(self) -> int:
         return self._base_bytes + self._tail_bytes
+
+    @property
+    def appends(self) -> int:
+        """Records appended this process lifetime (not recovered ones)."""
+        return self._appends
+
+    @property
+    def fsyncs(self) -> int:
+        """fsync calls issued this process lifetime."""
+        return self._fsyncs
 
     def maybe_compact(self, force: bool = False) -> bool:
         """Checkpoint-gated compaction: fold the whole log into one
