@@ -21,7 +21,13 @@ Run:  python examples/live_feed_server.py            (2 shard processes)
           configuration the CI smoke job boots.  Also performs a real
           kill -9: a sacrificial child process ingests against a WAL and
           is SIGKILLed mid-stream; the cold restart must recover every
-          acknowledged batch and resume the subscription gap-free.)
+          acknowledged batch and resume the subscription gap-free.
+          Finishes with a TCP round trip through a GatewayServer.)
+      python examples/live_feed_server.py --listen 127.0.0.1:7432
+          (stand up the deployment behind a network gateway and serve
+          until Ctrl-C; any machine that can reach the port talks to it
+          with ``repro.serve.EAGrClient`` — write_batch / read_batch /
+          subscribe with resume tokens.  Port 0 picks a free port.)
 """
 
 import math
@@ -36,7 +42,7 @@ import time
 
 from repro import EAGrEngine, EgoQuery, Neighborhood, Sum, TupleWindow
 from repro.graph.generators import social_graph
-from repro.serve import EAGrServer, ReplicaServer
+from repro.serve import EAGrClient, EAGrServer, GatewayServer, ReplicaServer
 from repro.workload import WorkloadSpec, generate_events
 
 BATCH_SIZE = 128
@@ -167,6 +173,45 @@ def kill9_round_trip():
 
 
 # ---------------------------------------------------------------------------
+# network gateway mode
+# ---------------------------------------------------------------------------
+
+def listen(spec: str) -> None:
+    """Stand up the feed deployment behind a TCP gateway and serve until
+    interrupted.  ``spec`` is ``host:port`` (port 0 picks a free one)."""
+    host, _, port = spec.rpartition(":")
+    graph = social_graph(num_nodes=400, edges_per_node=6, seed=3)
+    query = EgoQuery(
+        aggregate=Sum(),
+        window=TupleWindow(2),
+        neighborhood=Neighborhood.in_neighbors(),
+    )
+    with EAGrServer(
+        graph, query, num_shards=2, executor="process", **ENGINE_OPTS
+    ) as server:
+        gateway = GatewayServer(server, host or "127.0.0.1", int(port or 0))
+        bound_host, bound_port = gateway.start()
+        print(server.describe())
+        print(f"gateway listening on {bound_host}:{bound_port}")
+        print(
+            "connect with:\n"
+            "  from repro.serve import EAGrClient\n"
+            f"  client = EAGrClient({bound_host!r}, {bound_port}, "
+            "client_id='me')\n"
+            "  client.write_batch([(node, value, timestamp), ...])\n"
+            "  stream = client.subscribe([ego, ...])  # .get() / .poll()\n"
+            "Ctrl-C to stop."
+        )
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down")
+        finally:
+            gateway.close()
+
+
+# ---------------------------------------------------------------------------
 # the main demo
 # ---------------------------------------------------------------------------
 
@@ -174,6 +219,9 @@ def main(argv) -> None:
     if "--sacrifice" in argv:
         sacrifice(argv[argv.index("--sacrifice") + 1])
         return  # unreachable: sacrifice() ends in SIGKILL
+    if "--listen" in argv:
+        listen(argv[argv.index("--listen") + 1])
+        return
 
     smoke = "--smoke" in argv
     stats_interval = 0.0
@@ -304,6 +352,30 @@ def main(argv) -> None:
                 ), "resume replay is not the contiguous missed suffix"
                 print(f"resumed from stamp {last_seen}: {len(got)} "
                       "notifications replayed, stream gap-free")
+                # The TCP edge: the same deployment behind a gateway,
+                # driven by a real client over localhost.
+                gateway = GatewayServer(server)
+                gw_host, gw_port = gateway.start()
+                try:
+                    with EAGrClient(
+                        gw_host, gw_port, client_id="smoke-client"
+                    ) as client:
+                        assert client.read_batch(nodes[:6]) == (
+                            server.read_batch(nodes[:6])
+                        ), "gateway reads diverged from in-process reads"
+                        stream = client.subscribe(nodes)
+                        client.write_batch([(nodes[1], 777.0, 20_000.0)])
+                        server.drain()
+                        note = stream.get(timeout=15.0)
+                        assert note is not None, (
+                            "no notification arrived over TCP"
+                        )
+                        assert note.subscriber == "smoke-client"
+                    print(f"gateway round-trip OK: TCP client on port "
+                          f"{gw_port} read, wrote and streamed "
+                          f"(first stamp {note.stamp})")
+                finally:
+                    gateway.close()
     finally:
         shutil.rmtree(wal_dir, ignore_errors=True)
 

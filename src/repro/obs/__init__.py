@@ -39,7 +39,12 @@ from .registry import (
     percentile_from_buckets,
 )
 from .slab import MetricsSlab
-from .schema import SHARD_METRICS, declare_shard_metrics
+from .schema import (
+    GATEWAY_METRICS,
+    SHARD_METRICS,
+    declare_gateway_metrics,
+    declare_shard_metrics,
+)
 from .exporter import MetricsExporter, serve_metrics_http
 
 __all__ = [
@@ -48,9 +53,11 @@ __all__ = [
     "MetricsSlab",
     "MetricsExporter",
     "SlowOpLog",
+    "GATEWAY_METRICS",
     "SHARD_METRICS",
     "bucket_bounds_us",
     "bucket_index",
+    "declare_gateway_metrics",
     "declare_shard_metrics",
     "percentile_from_buckets",
     "serve_metrics_http",

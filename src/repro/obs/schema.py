@@ -28,6 +28,27 @@ SHARD_METRICS = (
     ("shard_engine_read_seconds", KIND_GAUGE),
 )
 
+#: (name, kind) of the network gateway's connection/stream metrics.
+#: Declared on the *front-end* registry (the gateway lives in the same
+#: process as the EAGrServer it fronts), so they surface in
+#: ``server.metrics()["server"]`` and the Prometheus exposition without
+#: any new scrape path.  Same append-only discipline as SHARD_METRICS.
+GATEWAY_METRICS = (
+    ("gw_connections_opened", KIND_COUNTER),
+    ("gw_connections_active", KIND_GAUGE),
+    ("gw_streams_active", KIND_GAUGE),
+    ("gw_frames_in", KIND_COUNTER),
+    ("gw_frames_out", KIND_COUNTER),
+    ("gw_bytes_in", KIND_COUNTER),
+    ("gw_bytes_out", KIND_COUNTER),
+    ("gw_notes_sent", KIND_COUNTER),
+    ("gw_stream_pauses", KIND_COUNTER),
+    ("gw_stream_resumes", KIND_COUNTER),
+    ("gw_resume_gaps", KIND_COUNTER),
+    ("gw_protocol_errors", KIND_COUNTER),
+    ("gw_send_seconds", KIND_HISTOGRAM),
+)
+
 _REGISTRARS = {
     KIND_COUNTER: lambda reg, name: reg.counter(name),
     KIND_GAUGE: lambda reg, name: reg.gauge(name),
@@ -39,5 +60,18 @@ def declare_shard_metrics(registry):
     """Register the shard schema on ``registry``; return ``{name: metric}``."""
     out = {}
     for name, kind in SHARD_METRICS:
+        out[name] = _REGISTRARS[kind](registry, name)
+    return out
+
+
+def declare_gateway_metrics(registry):
+    """Register the gateway schema on ``registry``; return ``{name: metric}``.
+
+    Idempotent per registry (re-registration returns the same metric
+    objects), so a second :class:`~repro.serve.gateway.GatewayServer`
+    attached to the same front-end shares the counters.
+    """
+    out = {}
+    for name, kind in GATEWAY_METRICS:
         out[name] = _REGISTRARS[kind](registry, name)
     return out

@@ -16,6 +16,13 @@ serving tier:
 * :mod:`~repro.serve.executors` — where a shard runs: in a worker
   **process** (``multiprocessing`` spawn, true multi-core) or in-process
   (deterministic, for tests and CI smoke).
+* :mod:`~repro.serve.gateway` / :mod:`~repro.serve.client` — the network
+  edge: :class:`~repro.serve.gateway.GatewayServer` multiplexes many TCP
+  clients onto one front-end over a length-prefixed binary protocol
+  (write batches travel as the same ``K_WRITE`` frames the shm ingress
+  ring carries), with per-connection flow control mapped onto the
+  journals; :class:`~repro.serve.client.EAGrClient` is the blocking
+  client, :class:`~repro.serve.client.AsyncEAGrClient` the asyncio one.
 * :mod:`~repro.serve.journal` — per-subscriber durable notification logs:
   bounded rings, optionally disk-backed, that make subscriptions
   resumable.
@@ -73,7 +80,9 @@ N-th batch), seeded operation schedules, and condition-based waits — see
 its module docstring for how to script a crash.
 """
 
+from repro.serve.client import AsyncEAGrClient, EAGrClient, GatewayClosed
 from repro.serve.executors import InProcessShardExecutor, ProcessShardExecutor
+from repro.serve.gateway import GatewayError, GatewayServer
 from repro.serve.journal import NotificationLog, ResumeGapError
 from repro.serve.messages import Notification, ShardCheckpoint
 from repro.serve.replica import ReplicaServer, ReplicaError, StaleReadError
@@ -82,7 +91,12 @@ from repro.serve.shard import ShardHost, ShardSpec
 from repro.serve.wal import WalError, WalLockedError, WriteAheadLog
 
 __all__ = [
+    "AsyncEAGrClient",
+    "EAGrClient",
     "EAGrServer",
+    "GatewayClosed",
+    "GatewayError",
+    "GatewayServer",
     "InProcessShardExecutor",
     "Notification",
     "NotificationLog",

@@ -104,6 +104,13 @@ class InProcessShardExecutor:
         self._host = spec.build()
         self._on_reply = on_reply
         self.io = _io_counters()
+        # The queue transports serialize requests through the worker's
+        # single-threaded loop; synchronous execution must provide the
+        # same contract explicitly, or concurrent front-end callers
+        # (e.g. the gateway's call pool) interleave inside the shard
+        # host and corrupt its unguarded state.  RLock: a reply hook
+        # re-entering submit on the same thread must not self-deadlock.
+        self._lock = threading.RLock()
         self._stopped = False
         self._crashed = False
         faults = spec.faults or {}
@@ -121,36 +128,38 @@ class InProcessShardExecutor:
 
     def try_submit(self, request: Tuple) -> bool:
         """Execute immediately; refuses only when the shard has crashed."""
-        if self._crashed:
-            return False
-        self.submit(request)
-        return True
+        with self._lock:
+            if self._crashed:
+                return False
+            self.submit(request)
+            return True
 
     def submit(self, request: Tuple) -> None:
-        if self._crashed:
-            raise RuntimeError(f"shard {self.shard_id} worker died")
-        if self._stopped:
-            raise RuntimeError(f"shard {self.shard_id} executor is stopped")
-        _tally_request(self.io, request)
-        if request[0] == OP_WRITE:
-            self._writes_seen += 1
+        with self._lock:
+            if self._crashed:
+                raise RuntimeError(f"shard {self.shard_id} worker died")
+            if self._stopped:
+                raise RuntimeError(f"shard {self.shard_id} executor is stopped")
+            _tally_request(self.io, request)
+            if request[0] == OP_WRITE:
+                self._writes_seen += 1
+                if (
+                    self._exit_before is not None
+                    and self._writes_seen >= self._exit_before
+                ):
+                    self.kill()  # batch received, never applied
+                    return
+            reply = self._host.handle(request)
             if (
-                self._exit_before is not None
-                and self._writes_seen >= self._exit_before
+                request[0] == OP_WRITE
+                and self._exit_after is not None
+                and self._writes_seen >= self._exit_after
             ):
-                self.kill()  # batch received, never applied
+                self.kill()  # batch applied, reply lost
                 return
-        reply = self._host.handle(request)
-        if (
-            request[0] == OP_WRITE
-            and self._exit_after is not None
-            and self._writes_seen >= self._exit_after
-        ):
-            self.kill()  # batch applied, reply lost
-            return
-        if reply[0] == R_STOPPED:
-            self._stopped = True
-        self._on_reply(reply)
+            if reply[0] == R_STOPPED:
+                self._stopped = True
+            self._on_reply(reply)
 
     def stop(self, seq: int, timeout: float = 10.0) -> None:
         """Acknowledge a stop request (idempotent)."""

@@ -48,6 +48,28 @@ from repro.serve.messages import OP_WRITE, Notification
 K_PICKLE = 0
 K_WRITE = 1
 
+# -- gateway control kinds (first byte of a TCP wire payload) ----------------
+# The network gateway (:mod:`repro.serve.gateway`) speaks length-prefixed
+# frames whose payloads reuse this codec: ``K_WRITE``/``K_PICKLE`` carry
+# write batches exactly as the ring does (the request id rides the header's
+# ``seq`` slot), and the kinds below carry the control plane.  Control
+# bodies are pickled tuples — the gateway is a trusted-perimeter edge (same
+# trust domain as the shard transports), not an internet-facing protocol.
+K_HELLO = 2  # client -> gateway: (request_id, client_id)
+K_SUBSCRIBE = 3  # client -> gateway: (request_id, subscriber, nodes, resume_from)
+K_ACK = 4  # client -> gateway: (request_id, subscriber, stamp)
+K_ERROR = 5  # gateway -> client: (request_id, error_kind, message, subscriber)
+K_OK = 6  # gateway -> client: (request_id, result)
+K_READ = 7  # client -> gateway: (request_id, nodes)
+K_NOTES = 8  # gateway -> client: (subscriber, NoteFrame | Notification)
+
+#: Every wire frame is ``uint32 LE payload length | payload``.
+LENGTH_PREFIX = struct.Struct("<I")
+
+#: Sanity bound on a single wire frame (a corrupt or hostile length
+#: prefix must not trigger a giant allocation).
+MAX_FRAME_BYTES = 1 << 26
+
 _K_PICKLE_BYTE = bytes([K_PICKLE])
 
 #: Header of a ``K_WRITE`` payload: kind, 7 pad bytes, seq, batch_no
@@ -107,6 +129,27 @@ def decode(payload: bytes) -> Any:
         frame = WriteFrame(records, ingress=None if ingress == 0.0 else ingress)
         return (OP_WRITE, seq, None if batch_no < 0 else batch_no, frame)
     return pickle.loads(memoryview(payload)[1:])
+
+
+# ---------------------------------------------------------------------------
+# gateway control-frame codec
+# ---------------------------------------------------------------------------
+
+
+def encode_control(kind: int, body: Any) -> bytes:
+    """Pack one gateway control frame: kind byte + pickled body tuple."""
+    return bytes([kind]) + pickle.dumps(body, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_control(payload: bytes) -> Any:
+    """The body tuple of a control payload (the kind byte is stripped;
+    dispatch on ``payload[0]`` before calling this)."""
+    return pickle.loads(memoryview(payload)[1:])
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    """One complete wire frame: length prefix + payload."""
+    return LENGTH_PREFIX.pack(len(payload)) + payload
 
 
 # ---------------------------------------------------------------------------

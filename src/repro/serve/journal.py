@@ -178,6 +178,14 @@ class NotificationLog:
         return len(self._entries)
 
     @property
+    def resumable_from(self) -> int:
+        """The oldest ``resume_from`` that :meth:`replay` accepts — the
+        eviction horizon.  A client holding a token ``>= resumable_from``
+        (and ``<= last_stamp``) can reconnect gap-free; anything older
+        raises :class:`ResumeGapError` and must re-baseline."""
+        return self.evicted_through
+
+    @property
     def note_count(self) -> int:
         """Retained notifications (what :attr:`capacity` bounds)."""
         return self._note_total

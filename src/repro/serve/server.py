@@ -202,16 +202,38 @@ class Subscription:
         self._queue: "_queue.Queue[Any]" = _queue.Queue()
         #: notifications materialized from a partially-consumed frame.
         self._buffer: List[Notification] = []
+        #: Optional zero-argument callable fired (from the delivery
+        #: thread, outside any blocking wait) after each item lands in
+        #: the queue.  The network gateway points this at its event
+        #: loop so an async pump can sleep on an event instead of
+        #: burning a thread per subscription.  Exceptions are swallowed:
+        #: a dying hook must never take the reply drainer down with it.
+        self.on_delivery: Optional[Callable[[], None]] = None
 
     def get(self, timeout: Optional[float] = None) -> Optional[Notification]:
         """Next notification, blocking up to ``timeout`` (``None``: forever);
-        returns ``None`` on timeout."""
+        returns ``None`` on timeout.
+
+        The deadline is absolute, computed once on entry: however many
+        internal waits servicing the call takes, it returns no later
+        than ``timeout`` seconds after it started — a wait can never be
+        extended by wakeups that yield nothing.
+        """
         if self._buffer:
             return self._buffer.pop(0)
-        try:
-            item = self._queue.get(timeout=timeout)
-        except _queue.Empty:
-            return None
+        deadline = None if timeout is None else _time.monotonic() + timeout
+        while True:
+            if deadline is None:
+                remaining = None
+            else:
+                remaining = deadline - _time.monotonic()
+                if remaining <= 0:
+                    return None
+            try:
+                item = self._queue.get(timeout=remaining)
+                break
+            except _queue.Empty:
+                return None
         if item.__class__ is NoteFrame:
             notes = item.notifications()
             self._buffer.extend(notes[1:])
@@ -553,6 +575,13 @@ class EAGrServer:
         #: latest checkpoint per shard (restart baseline).
         self._checkpoints: Dict[int, ShardCheckpoint] = {}
         self._flush_failed: set = set()
+        #: Fail-stop marker, mirroring the WAL's fsync poisoning: the
+        #: first background-flush failure records its reason here and
+        #: every later ``write_batch`` refuses instead of ack'ing writes
+        #: that would silently join an undeliverable backlog ("acked ⇒
+        #: durable" must hold even without a WAL).  ``restart_shard``
+        #: clears it once no shard remains flush-failed.
+        self._poisoned: Optional[str] = None
         #: monotone id of the last accepted write round logged to the WAL.
         self._wal_seq = 0
         self.recovered_batches = 0
@@ -872,10 +901,21 @@ class EAGrServer:
                 try:
                     self._flush_shard(shard_id, block=False)
                     self._executors[shard_id].flush_bell()
-                except Exception:  # noqa: BLE001 - surfaced via drain/close
+                except Exception as exc:  # noqa: BLE001 - surfaced via drain/close
                     # One dead shard must not disable retries for the
                     # healthy ones; stop touching it, keep flushing the rest.
+                    # But the *server* must stop accepting: a write_batch
+                    # that succeed-acks after this point would pile writes
+                    # behind a flush that can never happen, so the first
+                    # failure poisons acceptance (write_batch raises) the
+                    # same way a WAL fsync failure does.  restart_shard()
+                    # is the recovery path.
                     failed.add(shard_id)
+                    if self._poisoned is None:
+                        self._poisoned = (
+                            f"shard {shard_id}: background flush failed "
+                            f"({type(exc).__name__}: {exc})"
+                        )
                     self._async_errors.append(
                         f"shard {shard_id}: background flush failed"
                     )
@@ -953,6 +993,12 @@ class EAGrServer:
                 state.journal.append(note)
                 if state.queue is not None:
                     state.queue.put(note)
+                    hook = state.subscription.on_delivery
+                    if hook is not None:
+                        try:
+                            hook()
+                        except Exception:  # noqa: BLE001 - see on_delivery
+                            pass
                 self.notifications_delivered += 1
                 self._egress[shard_id]["notes_pickle"] += 1
 
@@ -1024,6 +1070,12 @@ class EAGrServer:
                 state.journal.append(note_frame)
                 if state.queue is not None:
                     state.queue.put(note_frame)
+                    hook = state.subscription.on_delivery
+                    if hook is not None:
+                        try:
+                            hook()
+                        except Exception:  # noqa: BLE001 - see on_delivery
+                            pass
                 self.notifications_delivered += len(sub_egos)
                 egress["notes_binary"] += len(sub_egos)
                 egress["egress_bytes"] += note_frame.nbytes
@@ -1142,8 +1194,21 @@ class EAGrServer:
         multicast into the outboxes of every shard whose readers need its
         writer.  Outboxes flush without blocking; a backed-up shard's
         writes coalesce until :attr:`coalesce_max` forces backpressure.
+
+        ``writes`` is a sequence of ``(node, value, timestamp)`` items or
+        a pre-packed :class:`~repro.core.statestore.WriteFrame` (the
+        network gateway hands the decoded wire frame straight through).
+
+        Raises :class:`ServeError` without accepting anything once a
+        background flush has failed (see :meth:`restart_shard`): a batch
+        acknowledged after that point could never be delivered.
         """
         self._check_open()
+        if self._poisoned is not None:
+            raise ServeError(
+                f"server poisoned by a flush failure ({self._poisoned}); "
+                "restart_shard() the failed shard to resume accepting"
+            )
         metered = self.metrics_enabled
         t0 = _time.monotonic() if metered else 0.0
         writer_shards = self.writer_shards
@@ -1160,7 +1225,19 @@ class EAGrServer:
         # writers, unpackable items and exotic key spaces fall through
         # to the per-item loop with identical semantics.
         parts = frame = None
-        if self.binary_frames and writes.__class__ is list:
+        if writes.__class__ is WriteFrame:
+            # A pre-packed batch (the network gateway hands the decoded
+            # wire frame straight through).  Routed columnar on the
+            # binary plane; unpacked to triples when the plane is off or
+            # the batch needs the per-item (multicast) path.
+            if self.binary_frames and len(writes):
+                frame = writes
+                if metered:
+                    frame.ingress = t0
+                parts = self._route_frame(frame)
+            if parts is None:
+                writes = writes.tolist()
+        elif self.binary_frames and writes.__class__ is list:
             frame = WriteFrame.from_items(writes)
             if frame is not None:
                 if metered:
@@ -1429,7 +1506,18 @@ class EAGrServer:
 
     def _wait_applied(self, shard_id: int) -> None:
         """Block until the shard's applied watermark covers every batch
-        this front-end has submitted to it (shm transport)."""
+        this front-end has submitted to it (shm transport).
+
+        The wait is bounded two ways, so a worker that dies between the
+        caller's liveness check and the watermark publication can never
+        hang this thread: every spin iteration re-checks worker liveness
+        (fail fast with :class:`ServeError`, not the reply timeout), and
+        an absolute deadline of ``reply_timeout`` catches a live-but-
+        wedged worker.  Death is confirmed against the watermark once
+        more before raising — a worker that applied the final batch and
+        *then* exited left complete columns behind, and reads from them
+        are correct.
+        """
         ring = self._rings[shard_id]
         target = self._batch_no[shard_id]
         self._executors[shard_id].flush_bell()
@@ -1438,6 +1526,8 @@ class EAGrServer:
         deadline = _time.monotonic() + self._reply_timeout
         while ring.applied() < target:
             if not self._executors[shard_id].alive():
+                if ring.applied() >= target:
+                    return  # applied everything, then exited: columns complete
                 raise ServeError(
                     f"shard {shard_id}: worker died before applying "
                     f"batch {target}"
@@ -1700,6 +1790,25 @@ class EAGrServer:
             state.queue = None
             return state.stamp
 
+    def last_stamp(self, subscriber: Hashable) -> int:
+        """The last notification stamp assigned to ``subscriber`` (0 for
+        unknown subscribers).  A fully caught-up client holds exactly
+        this value as its resume token; the gateway reports it in
+        subscribe replies so reconnect cursors start from truth rather
+        than from whatever the client last saw."""
+        with self._subs_lock:
+            state = self._subs.get(subscriber)
+            return 0 if state is None else state.stamp
+
+    def resume_horizon(self, subscriber: Hashable) -> int:
+        """The oldest stamp a ``resume_from`` may name without raising
+        :class:`~repro.serve.journal.ResumeGapError` — the subscriber's
+        journal horizon (``evicted_through``).  0 for unknown
+        subscribers (everything is resumable)."""
+        with self._subs_lock:
+            state = self._subs.get(subscriber)
+            return 0 if state is None else state.journal.resumable_from
+
     def ack(self, subscriber: Hashable, stamp: int) -> int:
         """Acknowledge delivery through ``stamp``: the journal drops that
         prefix (freeing resume-window space) and a later ``resume_from``
@@ -1917,6 +2026,10 @@ class EAGrServer:
             ex = self._make_shard_executor(spec)
             self._executors[shard_id] = ex
             self._flush_failed.discard(shard_id)
+            if not self._flush_failed:
+                # Every flush-failed shard has been rebuilt: acceptance
+                # may resume (the un-poison mirror of _flush_loop).
+                self._poisoned = None
             with self._subs_lock:
                 rearm = [
                     (

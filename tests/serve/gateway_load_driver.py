@@ -1,0 +1,158 @@
+"""Subprocess driver for the gateway's 1000-subscription acceptance test.
+
+Run as ``python gateway_load_driver.py <config.json>`` against a live
+gateway.  The config names the address, the graph's node ids, and the
+fleet shape (``connections`` x ``subs_per_conn``).  The driver is a
+*real remote client*: it opens that many TCP connections from its own
+process, subscribes one stream per subscriber, drives write waves
+through the gateway itself, force-drops one connection mid-stream, and
+resumes its streams on a fresh connection with their resume tokens.
+
+It prints exactly one JSON line on success::
+
+    {"ok": true, "subscriptions": N, "notes": M, "resumed": K, ...}
+
+and exits non-zero (traceback on stderr) on any gap, duplicate, or
+timeout — the parent test only has to parse the line and assert.
+"""
+
+import asyncio
+import json
+import sys
+import time
+
+
+async def drain(stream, want, timeout):
+    """Collect exactly ``want`` notifications or die trying."""
+    out = []
+    deadline = time.monotonic() + timeout
+    while len(out) < want:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise AssertionError(
+                f"{stream.subscriber}: {len(out)}/{want} notes in {timeout}s"
+            )
+        note = await stream.get(timeout=min(remaining, 1.0))
+        if note is not None:
+            out.append(note)
+    return out
+
+
+def mark(label, t0):
+    print(f"[driver] {label}: {time.monotonic() - t0:.1f}s", file=sys.stderr)
+    return time.monotonic()
+
+
+async def main(cfg):
+    from repro.serve.client import AsyncEAGrClient
+
+    t0 = time.monotonic()
+    host, port = cfg["host"], cfg["port"]
+    nodes = cfg["nodes"]
+    # Watch targets may be a subset of the write targets: an ego with no
+    # in-edges never aggregates anything, so subscribing to it would wait
+    # forever by (correct) design.  The test passes only notifiable egos.
+    sub_nodes = cfg.get("sub_nodes", nodes)
+    n_conns = cfg["connections"]
+    per_conn = cfg["subs_per_conn"]
+    waves1, waves2 = cfg["waves_before"], cfg["waves_after"]
+
+    clients = []
+    for i in range(n_conns):
+        client = AsyncEAGrClient(host, port, client_id=f"conn{i}")
+        await client.connect()
+        clients.append(client)
+
+    t0 = mark("connect", t0)
+    streams = {}  # subscriber -> (client_index, stream)
+    for i, client in enumerate(clients):
+        for j in range(per_conn):
+            subscriber = f"s{i}-{j}"
+            node = sub_nodes[(i * per_conn + j) % len(sub_nodes)]
+            stream = await client.subscribe(
+                [node], subscriber=subscriber, auto_ack=False
+            )
+            streams[subscriber] = (i, stream)
+    n_subs = len(streams)
+    t0 = mark(f"subscribe x{n_subs}", t0)
+
+    writer = AsyncEAGrClient(host, port, client_id="load-writer")
+    await writer.connect()
+    value = 0.0
+    for _wave in range(waves1):
+        value += 1.0
+        await writer.write_batch([(n, value, value) for n in nodes])
+
+    t0 = mark("write wave 1", t0)
+    # every subscriber watches one ego whose value changed every wave
+    collected = {}
+    results = await asyncio.gather(
+        *(drain(stream, waves1, cfg["timeout"]) for _i, stream in streams.values())
+    )
+    t0 = mark("drain wave 1", t0)
+    for (subscriber, (_i, _stream)), notes in zip(streams.items(), results):
+        stamps = [n.stamp for n in notes]
+        assert stamps == list(range(1, waves1 + 1)), (subscriber, stamps)
+        collected[subscriber] = notes
+
+    # --- forced disconnect: cut connection 0 without a goodbye ---------
+    victims = {
+        subscriber: stream
+        for subscriber, (i, stream) in streams.items()
+        if i == 0
+    }
+    tokens = {sub: st.resume_token for sub, st in victims.items()}
+    clients[0].drop()
+
+    replacement = AsyncEAGrClient(host, port, client_id="conn0r")
+    await replacement.connect()
+    resumed = {}
+    for subscriber, token in tokens.items():
+        resumed[subscriber] = await replacement.subscribe(
+            subscriber=subscriber, resume_from=token, auto_ack=False
+        )
+
+    for _wave in range(waves2):
+        value += 1.0
+        await writer.write_batch([(n, value, value) for n in nodes])
+
+    survivors = {
+        subscriber: stream
+        for subscriber, (i, stream) in streams.items()
+        if i != 0
+    }
+    t0 = mark("disconnect + resume + wave 2", t0)
+    results = await asyncio.gather(
+        *(drain(s, waves2, cfg["timeout"]) for s in survivors.values()),
+        *(drain(s, waves2, cfg["timeout"]) for s in resumed.values()),
+    )
+    mark("drain wave 2", t0)
+    total = waves1 + waves2
+    for subscriber, notes in zip(
+        list(survivors) + list(resumed), results
+    ):
+        stamps = [n.stamp for n in collected[subscriber]] + [
+            n.stamp for n in notes
+        ]
+        # gap-free, duplicate-free across the forced disconnect
+        assert stamps == list(range(1, total + 1)), (subscriber, stamps)
+
+    notes_total = sum(len(v) for v in collected.values()) + sum(
+        len(r) for r in results
+    )
+    for client in clients[1:] + [writer, replacement]:
+        await client.close()
+    return {
+        "ok": True,
+        "subscriptions": n_subs,
+        "connections": n_conns + 2,
+        "notes": notes_total,
+        "resumed": len(resumed),
+    }
+
+
+if __name__ == "__main__":
+    with open(sys.argv[1]) as fh:
+        config = json.load(fh)
+    result = asyncio.run(main(config))
+    print(json.dumps(result))

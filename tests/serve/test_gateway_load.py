@@ -1,0 +1,81 @@
+"""The gateway's scale acceptance test: 1000 live TCP subscriptions.
+
+A separate client process (``gateway_load_driver.py``) opens 100 real
+TCP connections x 10 subscribers each against one gateway, drives write
+waves through it, force-drops a connection mid-stream, and resumes its
+streams with their tokens — asserting per-subscriber stamp contiguity
+(no gap, no duplicate) across the cut.  The parent only hosts the
+deployment and parses the driver's one-line JSON verdict.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.core.aggregates import Sum
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.graph.generators import random_graph
+from repro.serve import EAGrServer, GatewayServer
+
+from tests.serve.faultlib import deadline
+
+DRIVER = os.path.join(os.path.dirname(__file__), "gateway_load_driver.py")
+
+
+def test_thousand_concurrent_subscriptions(tmp_path):
+    graph = random_graph(60, 300, seed=7)
+    query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+    server = EAGrServer(
+        graph, query, num_shards=2, executor="inprocess",
+        overlay_algorithm="vnm_a", journal_capacity=50_000,
+    )
+    gateway = GatewayServer(server, max_inflight_bytes=1 << 22)
+    host, port = gateway.start()
+    try:
+        # Writes go to every node; subscriptions only to egos that can
+        # actually notify.  Edges are directed (N(x) = {y | y -> x}), so
+        # an in-degree-0 ego holds the identity value forever — watching
+        # one would (correctly) wait for a notification that can never
+        # arrive.
+        nodes = list(graph.nodes())
+        notifiable = [n for n in nodes if graph.in_degree(n) > 0]
+        config = {
+            "host": host,
+            "port": port,
+            "nodes": nodes,
+            "sub_nodes": notifiable,
+            "connections": 100,
+            "subs_per_conn": 10,
+            "waves_before": 3,
+            "waves_after": 3,
+            "timeout": 120.0,
+        }
+        config_path = tmp_path / "load.json"
+        config_path.write_text(json.dumps(config))
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(DRIVER), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        # Re-arm the suite watchdog: 1000 real TCP subscriptions on a
+        # loaded CI box can exceed the 120s default without being hung.
+        with deadline(420.0, "gateway 1000-subscription load"):
+            proc = subprocess.run(
+                [sys.executable, DRIVER, str(config_path)],
+                capture_output=True, text=True, timeout=400, env=env,
+            )
+        assert proc.returncode == 0, (
+            f"driver failed\nstdout: {proc.stdout[-2000:]}\n"
+            f"stderr: {proc.stderr[-4000:]}"
+        )
+        verdict = json.loads(proc.stdout.strip().splitlines()[-1])
+        assert verdict["ok"] is True
+        assert verdict["subscriptions"] >= 1000
+        assert verdict["resumed"] == 10
+        assert verdict["notes"] >= 1000 * 6
+        snap = server.metrics()["server"]
+        assert snap["gw_connections_opened"] >= 102
+        assert snap["gw_notes_sent"] >= 6000
+    finally:
+        gateway.close()
+        server.close()

@@ -454,3 +454,190 @@ class TestIntrospection:
             assert sum(server.shard_sizes()) == len(server.reader_shard)
             assert server.replication_factor >= 1.0
             assert "EAGrServer" in server.describe()
+
+
+class TestSubscriptionGetDeadline:
+    def test_never_notified_get_returns_none_within_bound(self):
+        """``get(timeout=...)`` on a subscription that is never notified
+        must return ``None`` no later than its absolute deadline."""
+        import time
+
+        graph = paper_figure1()
+        with make_server(graph, EgoQuery(aggregate=Sum())) as server:
+            sub = server.subscribe("quiet", ["a"])
+            t0 = time.monotonic()
+            assert sub.get(timeout=0.4) is None
+            elapsed = time.monotonic() - t0
+            assert 0.35 <= elapsed < 2.0, elapsed
+
+    def test_zero_and_negative_timeouts_do_not_block(self):
+        import time
+
+        graph = paper_figure1()
+        with make_server(graph, EgoQuery(aggregate=Sum())) as server:
+            sub = server.subscribe("quiet", ["a"])
+            t0 = time.monotonic()
+            assert sub.get(timeout=0.0) is None
+            assert sub.get(timeout=-1.0) is None
+            assert time.monotonic() - t0 < 1.0
+
+
+class TestFlushFailurePoisonsServer:
+    """An acked write must be durable: the first *background* flush
+    failure has to stop ``write_batch`` from succeed-acking further
+    batches (the same contract as a WAL fsync failure), until
+    ``restart_shard`` recovers the shard."""
+
+    def test_flush_failure_blocks_later_acks_until_restart(self):
+        import time
+
+        from tests.serve.faultlib import wait_until
+
+        graph = random_graph(20, 80, seed=95)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        server = make_server(graph, query, num_shards=2)
+        try:
+            nodes = list(graph.nodes())
+            ex = server._executors[0]
+            original = ex.try_submit
+            # Step 1: park a batch in shard 0's outbox (refused submit).
+            ex.try_submit = lambda request: False
+            server.write_batch([(n, 1.0) for n in nodes])
+            assert server._outbox[0]
+            # Step 2: the flush retry hits a hard failure, not a refusal.
+            def explode(request):
+                raise OSError("injected: shard transport broken")
+
+            ex.try_submit = explode
+            wait_until(
+                lambda: server._poisoned is not None,
+                desc="flush failure poisons the server",
+            )
+            # Step 3: no write may succeed-ack behind the failed flush.
+            with pytest.raises(ServeError, match="poisoned"):
+                server.write_batch([(nodes[0], 2.0)])
+            with pytest.raises(ServeError):
+                server.drain()
+            # Step 4: restart_shard is the recovery path: it replays the
+            # redo log, clears the failure, and acceptance resumes.
+            ex.try_submit = original
+            server.restart_shard(0)
+            assert server._poisoned is None
+            server.write_batch([(nodes[0], 3.0)])
+            server.drain()
+            assert server.read(nodes[0]) is not None
+        finally:
+            server.close()
+
+    def test_poison_is_first_failure_wins_across_shards(self):
+        from tests.serve.faultlib import wait_until
+
+        graph = random_graph(20, 80, seed=96)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        server = make_server(graph, query, num_shards=2)
+        try:
+            nodes = list(graph.nodes())
+            for shard_id in (0, 1):
+                ex = server._executors[shard_id]
+                ex.try_submit = lambda request: False
+            server.write_batch([(n, 1.0) for n in nodes])
+            for shard_id in (0, 1):
+                def explode(request):
+                    raise OSError("injected")
+
+                server._executors[shard_id].try_submit = explode
+            wait_until(
+                lambda: server._flush_failed == {0, 1},
+                desc="both shards marked failed",
+            )
+            # recovery of only one shard keeps the server poisoned
+            server.restart_shard(0)
+            assert server._poisoned is not None
+            with pytest.raises(ServeError, match="poisoned"):
+                server.write_batch([(nodes[0], 2.0)])
+            server.restart_shard(1)
+            assert server._poisoned is None
+            server.write_batch([(nodes[0], 2.0)])
+            # the injected failures are still on record; one drain
+            # surfaces and consumes them, after which the barrier is clean
+            with pytest.raises(ServeError):
+                server.drain()
+            server.drain()
+        finally:
+            server.close()
+
+
+class TestInProcessSerialization:
+    """The synchronous executor must honor the worker-loop contract.
+
+    The queue transports serialize every shard request through a
+    single-threaded loop; ``InProcessShardExecutor`` runs requests on
+    the *calling* thread instead, so concurrent front-end callers (the
+    gateway's call pool is the first real one) would interleave inside
+    the shard host's unguarded engine state without an explicit lock.
+    """
+
+    def test_concurrent_control_calls_never_overlap_in_host(self):
+        import threading
+        import time
+        from concurrent.futures import ThreadPoolExecutor as Pool
+
+        graph = random_graph(40, 200, seed=11)
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        server = EAGrServer(
+            graph, query, num_shards=2, executor="inprocess",
+            overlay_algorithm="vnm_a",
+        )
+        try:
+            nodes = list(graph.nodes())
+            notifiable = [n for n in nodes if graph.in_degree(n) > 0]
+            guard = threading.Lock()
+            overlaps = []
+
+            def instrument(host):
+                # Serialization is per shard: two shards may (and do)
+                # run concurrently, but no two requests may interleave
+                # inside one host.
+                orig = host.handle
+                overlap = {"active": 0, "max": 0}
+                overlaps.append(overlap)
+
+                def spy(request):
+                    with guard:
+                        overlap["active"] += 1
+                        overlap["max"] = max(
+                            overlap["max"], overlap["active"]
+                        )
+                    try:
+                        time.sleep(0.001)  # widen any unserialized window
+                        return orig(request)
+                    finally:
+                        with guard:
+                            overlap["active"] -= 1
+
+                host.handle = spy
+
+            for shard_id in range(server.num_shards):
+                instrument(server._executors[shard_id].host)
+
+            def hammer(i):
+                node = notifiable[i % len(notifiable)]
+                server.subscribe(f"c{i}", [node])
+                return server.read_batch([node])
+
+            with Pool(max_workers=8) as pool:
+                list(pool.map(hammer, range(64)))
+            server.write_batch([(n, 5.0, 5.0) for n in nodes])
+            server.drain()
+
+            for shard_id, overlap in enumerate(overlaps):
+                assert overlap["max"] == 1, (
+                    f"{overlap['max']} threads interleaved inside "
+                    f"shard {shard_id}'s host"
+                )
+            # every subscriber's watched ego changed once: one delivery each
+            for i in range(64):
+                sub = server._subs[f"c{i}"]
+                assert sub.stamp == 1, (f"c{i}", sub.stamp)
+        finally:
+            server.close()

@@ -9,10 +9,12 @@ close, survival across shard restarts) and the resource-tracker warning
 discipline under ``-W error::UserWarning``.
 """
 
+import contextlib
 import os
 import pickle
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -29,6 +31,7 @@ from tests.serve.faultlib import (
     assert_no_segments,
     collect,
     disarm,
+    kill_shard,
     shm_segment_names,
     wait_dead,
 )
@@ -580,3 +583,80 @@ class TestBinaryDataPlane:
             # the pre-disconnect suffix replays with its original values
             for note in seen[len(seen) // 2 + 1 :]:
                 assert replayed[stamps.index(note.stamp)] == note
+
+
+class TestWaitAppliedLiveness:
+    """``_wait_applied`` (the shm read path's watermark wait) must never
+    outlive its worker: a death mid-wait fails fast with ServeError, far
+    inside ``reply_timeout``, and a worker that applied everything
+    before exiting still serves the completed columns."""
+
+    def test_dead_worker_fails_fast_not_at_reply_timeout(self):
+        graph = random_graph(18, 60, seed=61)
+        server = EAGrServer(
+            graph, make_query(), num_shards=1, executor="process",
+            overlay_algorithm="vnm_a", reply_timeout=60.0,
+        )
+        try:
+            assert server.transport == "shm"
+            nodes = list(graph.nodes())
+            server.write_batch([(n, 1.0) for n in nodes])
+            server.drain()
+            # Simulate a submitted-but-never-applied batch, then kill the
+            # worker mid-wait: the liveness check must end the spin long
+            # before the 60s reply deadline would.
+            kill_shard(server, 0)
+            server._batch_no[0] += 1
+            start = time.monotonic()
+            with pytest.raises(ServeError, match="died before applying"):
+                server._wait_applied(0)
+            assert time.monotonic() - start < 10.0
+            server._batch_no[0] -= 1
+        finally:
+            with contextlib.suppress(ServeError):
+                server.close()
+
+    def test_applied_then_exited_columns_still_serve(self):
+        graph = random_graph(18, 60, seed=62)
+        server = EAGrServer(
+            graph, make_query(), num_shards=1, executor="process",
+            overlay_algorithm="vnm_a", reply_timeout=60.0,
+        )
+        try:
+            nodes = list(graph.nodes())
+            server.write_batch([(n, 4.0) for n in nodes])
+            server.drain()  # watermark covers every batch
+            kill_shard(server, 0)
+            # target already applied: the wait is a no-op even though the
+            # worker is gone
+            server._wait_applied(0)
+        finally:
+            with contextlib.suppress(ServeError):
+                server.close()
+
+    def test_kill_point_mid_write_read_raises_promptly(self):
+        """End to end: the worker dies on *receiving* a batch; a read
+        behind that batch surfaces ServeError promptly instead of
+        hanging toward the reply timeout."""
+        graph = random_graph(18, 60, seed=63)
+        server = EAGrServer(
+            graph, make_query(), num_shards=1, executor="process",
+            overlay_algorithm="vnm_a", reply_timeout=60.0,
+        )
+        try:
+            nodes = list(graph.nodes())
+            server.write_batch([(n, 1.0) for n in nodes])
+            server.drain()
+            arm_kill_point(server, 0, before=1)
+            server.write_batch([(nodes[0], 9.0)])
+            wait_dead(server, 0)
+            start = time.monotonic()
+            # the shm fast path raises ServeError from _wait_applied; a
+            # death noticed before the wait falls back to the queue path,
+            # whose executor raises RuntimeError — both are prompt
+            with pytest.raises((ServeError, RuntimeError)):
+                server.read_batch(nodes)
+            assert time.monotonic() - start < 20.0
+        finally:
+            with contextlib.suppress(ServeError):
+                server.close()
