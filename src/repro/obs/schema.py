@@ -26,6 +26,10 @@ SHARD_METRICS = (
     ("shard_doorbell_wakeups", KIND_COUNTER),
     ("shard_engine_write_seconds", KIND_GAUGE),
     ("shard_engine_read_seconds", KIND_GAUGE),
+    # Windowed load gauges (refreshed by the host when scraped/published
+    # at least 50 ms apart): the rebalance policy's skew inputs.
+    ("shard_busy_fraction", KIND_GAUGE),
+    ("shard_applied_eps", KIND_GAUGE),
 )
 
 #: (name, kind) of the network gateway's connection/stream metrics.

@@ -86,6 +86,12 @@ from repro.serve.gateway import GatewayError, GatewayServer
 from repro.serve.journal import NotificationLog, ResumeGapError
 from repro.serve.messages import Notification, ShardCheckpoint
 from repro.serve.replica import ReplicaServer, ReplicaError, StaleReadError
+from repro.serve.reshard import (
+    RebalancePolicy,
+    ReshardPlan,
+    plan_from_assignment,
+    propose_rebalance,
+)
 from repro.serve.server import EAGrServer, ServeError, Subscription
 from repro.serve.shard import ShardHost, ShardSpec
 from repro.serve.wal import WalError, WalLockedError, WriteAheadLog
@@ -101,8 +107,10 @@ __all__ = [
     "Notification",
     "NotificationLog",
     "ProcessShardExecutor",
+    "RebalancePolicy",
     "ReplicaError",
     "ReplicaServer",
+    "ReshardPlan",
     "ResumeGapError",
     "ServeError",
     "ShardCheckpoint",
@@ -113,4 +121,6 @@ __all__ = [
     "WalError",
     "WalLockedError",
     "WriteAheadLog",
+    "plan_from_assignment",
+    "propose_rebalance",
 ]

@@ -105,6 +105,9 @@ class ReplicaServer:
         self._covered: Dict[int, int] = {}
         #: shard -> batch number voided by an ``RB`` (awaiting re-issue).
         self._rolled_back: Dict[int, int] = {}
+        self._last_seq = 0
+        self.partition_epoch = 0
+        self.reshards_applied = 0
         self.batches_applied = 0
         self.resets = 0
         self._closed = False
@@ -170,6 +173,8 @@ class ReplicaServer:
         }
         self._covered = dict(state.covered)
         self._rolled_back = {}
+        self._last_seq = state.wal_seq
+        self.partition_epoch = state.meta.get("partition_epoch", 0)
 
     def _consume(self, records: Sequence[Tuple]) -> None:
         """Apply a run of tailed records (caller holds the apply lock)."""
@@ -177,6 +182,7 @@ class ReplicaServer:
             kind = record[0]
             if kind == "W":
                 _k, seq, per_shard, _clock = record
+                self._last_seq = seq
                 for shard_id, items in per_shard.items():
                     self._rounds.setdefault(shard_id, []).append((seq, items))
             elif kind == "B":
@@ -221,6 +227,40 @@ class ReplicaServer:
                 self._rolled_back[shard_id] = batch_no
             elif kind == "C":
                 pass  # the replica applied those batches as they streamed
+            elif kind == "P":
+                # A live reshard on the primary: rebuild the affected
+                # shards from their synthetic post-splice checkpoints and
+                # replace their pending rounds with the re-routed residue
+                # — the same splice the primary performed, minus the
+                # subscriber machinery the replica never materializes.
+                _k, epoch, moves, checkpoints, pending = record
+                for node, dst in moves.items():
+                    self.reader_shard[node] = dst
+                shard_readers: Dict[int, set] = {
+                    shard_id: set() for shard_id in checkpoints
+                }
+                for node, shard_id in self.reader_shard.items():
+                    if shard_id in shard_readers:
+                        shard_readers[shard_id].add(node)
+                for shard_id, ck in checkpoints.items():
+                    spec = ShardSpec(
+                        self.graph,
+                        self.query,
+                        shard_id=shard_id,
+                        num_shards=self.num_shards,
+                        readers=frozenset(shard_readers[shard_id]),
+                        value_store=self._value_store,
+                        engine_kwargs=self._engine_kwargs,
+                        checkpoint=ck,
+                    )
+                    self._hosts[shard_id] = spec.build()
+                    items = pending.get(shard_id) or []
+                    self._rounds[shard_id] = (
+                        [(self._last_seq, items)] if items else []
+                    )
+                    self._rolled_back.pop(shard_id, None)
+                self.partition_epoch = epoch
+                self.reshards_applied += 1
             elif kind in ("S", "U"):
                 pass  # subscriptions are the primary's concern
             elif kind == "META":
@@ -365,6 +405,8 @@ class ReplicaServer:
             "lag_bytes": self.lag_bytes(),
             "watermark": self.watermark(),
             "snapshot_resets": self.resets,
+            "partition_epoch": self.partition_epoch,
+            "reshards_applied": self.reshards_applied,
         }
 
     def metrics(self, include_buckets: bool = False) -> Dict[str, Any]:

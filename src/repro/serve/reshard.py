@@ -1,0 +1,198 @@
+"""Reshard plans and the load-driven rebalance policy.
+
+:meth:`~repro.serve.server.EAGrServer.reshard` executes a
+:class:`ReshardPlan` — a pure description of which readers move where.
+This module is where plans come from:
+
+* :func:`plan_from_assignment` diffs the server's current partition
+  against a full target assignment (e.g. a fresh
+  :func:`~repro.core.partition.mincut_partition` computed from updated
+  write frequencies) — the "re-run the partitioner offline, apply the
+  delta live" workflow.
+* :func:`propose_rebalance` is the *online* policy: it consumes the
+  per-shard load the metrics plane already exports
+  (``server_stats()["shard_load"]``), and when one shard's busy
+  fraction has drifted far above the mean — the signature of a Zipf
+  hot-set migrating across the graph — it proposes moving a small,
+  writer-closed group of readers from the hottest shard to the
+  coldest.  Moving *writer closures* (a reader together with every
+  hot-shard reader that shares a writer with it) is what keeps the
+  migration from widening the multicast fan-out: a writer whose whole
+  local readership moves stops being replicated to the source shard.
+
+The policy proposes; it never executes.  ``EAGrServer.rebalance()``
+wires the two together (propose, then :meth:`reshard` if non-empty).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Sequence
+
+NodeId = Hashable
+
+
+@dataclass
+class ReshardPlan:
+    """A set of reader moves: ``{reader: destination shard}``.
+
+    ``kind`` tags how the plan was produced (``"migrate"``, ``"split"``,
+    ``"merge"`` or ``"assignment"``); ``reason`` is a human-readable
+    sentence for logs and bench output.  Both are advisory — only
+    ``moves`` affects execution.
+    """
+
+    moves: Dict[NodeId, int] = field(default_factory=dict)
+    kind: str = "migrate"
+    reason: str = ""
+
+    def __len__(self) -> int:
+        return len(self.moves)
+
+    def __bool__(self) -> bool:
+        return bool(self.moves)
+
+
+@dataclass
+class RebalancePolicy:
+    """Thresholds for :func:`propose_rebalance`.
+
+    skew_threshold:
+        Propose only when the hottest shard's busy fraction exceeds
+        this multiple of the mean busy fraction.
+    min_busy:
+        Absolute floor: below this busy fraction the server is idle
+        enough that skew is noise, not load.
+    max_move_fraction:
+        Never move more than this fraction of the hot shard's readers
+        in one plan (small steps; the policy runs repeatedly).
+    balance:
+        Never grow the destination beyond ``balance`` times the mean
+        shard size — the same bound the min-cut partitioner honours.
+    """
+
+    skew_threshold: float = 1.5
+    min_busy: float = 0.05
+    max_move_fraction: float = 0.25
+    balance: float = 1.25
+
+
+def plan_from_assignment(server, assignment) -> ReshardPlan:
+    """Diff a full target assignment against the server's partition.
+
+    ``assignment`` is anything with ``.get(node, default)`` semantics
+    mapping readers to shard ids (a dict, or the callable-with-``get``
+    returned by :func:`~repro.core.partition.mincut_assignment`).
+    Readers absent from the target stay where they are.
+    """
+    moves: Dict[NodeId, int] = {}
+    for node, current in server.reader_shard.items():
+        target = assignment.get(node, current)
+        if target != current and 0 <= target < server.num_shards:
+            moves[node] = target
+    return ReshardPlan(
+        moves=moves,
+        kind="assignment",
+        reason=f"target assignment differs on {len(moves)} readers",
+    )
+
+
+def _reader_weight(server, reader, write_freq) -> float:
+    """A reader's load proxy: summed write frequency of its writers."""
+    total = 0.0
+    for writer in server.query.neighborhood(server.graph, reader):
+        total += write_freq.get(writer, 1.0)
+    return total
+
+
+def propose_rebalance(
+    server,
+    policy: Optional[RebalancePolicy] = None,
+    write_freq: Optional[Dict[NodeId, float]] = None,
+    load: Optional[Sequence[Dict[str, Any]]] = None,
+) -> Optional[ReshardPlan]:
+    """Propose a hot→cold reader migration, or ``None`` when balanced.
+
+    ``load`` defaults to ``server.server_stats()["shard_load"]`` — the
+    windowed busy-fraction / apply-rate gauges the shard workers publish
+    through the metrics slab.  ``write_freq`` (observed or expected
+    per-writer write counts) orders the hot shard's readers so the plan
+    moves the load, not just the readers; without it every writer
+    weighs 1 and the plan falls back to moving the widest closures.
+    """
+    if policy is None:
+        policy = RebalancePolicy()
+    if load is None:
+        load = server.server_stats()["shard_load"]
+    if len(load) < 2:
+        return None
+    busy = {row["shard"]: float(row["busy_fraction"]) for row in load}
+    if max(busy.values()) <= 0.0:
+        # Busy gauges need a scrape window; fall back to apply rates.
+        busy = {row["shard"]: float(row["applied_eps"]) for row in load}
+    sizes = {row["shard"]: int(row["readers"]) for row in load}
+    hot = max(busy, key=lambda s: (busy[s], sizes[s]))
+    cold = min(busy, key=lambda s: (busy[s], -sizes[s]))
+    if hot == cold or sizes[hot] <= 1:
+        return None
+    mean_busy = sum(busy.values()) / len(busy)
+    if busy[hot] < policy.min_busy:
+        return None
+    if busy[hot] <= policy.skew_threshold * max(mean_busy, 1e-12):
+        return None
+
+    freq = write_freq or {}
+    hot_readers = sorted(
+        (node for node, sid in server.reader_shard.items() if sid == hot),
+        key=lambda n: (-_reader_weight(server, n, freq), repr(type(n)), repr(n)),
+    )
+    total_readers = len(server.reader_shard)
+    cap = max(1, int(policy.balance * total_readers / server.num_shards))
+    budget = min(
+        max(1, int(policy.max_move_fraction * len(hot_readers))),
+        cap - sizes[cold],
+    )
+    if budget <= 0:
+        return None
+
+    # Reverse map over the hot shard only (neighborhood is directional).
+    writer_readers: Dict[NodeId, List[NodeId]] = {}
+    for reader in hot_readers:
+        for writer in server.query.neighborhood(server.graph, reader):
+            writer_readers.setdefault(writer, []).append(reader)
+    moves: Dict[NodeId, int] = {}
+    for seed in hot_readers:
+        if seed in moves:
+            continue
+        # Writer closure of the seed within the hot shard: BFS over
+        # shared writers so no writer ends up multicast to both sides.
+        closure: List[NodeId] = [seed]
+        members = {seed}
+        frontier = [seed]
+        while frontier:
+            reader = frontier.pop()
+            for writer in server.query.neighborhood(server.graph, reader):
+                for other in writer_readers.get(writer, ()):
+                    if other not in members:
+                        members.add(other)
+                        closure.append(other)
+                        frontier.append(other)
+        if len(moves) + len(closure) > budget and moves:
+            break
+        if len(closure) >= len(hot_readers):
+            continue  # one giant component: splitting it widens the cut
+        for node in closure:
+            moves[node] = cold
+        if len(moves) >= budget:
+            break
+    if not moves:
+        return None
+    return ReshardPlan(
+        moves=moves,
+        kind="split" if sizes[cold] == 0 else "migrate",
+        reason=(
+            f"shard {hot} busy {busy[hot]:.3f} vs mean {mean_busy:.3f} "
+            f"(> {policy.skew_threshold}x); moving {len(moves)} readers "
+            f"to shard {cold}"
+        ),
+    )

@@ -489,20 +489,25 @@ class EAGrServer:
         self.transport = self._resolve_transport(transport, executor, query)
         self.binary_frames = self._resolve_binary(binary_frames)
 
-        # Reader-locality sharding by default: BFS-grown communities keep
-        # each neighborhood on one shard, so a write multicasts to fewer
-        # shards than under the stable hash (see ``replication_factor``).
-        # A WAL recovery reuses the *persisted* partition instead: every
-        # replayed (and future) write must route to the shard the dead
-        # epoch's batch numbering assumed, whatever the assignment
-        # algorithm would compute today.
+        # Balanced min-cut sharding by default: the writer→reader affinity
+        # graph is partitioned on the Section-4 max-flow machinery
+        # (``core.partition``), so a write multicasts to fewer shards than
+        # under either the stable hash or the BFS community heuristic (see
+        # ``replication_factor``).  A WAL recovery reuses the *persisted*
+        # partition instead: every replayed (and future) write must route
+        # to the shard the dead epoch's batch numbering assumed, whatever
+        # the assignment algorithm would compute today.
+        self.partition_epoch = 0
         if recovered is not None:
             self.assignment = recovered.meta.get("assignment", "recovered")
             self.reader_shard = dict(recovered.reader_shard)
+            self.partition_epoch = recovered.meta.get("partition_epoch", 0)
         else:
             if assign is None and num_shards > 1:
-                assign = community_assignment(graph, num_shards)
-                self.assignment = "community"
+                from repro.core.partition import mincut_assignment
+
+                assign = mincut_assignment(graph, query, num_shards)
+                self.assignment = "mincut"
             else:
                 self.assignment = "custom" if assign is not None else "single"
 
@@ -526,13 +531,26 @@ class EAGrServer:
             shard_readers[shard_id].add(node)
 
         # writer node -> shards whose readers aggregate it (multicast table).
-        routing: Dict[NodeId, Dict[int, None]] = {}
-        for reader, shard_id in self.reader_shard.items():
-            for writer in query.neighborhood(graph, reader):
-                routing.setdefault(writer, {})[shard_id] = None
-        self.writer_shards: Dict[NodeId, Tuple[int, ...]] = {
-            w: tuple(s) for w, s in routing.items()
-        }
+        self.writer_shards: Dict[NodeId, Tuple[int, ...]] = (
+            self._build_writer_shards(self.reader_shard)
+        )
+
+        # -- live resharding state ---------------------------------------
+        #: shards mid-migration: their non-blocking flushes park (the
+        #: producer never waits on a lock ``reshard`` holds) and their
+        #: auto-checkpoints defer.  Mutated under the route lock.
+        self._migrating: set = set()
+        #: serializes concurrent ``reshard``/``rebalance`` calls.
+        self._reshard_lock = threading.Lock()
+        #: test seam: ``{"pre_checkpoint"|"pre_swap"|"post_swap": fn}``
+        #: called at the named points inside :meth:`reshard` (the
+        #: crash-mid-migration schedules kill the process here).
+        self.reshard_faults: Dict[str, Callable[[], None]] = {}
+        #: (writes_sent, writes_delivered) at the last partition-epoch
+        #: change: the observed replication ratio is measured from here,
+        #: so a reshard resets it (satellite of the planned/observed split).
+        self._epoch_base = (0, 0)
+        self.reshards = 0
 
         # -- per-request bookkeeping (shared with drainer threads) -------
         self._seq = 0
@@ -805,6 +823,18 @@ class EAGrServer:
             queue_depth=self._queue_depth,
             mp_context=self._mp_context,
         )
+
+    def _build_writer_shards(
+        self, reader_shard: Dict[NodeId, int]
+    ) -> Dict[NodeId, Tuple[int, ...]]:
+        """Writer -> multicast shard tuple implied by ``reader_shard``."""
+        routing: Dict[NodeId, Dict[int, None]] = {}
+        neighborhood = self.query.neighborhood
+        graph = self.graph
+        for reader, shard_id in reader_shard.items():
+            for writer in neighborhood(graph, reader):
+                routing.setdefault(writer, {})[shard_id] = None
+        return {w: tuple(s) for w, s in routing.items()}
 
     def _recover_from_wal(self, recovered) -> None:
         """Finish a cold restart from the folded WAL state.
@@ -1306,9 +1336,14 @@ class EAGrServer:
             route_cost = _time.monotonic() - t0
             self._m_route.observe(route_cost)
             self.slow_ops.note("write_batch.route", route_cost, rows=count)
+        migrating = self._migrating
         for shard_id in touched:
+            if shard_id in migrating:
+                continue  # parked for the live migration; rerouted at swap
             self._flush_shard(shard_id, block=False)
         for shard_id in touched:
+            if shard_id in migrating:
+                continue
             # One doorbell per shard per multicast round, rung after every
             # push: workers wake to a ring already holding the whole round
             # instead of preempting the producer between shard pushes.
@@ -1324,6 +1359,7 @@ class EAGrServer:
                 shard_id
                 for shard_id in touched
                 if len(self._write_log[shard_id]) >= self._checkpoint_interval
+                and shard_id not in migrating
                 and self._executors[shard_id].alive()
             ]
             if due:
@@ -1331,7 +1367,20 @@ class EAGrServer:
         return count
 
     def _flush_shard(self, shard_id: int, block: bool) -> None:
-        with self._flush_locks[shard_id]:
+        lock = self._flush_locks[shard_id]
+        if not block:
+            # Non-blocking flushes must never wait on this lock: during a
+            # live migration ``reshard`` holds it for the whole worker
+            # rebuild, and a producer stuck here would violate the
+            # availability contract (writes to non-moving writers block
+            # at most one batch).  A missed flush is safe — the writes
+            # stay parked and the background flusher (or the migration's
+            # own final flush) carries them within ``_flush_interval``.
+            if shard_id in self._migrating or not lock.acquire(blocking=False):
+                return
+        else:
+            lock.acquire()
+        try:
             taken = self._take_outbox(shard_id)
             if taken is None:
                 return
@@ -1363,6 +1412,8 @@ class EAGrServer:
                         covered=taken[1],
                         ingress=taken[2],
                     )
+        finally:
+            lock.release()
 
     def _submit_write(
         self,
@@ -1478,14 +1529,23 @@ class EAGrServer:
         aggregate = self.query.aggregate
         identity = aggregate.finalize(aggregate.identity())
         results: List[Any] = [identity] * len(nodes)
-        per_shard: Dict[int, List[int]] = {}
-        for position, node in enumerate(nodes):
-            shard_id = self.reader_shard.get(node)
-            if shard_id is not None:
-                per_shard.setdefault(shard_id, []).append(position)
+        # Shard resolution retries across a concurrent ``reshard``: a
+        # blocking flush that waited out a migration may have resolved
+        # ownership against the pre-swap table (``reshard`` installs a
+        # *new* dict, so identity comparison detects the swap exactly).
+        for _attempt in range(8):
+            table = self.reader_shard
+            per_shard: Dict[int, List[int]] = {}
+            for position, node in enumerate(nodes):
+                shard_id = table.get(node)
+                if shard_id is not None:
+                    per_shard.setdefault(shard_id, []).append(position)
+            for shard_id in per_shard:
+                self._flush_shard(shard_id, block=True)
+            if self.reader_shard is table:
+                break
         calls = []
         for shard_id, positions in per_shard.items():
-            self._flush_shard(shard_id, block=True)
             if self._shm_read_ok:
                 positions = self._read_shm(shard_id, nodes, positions, results)
                 if not positions:
@@ -1735,16 +1795,25 @@ class EAGrServer:
             subscription = state.subscription
         aggregate = self.query.aggregate
         identity = aggregate.finalize(aggregate.identity())
-        per_shard: Dict[int, List[NodeId]] = {}
+        # Same reshard-aware re-resolution as ``read_batch``: settle on a
+        # routing table that survived the blocking flushes before arming
+        # any shard-side watch.
+        for _attempt in range(8):
+            table = self.reader_shard
+            per_shard: Dict[int, List[NodeId]] = {}
+            for node in nodes:
+                shard_id = table.get(node)
+                if shard_id is not None:
+                    per_shard.setdefault(shard_id, []).append(node)
+            for shard_id in per_shard:
+                self._flush_shard(shard_id, block=True)
+            if self.reader_shard is table:
+                break
         for node in nodes:
-            shard_id = self.reader_shard.get(node)
-            if shard_id is None:
+            if table.get(node) is None:
                 subscription.snapshot[node] = identity
-            else:
-                per_shard.setdefault(shard_id, []).append(node)
         calls = []
         for shard_id, shard_nodes in per_shard.items():
-            self._flush_shard(shard_id, block=True)
             calls.append(
                 self._submit_call(shard_id, OP_SUBSCRIBE, subscriber, shard_nodes)
             )
@@ -2055,13 +2124,404 @@ class EAGrServer:
         self.replayed_batches += replayed
         return replayed
 
+    # ------------------------------------------------------------------
+    # live resharding
+    # ------------------------------------------------------------------
+
+    def _fault(self, point: str) -> None:
+        hook = self.reshard_faults.get(point)
+        if hook is not None:
+            hook()
+
+    def reshard(self, plan) -> Dict[str, Any]:
+        """Migrate reader sets between shards **live** — no lost or
+        duplicated notification, no blocked writer.
+
+        ``plan`` is a :class:`~repro.serve.reshard.ReshardPlan` (or a
+        plain ``{reader: destination_shard}`` dict).  The protocol, built
+        entirely on the existing checkpoint/redo/WAL machinery:
+
+        1. **Quiesce** the affected shards only: their flush locks are
+           taken and their non-blocking flushes park (``write_batch``
+           never waits — writes to moving writers collect in the
+           outboxes as *residue*), then every already-parked write is
+           force-flushed into the old workers.
+        2. **Checkpoint** each affected shard through its FIFO queue —
+           the reply guarantees every earlier notification was delivered,
+           so watch moves below cannot strand an in-flight change.
+        3. **Splice**: synthetic checkpoints are assembled per the new
+           partition — moved readers' writer window buffers come from
+           their source shard's checkpoint (multicast keeps shared
+           buffers byte-identical across shards, so any donor is exact),
+           watch registries and notify baselines move ego-by-ego, and
+           every affected shard adopts the *maximum* write stamp/clock so
+           re-derived notifications can never collide with a moved ego's
+           replay filter.  Old workers are killed, new ones boot from the
+           synthetic checkpoints, watches re-arm first (restart order).
+        4. **Swap**, atomically under the route lock: a *new* routing
+           table is installed (readers re-resolve by dict identity), the
+           residue is re-routed under the new table (a write kept where
+           its writer is still read, duplicated once — from the lowest
+           affected source — to each shard its writer newly reaches),
+           and a single WAL ``P`` record (epoch, moves, synthetic
+           checkpoints, rerouted residue) makes the whole migration one
+           atomic recovery event: a crash replays entirely before or
+           entirely after it.
+        5. The flush locks release, residue flushes to the new workers,
+           the partition epoch bumps (resetting the observed replication
+           window).
+
+        Raises :class:`ServeError` (and leaves the old partition fully
+        intact) if an affected worker dies before step 3 hands anything
+        over; a failure *during* the splice poisons the server the same
+        way a background flush failure does — ``restart_shard`` recovers.
+        Returns a summary dict (``moved``, ``affected``, ``epoch``...).
+        """
+        self._check_open()
+        moves: Dict[NodeId, int] = dict(getattr(plan, "moves", plan))
+        for node, dst in list(moves.items()):
+            dst = int(dst)
+            if not 0 <= dst < self.num_shards:
+                raise ValueError(f"no such shard: {dst}")
+            if self.reader_shard.get(node) is None or (
+                self.reader_shard[node] == dst
+            ):
+                del moves[node]
+            else:
+                moves[node] = dst
+        if not moves:
+            return {
+                "moved": 0,
+                "affected": [],
+                "epoch": self.partition_epoch,
+                "replication_factor": self.replication_factor,
+            }
+        import pickle as _pickle
+
+        with self._reshard_lock:
+            old_table = self.reader_shard
+            sources = {old_table[node] for node in moves}
+            affected = sorted(sources | set(moves.values()))
+            affected_set = set(affected)
+            with self._route_lock:
+                self._migrating.update(affected)
+            locks = [self._flush_locks[shard_id] for shard_id in affected]
+            for lock in locks:
+                lock.acquire()
+            swapped = False
+            try:
+                # -- 1. drain the already-parked writes into the old epoch
+                for shard_id in affected:
+                    taken = self._take_outbox(shard_id)
+                    if taken is not None:
+                        self._submit_write(
+                            shard_id,
+                            taken[0],
+                            block=True,
+                            covered=taken[1],
+                            ingress=taken[2],
+                        )
+                    self._executors[shard_id].flush_bell()
+                self._fault("pre_checkpoint")
+
+                # -- 2. checkpoint through the FIFO (notices all delivered)
+                try:
+                    calls = [
+                        (shard_id, self._submit_call(shard_id, OP_CHECKPOINT))
+                        for shard_id in affected
+                    ]
+                    cks: Dict[int, ShardCheckpoint] = {}
+                    for shard_id, call in calls:
+                        cks[shard_id] = self._await([call])[0]
+                except RuntimeError as exc:
+                    # A dead worker surfaces as the executor's submit-time
+                    # RuntimeError; map it to the documented abort error.
+                    raise ServeError(
+                        f"reshard aborted: {exc}; restart_shard() and retry"
+                    ) from exc
+                for shard_id in affected:
+                    ck = cks[shard_id]
+                    self._write_log[shard_id] = [
+                        entry
+                        for entry in self._write_log[shard_id]
+                        if entry[0] > ck.applied_through
+                    ]
+                    if self._wal is not None:
+                        self._wal.append(("C", shard_id, ck), sync=True)
+
+                # -- 3. splice state into the new partition ---------------
+                new_table = dict(old_table)
+                for node, dst in moves.items():
+                    new_table[node] = dst
+                new_readers: Dict[int, set] = {
+                    shard_id: set() for shard_id in affected
+                }
+                for node, shard_id in new_table.items():
+                    if shard_id in new_readers:
+                        new_readers[shard_id].add(node)
+                merged_buffers: Dict[NodeId, Any] = {}
+                max_stamp = max(ck.stamp for ck in cks.values())
+                max_clock = max(ck.clock for ck in cks.values())
+                # Batch counters align to the max too: the front-end's
+                # replay filter compares an ego's last delivered *batch
+                # number* per ego, and an ego moving from a long-lived
+                # shard to a younger one must not have its next change
+                # land under a smaller number and read as a replay.
+                max_batch = max(self._batch_no[sid] for sid in affected)
+                for shard_id in affected:
+                    merged_buffers.update(cks[shard_id].buffers)
+                synthetic: Dict[int, ShardCheckpoint] = {}
+                for shard_id in affected:
+                    own = cks[shard_id]
+                    readers = new_readers[shard_id]
+                    watchers = {
+                        ego: subs
+                        for ego, subs in own.watchers.items()
+                        if ego in readers
+                    }
+                    baseline = {
+                        ego: value
+                        for ego, value in own.baseline.items()
+                        if ego in readers
+                    }
+                    for ego, dst in moves.items():
+                        if dst != shard_id:
+                            continue
+                        src_ck = cks[old_table[ego]]
+                        if ego in src_ck.watchers:
+                            watchers[ego] = src_ck.watchers[ego]
+                        if ego in src_ck.baseline:
+                            baseline[ego] = src_ck.baseline[ego]
+                    ck = ShardCheckpoint(
+                        shard_id=shard_id,
+                        applied_through=max_batch,
+                        stamp=max_stamp,
+                        clock=max_clock,
+                        # The merged superset is exact for every writer the
+                        # new overlay compiles (rebuild() drops the rest):
+                        # multicast kept shared buffers identical, and a
+                        # gained reader's writers all lived on its source.
+                        buffers=merged_buffers,
+                        watchers=watchers,
+                        baseline=baseline,
+                    )
+                    # Pickle-isolate per shard: two in-process hosts must
+                    # not alias the same buffer objects via the merge.
+                    synthetic[shard_id] = _pickle.loads(_pickle.dumps(ck))
+                self._fault("pre_swap")
+            except BaseException:
+                with self._route_lock:
+                    self._migrating.difference_update(affected)
+                for lock in reversed(locks):
+                    lock.release()
+                raise
+
+            # Past this point a failure leaves shards mid-rebuild:
+            # fail-stop (poison) instead of unwinding, like a flush crash.
+            try:
+                for shard_id in affected:
+                    old = self._executors[shard_id]
+                    if old.alive():
+                        old.kill()
+                for shard_id in affected:
+                    self.specs[shard_id].readers = frozenset(
+                        new_readers[shard_id]
+                    )
+                    self._checkpoints[shard_id] = synthetic[shard_id]
+                    self._batch_no[shard_id] = max_batch
+                    spec = self.specs[shard_id].with_checkpoint(
+                        synthetic[shard_id]
+                    )
+                    spec.merge_after = max_batch
+                    ring = self._rings[shard_id]
+                    if ring is not None:
+                        ring.reset()
+                    self._handle_maps.pop(shard_id, None)
+                    # Unlike restart_shard, the reader set changed: a
+                    # rebuilt worker whose new overlay needs more handles
+                    # than the segment's capacity recreates it — larger,
+                    # under the SAME name — so the cached read attachment
+                    # must go too, not just the handle map.
+                    with self._shm_lock:
+                        stale = self._shm_stores.pop(shard_id, None)
+                        if stale is not None:
+                            stale.close()
+                    self._executors[shard_id] = self._make_shard_executor(spec)
+                    self._flush_failed.discard(shard_id)
+
+                # Move the front-side watch bookkeeping with the egos.
+                with self._subs_lock:
+                    for ego, dst in moves.items():
+                        src = old_table[ego]
+                        subs = self._ego_watchers[src].pop(ego, None)
+                        if subs:
+                            self._ego_watchers[dst][ego] = subs
+                    for state in self._subs.values():
+                        for ego, dst in moves.items():
+                            src_watch = state.watches.get(old_table[ego])
+                            if src_watch is not None and ego in src_watch:
+                                del src_watch[ego]
+                                state.watches.setdefault(dst, {})[ego] = None
+                    rearm = [
+                        (shard_id, subscriber, list(state.watches[shard_id]))
+                        for subscriber, state in self._subs.items()
+                        for shard_id in affected
+                        if state.watches.get(shard_id)
+                    ]
+                # Watches re-arm before any write reaches the new workers
+                # (FIFO: the flush below queues behind these), preserving
+                # the restart ordering that makes baselines exact.
+                for shard_id, subscriber, watch_nodes in rearm:
+                    self._executors[shard_id].submit(
+                        (OP_SUBSCRIBE, self._next_seq(), subscriber, watch_nodes)
+                    )
+
+                # -- 4. the atomic swap -----------------------------------
+                with self._route_lock:
+                    residue: Dict[int, List[Tuple]] = {}
+                    residue_ingress = [
+                        self._outbox_ingress[shard_id] for shard_id in affected
+                    ]
+                    for shard_id in affected:
+                        flat: List[Tuple] = []
+                        for segment in self._outbox[shard_id]:
+                            if segment.__class__ is WriteFrame:
+                                flat.extend(segment.tolist())
+                            else:
+                                flat.append(segment)
+                        residue[shard_id] = flat
+                        self._outbox[shard_id] = []
+                        self._outbox_ingress[shard_id] = None
+                    new_writer_shards = self._build_writer_shards(new_table)
+                    old_writer_shards = self.writer_shards
+                    rerouted: Dict[int, List[Tuple]] = {
+                        shard_id: [] for shard_id in affected
+                    }
+                    for shard_id in affected:
+                        for triple in residue[shard_id]:
+                            writer = triple[0]
+                            new_shards = new_writer_shards.get(writer, ())
+                            old_shards = old_writer_shards.get(writer, ())
+                            if shard_id in new_shards:
+                                rerouted[shard_id].append(triple)
+                            donor = min(
+                                (s for s in old_shards if s in affected_set),
+                                default=None,
+                            )
+                            if shard_id == donor:
+                                for dst in new_shards:
+                                    if dst not in old_shards:
+                                        rerouted.setdefault(dst, []).append(
+                                            triple
+                                        )
+                    stamps = [s for s in residue_ingress if s is not None]
+                    refill_ingress = min(stamps) if stamps else None
+                    for shard_id, items in rerouted.items():
+                        if items:
+                            self._outbox[shard_id].extend(items)
+                            self._outbox_ingress[shard_id] = refill_ingress
+                    self.reader_shard = new_table
+                    self.writer_shards = new_writer_shards
+                    self._route_array = None
+                    self.partition_epoch += 1
+                    self._epoch_base = (self.writes_sent, self.writes_delivered)
+                    if self._wal is not None:
+                        # One record, appended in acceptance order: every
+                        # W before it replays under the old partition,
+                        # every W after it under the new one.
+                        self._wal.append(
+                            (
+                                "P",
+                                self.partition_epoch,
+                                dict(moves),
+                                synthetic,
+                                rerouted,
+                            ),
+                            sync=True,
+                        )
+                swapped = True
+            except BaseException as exc:
+                if self._poisoned is None:
+                    self._poisoned = (
+                        f"reshard failed mid-splice ({type(exc).__name__}: "
+                        f"{exc}); restart_shard() the affected shards"
+                    )
+                self._flush_failed.update(affected)
+                raise
+            finally:
+                with self._route_lock:
+                    self._migrating.difference_update(affected)
+                for lock in reversed(locks):
+                    lock.release()
+            self._fault("post_swap")
+
+            # -- 5. release: residue flushes to the new workers ----------
+            for shard_id in affected:
+                self._flush_shard(shard_id, block=True)
+                self._executors[shard_id].flush_bell()
+            if self._wal is not None:
+                self._wal.maybe_compact()
+            self.reshards += 1
+            return {
+                "moved": len(moves),
+                "affected": affected,
+                "epoch": self.partition_epoch,
+                "residue": sum(len(v) for v in rerouted.values()),
+                "replication_factor": self.replication_factor,
+            }
+
+    def rebalance(
+        self,
+        policy=None,
+        write_freq: Optional[Dict[NodeId, float]] = None,
+    ) -> Dict[str, Any]:
+        """Propose-and-apply: consume per-shard load from the metrics
+        plane (``server_stats()["shard_load"]``), and if the skew crosses
+        the policy threshold, :meth:`reshard` a migration plan that moves
+        a writer-closure of readers off the hottest shard.  Returns the
+        reshard summary (``moved == 0`` and ``"plan": None`` when load is
+        balanced — calling this on a quiet server is free)."""
+        from repro.serve.reshard import RebalancePolicy, propose_rebalance
+
+        if policy is None:
+            policy = RebalancePolicy()
+        plan = propose_rebalance(self, policy=policy, write_freq=write_freq)
+        if plan is None or not plan.moves:
+            return {
+                "moved": 0,
+                "affected": [],
+                "epoch": self.partition_epoch,
+                "plan": None,
+            }
+        summary = self.reshard(plan)
+        summary["plan"] = {"kind": plan.kind, "reason": plan.reason}
+        return summary
+
     @property
     def replication_factor(self) -> float:
-        """Average shards per accepted write (the multicast overhead)."""
-        if self.writes_sent == 0:
-            total = sum(len(s) for s in self.writer_shards.values())
-            return total / max(1, len(self.writer_shards))
-        return self.writes_delivered / self.writes_sent
+        """**Planned** replication: mean shards per writer in the current
+        routing table — what the partitioner promised, independent of
+        traffic.  The old single number conflated this with the observed
+        delivery ratio (warmup and replayed batches included), which made
+        partition quality unmeasurable; see
+        :attr:`observed_replication_factor` for the traffic-weighted view.
+        """
+        total = sum(len(s) for s in self.writer_shards.values())
+        return total / max(1, len(self.writer_shards))
+
+    @property
+    def observed_replication_factor(self) -> float:
+        """**Observed** replication: multicast copies delivered per write
+        accepted *since the last partition-epoch change* (a reshard resets
+        the window, so the ratio reflects the current partition rather
+        than averaging over dead epochs).  Falls back to the planned
+        factor before any write lands in the window.
+        """
+        base_sent, base_delivered = self._epoch_base
+        sent = self.writes_sent - base_sent
+        if sent <= 0:
+            return self.replication_factor
+        return (self.writes_delivered - base_delivered) / sent
 
     def shard_sizes(self) -> List[int]:
         """Number of readers owned per shard."""
@@ -2260,6 +2720,38 @@ class EAGrServer:
 
         return serve_metrics_http(self, host=host, port=port)
 
+    def _shard_load(self, m: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Per-shard load rows from a :meth:`metrics` snapshot: the numbers
+        the rebalance policy consumes and operators read — same source
+        (the ``obs`` shard gauges), so the two can never disagree."""
+        sizes = self.shard_sizes()
+        with self._route_lock:
+            pending = [
+                _pending_count(self._outbox[shard_id])
+                for shard_id in range(self.num_shards)
+            ]
+        rows: List[Dict[str, Any]] = []
+        for shard_id in range(self.num_shards):
+            row = {
+                "shard": shard_id,
+                "readers": sizes[shard_id],
+                "busy_fraction": 0.0,
+                "applied_eps": 0.0,
+                "ring_depth": 0,
+                "outbox_pending": pending[shard_id],
+            }
+            scraped = m["shards"].get(str(shard_id))
+            if scraped:
+                row["busy_fraction"] = float(
+                    scraped.get("shard_busy_fraction", 0.0)
+                )
+                row["applied_eps"] = float(scraped.get("shard_applied_eps", 0.0))
+            ring = m["rings"].get(str(shard_id))
+            if ring:
+                row["ring_depth"] = int(ring.get("depth_frames", 0))
+            rows.append(row)
+        return rows
+
     def server_stats(self) -> Dict[str, Any]:
         """Front-end operational snapshot (complements per-shard
         :meth:`stats`): deployment shape, the reader-assignment strategy
@@ -2292,6 +2784,10 @@ class EAGrServer:
             "transport": self.transport,
             "assignment": self.assignment,
             "replication_factor": self.replication_factor,
+            "observed_replication_factor": self.observed_replication_factor,
+            "partition_epoch": self.partition_epoch,
+            "reshards": self.reshards,
+            "shard_load": self._shard_load(m),
             "shard_sizes": self.shard_sizes(),
             "writes_sent": self.writes_sent,
             "writes_delivered": self.writes_delivered,

@@ -45,6 +45,10 @@ from repro.serve.messages import (
 
 NodeId = Hashable
 
+#: Minimum refresh window for the shard load gauges (seconds); scrapes
+#: closer together than this reuse the previously published values.
+LOAD_WINDOW = 0.05
+
 
 class _ReaderMembership:
     """Picklable reader predicate: membership in the shard's reader set.
@@ -250,6 +254,13 @@ class ShardHost:
         #: a redo-log replay after restart skips what already landed).
         self.applied_through = 0
         self.notices_emitted = 0
+        # -- windowed load accounting (shard_busy_fraction / _applied_eps).
+        # Busy seconds accumulate per applied batch; the gauges refresh on
+        # the next scrape/publish at least LOAD_WINDOW after the last one,
+        # so they read as "fraction of the recent window spent applying".
+        self._busy_window = 0.0
+        self._applied_window = 0
+        self._load_mark = _monotonic()
         if spec.checkpoint is not None:
             self._restore(spec.checkpoint)
 
@@ -408,7 +419,10 @@ class ShardHost:
                 # Everything after the scatter — change diffing, the
                 # filtering re-read, notice/frame packing — is recompute
                 # + egress work.
-                self.metrics["shard_recompute_seconds"].observe(_monotonic() - t1)
+                end = _monotonic()
+                self.metrics["shard_recompute_seconds"].observe(end - t1)
+                self._busy_window += end - t0
+                self._applied_window += count
 
     @staticmethod
     def _change_frame(
@@ -529,6 +543,16 @@ class ShardHost:
         counters = self.engine.counters
         self.metrics["shard_engine_write_seconds"].set(counters.write_seconds)
         self.metrics["shard_engine_read_seconds"].set(counters.read_seconds)
+        now = _monotonic()
+        window = now - self._load_mark
+        if window >= LOAD_WINDOW:
+            self.metrics["shard_busy_fraction"].set(
+                min(1.0, self._busy_window / window)
+            )
+            self.metrics["shard_applied_eps"].set(self._applied_window / window)
+            self._busy_window = 0.0
+            self._applied_window = 0
+            self._load_mark = now
         return self.metrics_registry.values_snapshot()
 
     def stats(self) -> Dict[str, Any]:

@@ -45,6 +45,14 @@ Records are pickled tuples, one per frame:
   ``("U", subscriber, nodes_or_None)`` — watch registry changes;
   ``shard_stamp`` persists the subscribe-time replay-filter seed so a
   recovered replay never delivers a pre-subscription change.
+* ``("P", epoch, {reader: dst_shard}, {shard: ShardCheckpoint},
+  {shard: triples})`` — a live reshard (``EAGrServer.reshard``): the
+  reader moves, the synthetic post-splice checkpoint of every affected
+  shard, and the re-routed residue (writes accepted before the swap that
+  flush after it).  Appended under the route lock like ``W``, so the
+  record stream is partition-consistent: every ``W`` before it replays
+  under the old partition, every ``W`` after it under the new — recovery
+  lands entirely before or entirely after the migration, never inside.
 * ``("SNAP", WalState)`` — a compaction snapshot: the complete fold of
   everything before it (see below).
 
@@ -282,6 +290,40 @@ class WalState:
                     for shard_watch in shards.values():
                         for node in nodes:
                             shard_watch.pop(node, None)
+        elif kind == "P":
+            _kind, epoch, moves, checkpoints, pending = record
+            self.meta["partition_epoch"] = epoch
+            for node, dst in moves.items():
+                self.reader_shard[node] = dst
+            for shard_id, ck in checkpoints.items():
+                self.checkpoints[shard_id] = ck
+                # The splice aligned every affected shard's batch counter
+                # to the group max (= the synthetic ``applied_through``);
+                # a recovered front-end must number new batches above it.
+                self.batch_no[shard_id] = max(
+                    self.batch_no.get(shard_id, 0), ck.applied_through
+                )
+                self.redo[shard_id] = [
+                    entry
+                    for entry in self.redo.get(shard_id, [])
+                    if entry[0] > ck.applied_through
+                ]
+                # The re-routed residue *replaces* the shard's pending
+                # rounds: the live swap popped the outboxes and re-filed
+                # their contents under the new routing table.
+                items = pending.get(shard_id) or []
+                self.rounds[shard_id] = (
+                    [(self.wal_seq, items)] if items else []
+                )
+            # Watch-registry egos migrate with their readers, keeping
+            # their subscribe-time replay-filter seeds.
+            for shards in self.watches.values():
+                for node, dst in moves.items():
+                    for shard_id, shard_watch in list(shards.items()):
+                        if shard_id != dst and node in shard_watch:
+                            shards.setdefault(dst, {})[node] = (
+                                shard_watch.pop(node)
+                            )
         elif kind == "META":
             _kind, info = record
             self.meta = dict(info)

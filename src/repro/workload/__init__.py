@@ -2,7 +2,7 @@
 
 from repro.workload.mixer import WorkloadSpec, generate_events, warmup_writes
 from repro.workload.traces import DriftSpec, drifting_trace, phase_frequencies
-from repro.workload.zipf import ZipfSampler
+from repro.workload.zipf import ZipfDriftSampler, ZipfSampler
 
 __all__ = [
     "WorkloadSpec",
@@ -12,4 +12,5 @@ __all__ = [
     "drifting_trace",
     "phase_frequencies",
     "ZipfSampler",
+    "ZipfDriftSampler",
 ]

@@ -54,3 +54,107 @@ class ZipfSampler:
             node: total_events * self.weight(index) / self._total
             for index, node in enumerate(self.nodes)
         }
+
+
+class ZipfDriftSampler:
+    """A Zipf sampler whose hot rank→node mapping migrates mid-run.
+
+    The static :class:`ZipfSampler` fixes which nodes are hot for the
+    whole trace; real feeds do not — trending entities churn, and a
+    partition tuned to yesterday's hot set slowly rots.  This sampler
+    keeps the Zipf *shape* fixed (weight ``1/rank^alpha`` over rank
+    positions) but re-maps ranks to nodes every ``period`` events:
+
+    * ``schedule="rotate"`` — the rank permutation shifts by ``stride``
+      positions per phase, so the hot set *slides* across the node
+      population (gradual drift; yesterday's #1 is today's #1+stride).
+    * ``schedule="step"`` — each phase draws a fresh seeded shuffle, so
+      the hot set *jumps* to an unrelated part of the graph (abrupt
+      drift; the worst case for a stale partition).
+
+    Everything is a pure function of ``(seed, event_index)``: two
+    samplers with the same parameters produce the same trace, and
+    :meth:`expected_frequencies` / :meth:`hot_nodes` answer questions
+    about any phase without consuming the stream — what the rebalance
+    policy and the reshard bench both need.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[NodeId],
+        alpha: float = 1.0,
+        seed: int = 23,
+        period: int = 1000,
+        schedule: str = "rotate",
+        stride: int | None = None,
+    ) -> None:
+        if not nodes:
+            raise ValueError("need at least one node")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if period < 1:
+            raise ValueError("period must be >= 1")
+        if schedule not in ("rotate", "step"):
+            raise ValueError("schedule must be 'rotate' or 'step'")
+        self.nodes = list(nodes)
+        self.alpha = alpha
+        self.seed = seed
+        self.period = period
+        self.schedule = schedule
+        n = len(self.nodes)
+        self.stride = max(1, n // 4) if stride is None else max(1, stride % n or 1)
+        self._rng = random.Random(seed)
+        self._events = 0
+        # rank position j (0-based) carries weight 1/(j+1)^alpha; the
+        # per-phase permutation maps rank position -> node index.
+        weights = [1.0 / ((j + 1) ** alpha) for j in range(n)]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+        base = list(range(n))
+        random.Random(f"{seed}:base").shuffle(base)
+        self._base_perm = base
+        self._phase_perm_cache: dict = {}
+
+    @property
+    def phase(self) -> int:
+        """Phase of the *next* event to be sampled."""
+        return self._events // self.period
+
+    def _perm(self, phase: int) -> List[int]:
+        perm = self._phase_perm_cache.get(phase)
+        if perm is None:
+            n = len(self.nodes)
+            if self.schedule == "rotate":
+                shift = (phase * self.stride) % n
+                perm = self._base_perm[shift:] + self._base_perm[:shift]
+            else:
+                perm = list(self._base_perm)
+                random.Random(f"{self.seed}:step:{phase}").shuffle(perm)
+            self._phase_perm_cache = {phase: perm}
+        return perm
+
+    def sample(self) -> NodeId:
+        perm = self._perm(self._events // self.period)
+        self._events += 1
+        probe = self._rng.random() * self._total
+        rank = bisect.bisect_left(self._cumulative, probe)
+        rank = min(rank, len(self.nodes) - 1)
+        return self.nodes[perm[rank]]
+
+    def sample_many(self, count: int) -> List[NodeId]:
+        return [self.sample() for _ in range(count)]
+
+    def hot_nodes(self, k: int, phase: int | None = None) -> List[NodeId]:
+        """The ``k`` highest-weight nodes of ``phase`` (default: current)."""
+        perm = self._perm(self.phase if phase is None else phase)
+        return [self.nodes[perm[j]] for j in range(min(k, len(self.nodes)))]
+
+    def expected_frequencies(self, total_events: float, phase: int | None = None) -> dict:
+        """Expected per-node event counts within a single phase."""
+        perm = self._perm(self.phase if phase is None else phase)
+        freq = {}
+        prev = 0.0
+        for j, cum in enumerate(self._cumulative):
+            freq[self.nodes[perm[j]]] = total_events * (cum - prev) / self._total
+            prev = cum
+        return freq

@@ -84,7 +84,7 @@ def test_schema_width_matches_slab(slab_name):
     try:
         assert owner.n_slots == sizer.n_slots
         assert len(owner.scrape()) == sizer.n_slots
-        assert len(SHARD_METRICS) == 10
+        assert len(SHARD_METRICS) == 12
     finally:
         owner.close()
         owner.unlink()

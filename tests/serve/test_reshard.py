@@ -1,0 +1,516 @@
+"""Live resharding: reader migration with no lost or duplicated notice.
+
+``EAGrServer.reshard(plan)`` splices reader sets between running shards
+(quiesce → checkpoint → splice → atomic swap → release).  This suite
+pins the contract on the deterministic in-process executor plus one
+process-executor pass:
+
+* reads equal a never-resharded oracle before, across and after moves;
+* a subscriber's stream stays stamp-contiguous and value-exact across a
+  migration (the oracle replay of ``transitions_by_ego``);
+* writes are never blocked by a migration — ``write_batch`` completes
+  *from inside the migration's own fault hooks*;
+* a failure before the hand-over point aborts cleanly (old partition
+  intact, retry succeeds); the WAL ``P`` record makes recovery land
+  entirely before or after the swap (kill -9 schedules live in
+  ``test_reshard_faults.py``);
+* the load-driven policy (``propose_rebalance`` / ``rebalance()``)
+  proposes hot→cold writer-closure moves and stays quiet when balanced.
+
+Timing note: after a reshard the affected workers are *freshly booted*
+(spawn takes ~1s under the process executor), and ``flush()`` does not
+wait for application — so every post-reshard assertion uses counted
+``collect(sub, count=N)`` waits, never idle-based drains.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.aggregates import Sum
+from repro.core.engine import EAGrEngine
+from repro.core.query import EgoQuery
+from repro.core.windows import TupleWindow
+from repro.graph.generators import community_graph, random_graph
+from repro.serve import EAGrServer, ReshardPlan, ServeError
+from repro.serve.reshard import plan_from_assignment, propose_rebalance, RebalancePolicy
+
+from tests.serve.faultlib import (
+    assert_contiguous,
+    assert_subsequence,
+    collect,
+    deadline,
+    transitions_by_ego,
+)
+
+
+def make_server(graph, query, num_shards=3, **kwargs):
+    kwargs.setdefault("executor", "inprocess")
+    kwargs.setdefault("overlay_algorithm", "identity")
+    kwargs.setdefault("dataflow", "all_push")
+    return EAGrServer(graph, query, num_shards=num_shards, **kwargs)
+
+
+def build_env(seed=41):
+    graph = random_graph(16, 60, seed=seed)
+    query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+    return graph, query
+
+
+def make_batches(nodes, count, seed=7, size=5):
+    import random
+
+    rng = random.Random(seed)
+    return [
+        [(rng.choice(nodes), float(rng.randint(1, 9))) for _ in range(size)]
+        for _ in range(count)
+    ]
+
+
+def cross_shard_plan(server, movers=4):
+    """Move the first ``movers`` readers of shard 0 to the last shard."""
+    dst = server.num_shards - 1
+    moves = {}
+    for node in sorted(server.reader_shard, key=repr):
+        if server.reader_shard[node] == 0:
+            moves[node] = dst
+            if len(moves) >= movers:
+                break
+    assert moves, "shard 0 owns no readers in this seed"
+    return moves
+
+
+class TestBasicMigration:
+    def test_reads_preserved_across_moves(self):
+        graph, query = build_env()
+        nodes = sorted(graph.nodes())
+        oracle = EAGrEngine(graph, query, overlay_algorithm="identity",
+                            dataflow="all_push")
+        with make_server(graph, query) as server:
+            batches = make_batches(nodes, 6, seed=11)
+            for batch in batches[:3]:
+                server.write_batch(batch)
+                oracle.write_batch(batch)
+            moves = cross_shard_plan(server)
+            summary = server.reshard(moves)
+            assert summary["moved"] == len(moves)
+            assert summary["epoch"] == 1
+            assert server.partition_epoch == 1
+            for node, dst in moves.items():
+                assert server.reader_shard[node] == dst
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+            for batch in batches[3:]:
+                server.write_batch(batch)
+                oracle.write_batch(batch)
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+
+    def test_reshard_plan_object_and_back(self):
+        graph, query = build_env(seed=42)
+        with make_server(graph, query) as server:
+            moves = cross_shard_plan(server, movers=3)
+            plan = ReshardPlan(moves=moves, kind="migrate", reason="test")
+            assert len(plan) == len(moves) and bool(plan)
+            server.reshard(plan)
+            # Move them home again: a second migration over the same egos.
+            back = {node: 0 for node in moves}
+            summary = server.reshard(back)
+            assert summary["epoch"] == 2
+            assert all(server.reader_shard[n] == 0 for n in moves)
+
+    def test_noop_and_filtered_plans(self):
+        graph, query = build_env(seed=43)
+        with make_server(graph, query) as server:
+            assert server.reshard({})["moved"] == 0
+            some = next(iter(server.reader_shard))
+            stay = {some: server.reader_shard[some]}  # already there
+            ghost = {"never-a-reader": 1}
+            assert server.reshard(stay)["moved"] == 0
+            assert server.reshard(ghost)["moved"] == 0
+            assert server.partition_epoch == 0
+
+    def test_invalid_destination(self):
+        graph, query = build_env(seed=44)
+        with make_server(graph, query) as server:
+            some = next(iter(server.reader_shard))
+            with pytest.raises(ValueError):
+                server.reshard({some: 99})
+
+    def test_replication_windows(self):
+        graph, query = build_env(seed=45)
+        nodes = sorted(graph.nodes())
+        with make_server(graph, query) as server:
+            planned = server.replication_factor
+            assert planned >= 1.0
+            for batch in make_batches(nodes, 4, seed=46):
+                server.write_batch(batch)
+            server.drain()
+            observed = server.observed_replication_factor
+            assert observed > 0.0
+            stats = server.server_stats()
+            assert stats["replication_factor"] == planned
+            assert stats["observed_replication_factor"] == observed
+            # A reshard opens a fresh observation window: with no writes
+            # in it yet, the observed factor reports the new plan.
+            server.reshard(cross_shard_plan(server, movers=2))
+            assert (
+                server.observed_replication_factor
+                == server.replication_factor
+            )
+
+    def test_shm_reads_after_shard_growth(self):
+        """Regression: a migration that grows a shard past its value-store
+        segment's capacity makes the rebuilt worker recreate the segment —
+        larger, under the *same* name — so the front-end must drop its
+        zero-copy read attachment instead of gathering out-of-range
+        handles from the stale, smaller mapping."""
+        graph, query = build_env(seed=48)
+        nodes = sorted(graph.nodes())
+        oracle = EAGrEngine(graph, query, overlay_algorithm="identity",
+                            dataflow="all_push")
+        with make_server(graph, query, executor="process") as server:
+            for batch in make_batches(nodes, 3, seed=49):
+                server.write_batch(batch)
+                oracle.write_batch(batch)
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+            # Every reader lands on the last shard: its overlay (readers
+            # plus writer closures) outgrows the boot-time segment.
+            dst = server.num_shards - 1
+            moves = {
+                node: dst
+                for node, shard in server.reader_shard.items()
+                if shard != dst
+            }
+            assert server.reshard(moves)["moved"] == len(moves)
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+            for batch in make_batches(nodes, 2, seed=50):
+                server.write_batch(batch)
+                oracle.write_batch(batch)
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+
+    def test_shard_load_rows(self):
+        graph, query = build_env(seed=47)
+        with make_server(graph, query) as server:
+            rows = server.server_stats()["shard_load"]
+            assert len(rows) == server.num_shards
+            for row in rows:
+                assert set(row) >= {
+                    "shard", "readers", "busy_fraction", "applied_eps",
+                    "ring_depth", "outbox_pending",
+                }
+            assert sum(row["readers"] for row in rows) == len(server.reader_shard)
+
+
+class TestNotificationStream:
+    @pytest.mark.parametrize("executor", ["inprocess", "process"])
+    def test_gap_free_across_migration(self, executor):
+        graph, query = build_env(seed=48)
+        nodes = sorted(graph.nodes())
+        with deadline(120, f"reshard stream ({executor})"):
+            with make_server(graph, query, executor=executor) as server:
+                sub = server.subscribe("watcher", nodes)
+                batches = make_batches(nodes, 8, seed=49)
+                for batch in batches[:4]:
+                    server.write_batch(batch)
+                server.drain()
+                server.reshard(cross_shard_plan(server))
+                for batch in batches[4:]:
+                    server.write_batch(batch)
+                # drain() waits for application even on the freshly
+                # booted post-reshard workers; flush() alone would not.
+                server.drain()
+
+                oracle = EAGrEngine(
+                    graph, query, overlay_algorithm="identity",
+                    dataflow="all_push",
+                )
+                history = transitions_by_ego(batches, oracle, nodes)
+                notes = collect(sub, timeout=60, idle=1.0)
+                assert_contiguous(
+                    sorted(n.stamp for n in notes), tag=f"{executor}:"
+                )
+                by_ego = {}
+                for note in notes:
+                    by_ego.setdefault(note.ego, []).append(note.value)
+                finals = dict(zip(nodes, oracle.read_batch(nodes)))
+                for node in nodes:
+                    got = by_ego.get(node, [])
+                    want = [value for _, value in history[node]]
+                    # Coalescing may skip intermediate values (several
+                    # client batches applied as one shard batch), but the
+                    # stream must stay an in-order subsequence of the
+                    # oracle's transitions with no consecutive repeats,
+                    # and must land on the final value.
+                    assert_subsequence(
+                        got, want, tag=f"{executor}: ego {node}:"
+                    )
+                    assert all(a != b for a, b in zip(got, got[1:])), (
+                        f"{executor}: ego {node} saw a duplicate in {got}"
+                    )
+                    if got:
+                        assert got[-1] == finals[node]
+                    if want:
+                        assert got, (
+                            f"{executor}: ego {node} changed "
+                            f"{len(want)} times but never notified"
+                        )
+                assert server.read_batch(nodes) == oracle.read_batch(nodes)
+
+    def test_moved_ego_keeps_notifying(self):
+        # The strictest slice of the contract: an ego that moves shards
+        # mid-stream must keep producing notices for later changes (the
+        # batch-counter alignment in the splice is what makes the
+        # front-end's replay filter accept them).
+        graph, query = build_env(seed=50)
+        nodes = sorted(graph.nodes())
+        with make_server(graph, query) as server:
+            moves = cross_shard_plan(server)
+            mover = next(iter(moves))
+            writers = sorted(query.neighborhood(graph, mover))
+            assert writers, "need a mover with at least one writer"
+            sub = server.subscribe("watcher", [mover])
+            server.write_batch([(writers[0], 3.0)])
+            server.drain()
+            first = collect(sub, count=1, timeout=30)
+            server.reshard(moves)
+            server.write_batch([(writers[0], 5.0)])
+            server.flush()
+            second = collect(sub, count=1, timeout=30)
+            assert first[0].ego == mover and second[0].ego == mover
+            assert second[0].stamp > first[0].stamp
+            # TupleWindow(1): the writer's second write replaces its first.
+            assert first[0].value == 3.0 and second[0].value == 5.0
+
+
+class TestAvailability:
+    def test_writes_never_block_during_migration(self):
+        # write_batch must return from *inside* the migration window —
+        # both for unaffected writers (routed around the quiesce) and for
+        # migrating ones (parked as residue) — and nothing parked is lost.
+        graph, query = build_env(seed=51)
+        nodes = sorted(graph.nodes())
+        oracle = EAGrEngine(graph, query, overlay_algorithm="identity",
+                            dataflow="all_push")
+        with make_server(graph, query) as server:
+            moves = cross_shard_plan(server)
+            mover = next(iter(moves))
+            moving_writer = sorted(query.neighborhood(graph, mover))[0]
+            mid_batches = [
+                [(node, 2.0) for node in nodes[:4]],  # broad batch
+                [(moving_writer, 7.0)],  # lands in the quiesced residue
+            ]
+            in_window = []
+
+            def mid_migration():
+                for batch in mid_batches:
+                    server.write_batch(batch)
+                    in_window.append(len(batch))
+
+            server.reshard_faults["pre_swap"] = mid_migration
+            with deadline(60, "write during migration"):
+                server.reshard(moves)
+            assert in_window == [4, 1], "a write blocked inside the window"
+            for batch in mid_batches:
+                oracle.write_batch(batch)
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+
+    def test_concurrent_writer_thread(self):
+        graph, query = build_env(seed=52)
+        nodes = sorted(graph.nodes())
+        oracle = EAGrEngine(graph, query, overlay_algorithm="identity",
+                            dataflow="all_push")
+        with make_server(graph, query) as server:
+            batches = make_batches(nodes, 30, seed=53, size=3)
+            errors = []
+
+            def pump():
+                try:
+                    for batch in batches:
+                        server.write_batch(batch)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            writer = threading.Thread(target=pump)
+            writer.start()
+            try:
+                server.reshard(cross_shard_plan(server))
+            finally:
+                writer.join(timeout=60)
+            assert not writer.is_alive() and not errors
+            for batch in batches:
+                oracle.write_batch(batch)
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+
+
+class TestAbort:
+    @pytest.mark.parametrize("point", ["pre_checkpoint", "pre_swap"])
+    def test_clean_abort_before_handover(self, point):
+        graph, query = build_env(seed=54)
+        nodes = sorted(graph.nodes())
+        oracle = EAGrEngine(graph, query, overlay_algorithm="identity",
+                            dataflow="all_push")
+        with make_server(graph, query) as server:
+            for batch in make_batches(nodes, 3, seed=55):
+                server.write_batch(batch)
+                oracle.write_batch(batch)
+            before = dict(server.reader_shard)
+            moves = cross_shard_plan(server)
+
+            class Boom(RuntimeError):
+                pass
+
+            def explode():
+                raise Boom(point)
+
+            server.reshard_faults[point] = explode
+            with pytest.raises(Boom):
+                server.reshard(moves)
+            # Old partition fully intact, server unpoisoned and usable.
+            assert server.reader_shard == before
+            assert server.partition_epoch == 0
+            extra = make_batches(nodes, 2, seed=56)
+            for batch in extra:
+                server.write_batch(batch)
+                oracle.write_batch(batch)
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+            # ... and the retry (hook disarmed) goes through.
+            del server.reshard_faults[point]
+            assert server.reshard(moves)["moved"] == len(moves)
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+
+
+class TestWalRecovery:
+    def test_cold_restart_replays_the_new_partition(self, tmp_path):
+        graph, query = build_env(seed=57)
+        nodes = sorted(graph.nodes())
+        oracle = EAGrEngine(graph, query, overlay_algorithm="identity",
+                            dataflow="all_push")
+        wal_dir = str(tmp_path / "wal")
+        server = make_server(graph, query, wal_dir=wal_dir)
+        try:
+            batches = make_batches(nodes, 6, seed=58)
+            for batch in batches[:3]:
+                server.write_batch(batch)
+            moves = cross_shard_plan(server)
+            server.reshard(moves)
+            for batch in batches[3:]:
+                server.write_batch(batch)
+            server.drain()
+            # Simulated kill -9: abandon everything but release the flock
+            # the kernel would release for a dead process.
+            server._stop_flusher.set()
+            server._flusher.join(timeout=10)
+            server._wal.close()
+        finally:
+            pass
+        for batch in batches:
+            oracle.write_batch(batch)
+
+        with make_server(graph, query, wal_dir=wal_dir) as revived:
+            assert revived.partition_epoch == 1
+            for node, dst in moves.items():
+                assert revived.reader_shard[node] == dst
+            revived.drain()
+            assert revived.read_batch(nodes) == oracle.read_batch(nodes)
+
+
+class TestRebalancePolicy:
+    @staticmethod
+    def load_rows(server, busy):
+        sizes = server.shard_sizes()
+        return [
+            {
+                "shard": shard_id,
+                "readers": sizes[shard_id],
+                "busy_fraction": busy[shard_id],
+                "applied_eps": busy[shard_id] * 1000.0,
+                "ring_depth": 0,
+                "outbox_pending": 0,
+            }
+            for shard_id in range(server.num_shards)
+        ]
+
+    def test_balanced_load_proposes_nothing(self):
+        graph, query = build_env(seed=59)
+        with make_server(graph, query) as server:
+            load = self.load_rows(server, [0.4, 0.4, 0.4])
+            assert propose_rebalance(server, load=load) is None
+
+    def test_idle_skew_is_noise(self):
+        graph, query = build_env(seed=60)
+        with make_server(graph, query) as server:
+            load = self.load_rows(server, [0.01, 0.0, 0.0])
+            assert propose_rebalance(server, load=load) is None
+
+    def test_hot_shard_sheds_writer_closures(self):
+        # Disconnected communities: each is one writer closure, so the
+        # hot shard has something smaller than itself to shed.
+        graph = community_graph(
+            num_communities=6, community_size=10, intra_probability=0.5,
+            inter_edges=0, seed=61,
+        )
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        with make_server(graph, query, num_shards=2) as server:
+            load = self.load_rows(server, [0.9, 0.05])
+            # The default balance cap would leave no headroom on the
+            # destination (the seed partition is already lopsided), so
+            # the policy gets room to trade balance for heat.
+            plan = propose_rebalance(
+                server, policy=RebalancePolicy(balance=2.0), load=load
+            )
+            assert plan is not None and plan.moves
+            assert all(server.reader_shard[n] == 0 for n in plan.moves)
+            dst = set(plan.moves.values())
+            assert len(dst) == 1 and 0 not in dst
+            # Bounded step: never more than the policy's move fraction
+            # (closure granularity may add the last closure's overhang).
+            hot_size = server.shard_sizes()[0]
+            assert len(plan.moves) <= hot_size
+            summary = server.reshard(plan)
+            assert summary["moved"] == len(plan.moves)
+
+    def test_rebalance_applies_and_reports(self):
+        graph = community_graph(
+            num_communities=6, community_size=10, intra_probability=0.5,
+            inter_edges=12, seed=62,
+        )
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        with make_server(graph, query, num_shards=3) as server:
+            # Quiet server: the metrics-plane gauges read idle.
+            summary = server.rebalance()
+            assert summary["moved"] == 0 and summary["plan"] is None
+            assert server.partition_epoch == 0
+
+    def test_policy_thresholds(self):
+        policy = RebalancePolicy(skew_threshold=10.0)
+        graph, query = build_env(seed=63)
+        with make_server(graph, query) as server:
+            load = self.load_rows(server, [0.9, 0.1, 0.1])
+            assert propose_rebalance(server, policy=policy, load=load) is None
+
+
+class TestPlanFromAssignment:
+    def test_diff_against_target(self):
+        graph, query = build_env(seed=64)
+        with make_server(graph, query) as server:
+            target = dict(server.reader_shard)
+            movers = sorted(target, key=repr)[:5]
+            for node in movers:
+                target[node] = (target[node] + 1) % server.num_shards
+            plan = plan_from_assignment(server, target)
+            assert plan.kind == "assignment"
+            assert set(plan.moves) == set(movers)
+            server.reshard(plan)
+            assert dict(server.reader_shard) == target
+
+    def test_identity_target_is_empty(self):
+        graph, query = build_env(seed=65)
+        with make_server(graph, query) as server:
+            plan = plan_from_assignment(server, dict(server.reader_shard))
+            assert not plan

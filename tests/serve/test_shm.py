@@ -195,7 +195,9 @@ class TestShmServing:
         _graph, _query, server = shm_deployment
         stats = server.server_stats()
         assert stats["transport"] == "shm"
-        assert stats["assignment"] == "community"
+        assert stats["assignment"] == "mincut"
+        assert stats["observed_replication_factor"] >= 0.0
+        assert stats["partition_epoch"] == 0
         assert stats["replication_factor"] >= 1.0
         assert stats["shm_reads"] > 0
         # per-shard stats keep their shape (one dict per shard)

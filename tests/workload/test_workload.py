@@ -6,6 +6,7 @@ from repro.graph.streams import ReadEvent, WriteEvent
 from repro.workload import (
     DriftSpec,
     WorkloadSpec,
+    ZipfDriftSampler,
     ZipfSampler,
     drifting_trace,
     generate_events,
@@ -141,3 +142,70 @@ class TestDriftingTrace:
     def test_phase_validation(self):
         with pytest.raises(ValueError):
             phase_frequencies([], num_phases=0)
+
+
+class TestZipfDriftSampler:
+    def test_deterministic(self):
+        s1 = ZipfDriftSampler(list(range(40)), seed=9, period=50)
+        s2 = ZipfDriftSampler(list(range(40)), seed=9, period=50)
+        assert s1.sample_many(300) == s2.sample_many(300)
+
+    def test_phase_advances_with_consumption(self):
+        sampler = ZipfDriftSampler(list(range(20)), seed=11, period=25)
+        assert sampler.phase == 0
+        sampler.sample_many(25)
+        assert sampler.phase == 1
+        sampler.sample_many(60)
+        assert sampler.phase == 3
+
+    def test_rotate_slides_the_hot_set(self):
+        nodes = list(range(60))
+        sampler = ZipfDriftSampler(
+            nodes, alpha=1.2, seed=13, period=100, schedule="rotate", stride=15
+        )
+        hot0 = sampler.hot_nodes(5, phase=0)
+        hot1 = sampler.hot_nodes(5, phase=1)
+        hot4 = sampler.hot_nodes(5, phase=4)
+        assert hot0 != hot1
+        # stride 15 over 60 nodes: four phases complete one revolution.
+        assert hot4 == hot0
+
+    def test_step_jumps_the_hot_set(self):
+        nodes = list(range(80))
+        sampler = ZipfDriftSampler(
+            nodes, alpha=1.2, seed=17, period=100, schedule="step"
+        )
+        hots = [tuple(sampler.hot_nodes(5, phase=p)) for p in range(4)]
+        assert len(set(hots)) == 4  # fresh shuffle every phase
+
+    def test_samples_concentrate_on_the_phase_hot_set(self):
+        nodes = list(range(50))
+        sampler = ZipfDriftSampler(
+            nodes, alpha=1.3, seed=19, period=2000, schedule="step"
+        )
+        hot = set(sampler.hot_nodes(10, phase=0))
+        draws = sampler.sample_many(2000)
+        in_hot = sum(1 for node in draws if node in hot)
+        # 10/50 nodes uniform would catch ~20%; the Zipf head dominates.
+        assert in_hot / len(draws) > 0.5
+
+    def test_expected_frequencies_track_the_phase(self):
+        nodes = list(range(30))
+        sampler = ZipfDriftSampler(
+            nodes, alpha=1.0, seed=21, period=10, schedule="step"
+        )
+        for phase in (0, 3):
+            freq = sampler.expected_frequencies(600.0, phase=phase)
+            assert sum(freq.values()) == pytest.approx(600.0)
+            top = max(freq, key=freq.get)
+            assert top == sampler.hot_nodes(1, phase=phase)[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfDriftSampler([])
+        with pytest.raises(ValueError):
+            ZipfDriftSampler([1], alpha=-0.5)
+        with pytest.raises(ValueError):
+            ZipfDriftSampler([1], period=0)
+        with pytest.raises(ValueError):
+            ZipfDriftSampler([1], schedule="sawtooth")
