@@ -34,7 +34,7 @@ regression tests depend on it hard.
 from __future__ import annotations
 
 import collections
-from typing import Callable, Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.dataflow.maxflow import INF, FlowNetwork
 
@@ -289,6 +289,33 @@ def mincut_partition(
     return assignment
 
 
+class TableAssignment:
+    """A reader -> shard table usable both ways the serve tier needs it.
+
+    *Callable* (``EAGrServer(assign=...)``, drop-in for
+    :func:`~repro.core.partitioned.community_assignment`): unknown nodes
+    resolve to ``default``.  *Dict-style* ``.get(node, fallback)``
+    (:func:`~repro.serve.reshard.plan_from_assignment`): unknown nodes
+    resolve to the caller's fallback — i.e. "leave that reader where it
+    is", not ``default``.
+    """
+
+    __slots__ = ("table", "default")
+
+    def __init__(self, table: Mapping[NodeId, int], default: int = 0):
+        self.table = dict(table)
+        self.default = default
+
+    def __call__(self, node: NodeId) -> int:
+        return self.table.get(node, self.default)
+
+    def get(self, node: NodeId, default: Optional[int] = None) -> Optional[int]:
+        return self.table.get(node, default)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
 def mincut_assignment(
     graph,
     query,
@@ -297,9 +324,11 @@ def mincut_assignment(
     write_freq: Optional[Mapping[NodeId, float]] = None,
     balance: float = 1.25,
     max_nodes: int = DEFAULT_MAX_NODES,
-) -> Callable[[NodeId], int]:
-    """Drop-in for :func:`community_assignment`: a reader->shard callable
-    computed by :func:`mincut_partition` (unknown nodes go to shard 0)."""
+) -> "TableAssignment":
+    """Drop-in for :func:`community_assignment`: the reader->shard
+    :class:`TableAssignment` computed by :func:`mincut_partition`
+    (called with an unknown node it answers shard 0; its ``.get`` also
+    feeds :func:`~repro.serve.reshard.plan_from_assignment` directly)."""
     table = mincut_partition(
         graph,
         query,
@@ -308,7 +337,7 @@ def mincut_assignment(
         balance=balance,
         max_nodes=max_nodes,
     )
-    return lambda node: table.get(node, 0)
+    return TableAssignment(table)
 
 
 def planned_replication_factor(

@@ -80,14 +80,22 @@ class RebalancePolicy:
 def plan_from_assignment(server, assignment) -> ReshardPlan:
     """Diff a full target assignment against the server's partition.
 
-    ``assignment`` is anything with ``.get(node, default)`` semantics
-    mapping readers to shard ids (a dict, or the callable-with-``get``
-    returned by :func:`~repro.core.partition.mincut_assignment`).
-    Readers absent from the target stay where they are.
+    ``assignment`` maps readers to shard ids: anything with
+    ``.get(node, default)`` semantics (a dict, or the
+    :class:`~repro.core.partition.TableAssignment` returned by
+    :func:`~repro.core.partition.mincut_assignment`) — readers absent
+    from the target stay where they are — or, failing that, a plain
+    reader->shard callable such as
+    :func:`~repro.core.partitioned.community_assignment`, which is
+    asked about every current reader.
     """
+    getter = getattr(assignment, "get", None)
     moves: Dict[NodeId, int] = {}
     for node, current in server.reader_shard.items():
-        target = assignment.get(node, current)
+        if getter is not None:
+            target = getter(node, current)
+        else:
+            target = assignment(node)
         if target != current and 0 <= target < server.num_shards:
             moves[node] = target
     return ReshardPlan(
@@ -177,8 +185,14 @@ def propose_rebalance(
                         members.add(other)
                         closure.append(other)
                         frontier.append(other)
-        if len(moves) + len(closure) > budget and moves:
-            break
+        if len(moves) + len(closure) > budget:
+            if moves:
+                break  # plan full: keep each rebalance a small step
+            # Even the first closure overflows the budget (which also
+            # encodes the destination's balance headroom): moving it
+            # anyway could overfill the cold shard past policy.balance.
+            # Skip it — a lighter seed may own a closure that fits.
+            continue
         if len(closure) >= len(hot_readers):
             continue  # one giant component: splitting it widens the cut
         for node in closure:

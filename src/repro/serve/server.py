@@ -567,10 +567,12 @@ class EAGrServer:
         #: flush attaches it to the frame ``_submit_write`` packs, so
         #: write→notify latency includes outbox dwell time either way.
         self._outbox_ingress: List[Optional[float]] = [None] * num_shards
-        #: lazy node->shard routing array for the columnar write fast
-        #: path (``None`` = not built yet, ``False`` = not applicable:
-        #: sparse/non-int writer keys).  ``writer_shards`` is fixed at
-        #: construction, so the table never invalidates.
+        #: lazy routing cache for the columnar write fast path: ``None``
+        #: or a ``(writer_shards, array_or_False)`` pair keyed by the
+        #: exact dict the array was built from (``False`` = not
+        #: applicable: sparse/non-int writer keys).  ``reshard`` swaps
+        #: ``writer_shards`` wholesale, so the identity key is what
+        #: invalidates a stale array — see :meth:`_route_table`.
         self._route_array: Any = None
         self._route_lock = threading.Lock()
         # One flush lock per shard, held across outbox-pop *and* submit:
@@ -1157,45 +1159,55 @@ class EAGrServer:
     # writes (multicast, coalescing, backpressure)
     # ------------------------------------------------------------------
 
-    def _route_table(self):
+    def _route_table(self, writer_shards=None):
         """Lazy node -> shard numpy lookup for packed write batches.
 
         ``-1`` marks writers no reader aggregates, ``-2`` multicast
         writers (those batches route on the per-item path).  Returns
         ``None`` when the writer key space is not dense non-negative
         ints (the table would be huge or impossible).  ``writer_shards``
-        is fixed at construction, so the table never invalidates.
+        is never mutated in place — :meth:`reshard` installs a *new*
+        dict under the route lock — so the cache is keyed by the dict's
+        identity: a stale array can never be served for a new partition,
+        and because the array is built from the single snapshot passed
+        in (or read once here), a concurrent swap cannot produce a
+        half-old half-new table.
         """
-        table = self._route_array
-        if table is None:
+        if writer_shards is None:
+            writer_shards = self.writer_shards
+        cached = self._route_array
+        if cached is not None and cached[0] is writer_shards:
+            table = cached[1]
+        else:
             table = False
-            if _np is not None and self.writer_shards:
+            if _np is not None and writer_shards:
                 top = -1
                 dense = True
-                for node in self.writer_shards:
+                for node in writer_shards:
                     if type(node) is not int or node < 0:
                         dense = False
                         break
                     if node > top:
                         top = node
-                if dense and top < 4 * len(self.writer_shards) + 1024:
+                if dense and top < 4 * len(writer_shards) + 1024:
                     arr = _np.full(top + 1, -1, dtype=_np.int64)
-                    for node, shards in self.writer_shards.items():
+                    for node, shards in writer_shards.items():
                         arr[node] = shards[0] if len(shards) == 1 else -2
                     table = arr
-            self._route_array = table
+            self._route_array = (writer_shards, table)
         return None if table is False else table
 
-    def _route_frame(self, frame) -> Optional[Dict[int, Any]]:
+    def _route_frame(self, frame, writer_shards=None) -> Optional[Dict[int, Any]]:
         """Split a packed batch into per-shard subframes, or ``None``.
 
         ``None`` falls back to the per-item path (multicast writers in
         the batch, writer ids outside the table).  Rows whose writer no
         reader aggregates are dropped, exactly like the per-item path
         drops them; a batch that lands wholly on one shard reuses the
-        input frame without copying.
+        input frame without copying.  ``writer_shards`` pins the routing
+        to one snapshot of the partition (see :meth:`_route_table`).
         """
-        table = self._route_table()
+        table = self._route_table(writer_shards)
         if table is None:
             return None
         nodes = frame.nodes
@@ -1241,6 +1253,9 @@ class EAGrServer:
             )
         metered = self.metrics_enabled
         t0 = _time.monotonic() if metered else 0.0
+        # Partition snapshot: routing below happens against this exact
+        # dict, and the route-lock block re-verifies it by identity (a
+        # concurrent reshard() installs a *new* dict, never mutates).
         writer_shards = self.writer_shards
         wal = self._wal
         touched: Dict[int, None] = {}
@@ -1264,7 +1279,7 @@ class EAGrServer:
                 frame = writes
                 if metered:
                     frame.ingress = t0
-                parts = self._route_frame(frame)
+                parts = self._route_frame(frame, writer_shards)
             if parts is None:
                 writes = writes.tolist()
         elif self.binary_frames and writes.__class__ is list:
@@ -1275,8 +1290,24 @@ class EAGrServer:
                     # the frame through ring, shard and change report
                     # back to _deliver_frame (same process, same clock).
                     frame.ingress = t0
-                parts = self._route_frame(frame)
+                parts = self._route_frame(frame, writer_shards)
         with self._route_lock:
+            if self.writer_shards is not writer_shards:
+                # A reshard() swapped the partition between the routing
+                # above and this push.  Its step-4 residue re-route has
+                # already run, so a batch routed by the old table would
+                # be applied (and durably WAL-replayed) on shards a
+                # moved reader just left and never reach the shard it
+                # now lives on.  Re-route against the live table before
+                # touching any outbox; the swap happens under this lock,
+                # so the refreshed snapshot cannot go stale again here.
+                writer_shards = self.writer_shards
+                if parts is not None:
+                    parts = self._route_frame(frame, writer_shards)
+                    if parts is None:
+                        # The new partition multicasts a writer in this
+                        # batch: fall back to the per-item path.
+                        writes = frame.tolist()
             outbox = self._outbox
             clock = self._clock
             if parts is not None:
@@ -1480,21 +1511,34 @@ class EAGrServer:
         directly, a list payload carries it to ``_submit_write``'s pack.
         """
         with self._route_lock:
-            items = self._outbox[shard_id]
-            if not items:
-                return None
-            self._outbox[shard_id] = []
-            ingress = self._outbox_ingress[shard_id]
-            self._outbox_ingress[shard_id] = None
-            payload = _merge_segments(items)
-            if payload.__class__ is WriteFrame:
-                stamps = [
-                    s for s in (payload.ingress, ingress) if s is not None
-                ]
-                payload.ingress = min(stamps) if stamps else None
-                ingress = payload.ingress
-            self.writes_delivered += len(payload)
-            return payload, self._wal_seq, ingress
+            return self._take_outbox_locked(shard_id)
+
+    def _take_outbox_locked(
+        self, shard_id: int
+    ) -> Optional[Tuple[List[Tuple], int, Optional[float]]]:
+        """Core of :meth:`_take_outbox`; caller holds the route lock too.
+
+        ``reshard`` calls this directly so its quiesce drain can take
+        *every* affected shard's outbox in one route-lock critical
+        section: multicast pushes are atomic under that lock, so a
+        single atomic snapshot keeps the drained/residue split identical
+        across shards for every multicast writer.
+        """
+        items = self._outbox[shard_id]
+        if not items:
+            return None
+        self._outbox[shard_id] = []
+        ingress = self._outbox_ingress[shard_id]
+        self._outbox_ingress[shard_id] = None
+        payload = _merge_segments(items)
+        if payload.__class__ is WriteFrame:
+            stamps = [
+                s for s in (payload.ingress, ingress) if s is not None
+            ]
+            payload.ingress = min(stamps) if stamps else None
+            ingress = payload.ingress
+        self.writes_delivered += len(payload)
+        return payload, self._wal_seq, ingress
 
     def flush(self) -> None:
         """Force every outbox into its shard queue (blocking on full queues)."""
@@ -2210,9 +2254,22 @@ class EAGrServer:
                 lock.acquire()
             swapped = False
             try:
-                # -- 1. drain the already-parked writes into the old epoch
+                # -- 1. drain the already-parked writes into the old epoch.
+                # One route-lock critical section across every affected
+                # shard: a multicast write pushed between per-shard takes
+                # would be drained (applied + checkpointed) on one shard
+                # yet remain residue on another — step 3's merged buffers
+                # would bake its effect into the synthetic checkpoint AND
+                # the residue would replay it after the swap, double-
+                # counting the event.  An atomic snapshot makes the
+                # drained/residue split identical across affected shards.
+                with self._route_lock:
+                    drained = {
+                        shard_id: self._take_outbox_locked(shard_id)
+                        for shard_id in affected
+                    }
                 for shard_id in affected:
-                    taken = self._take_outbox(shard_id)
+                    taken = drained[shard_id]
                     if taken is not None:
                         self._submit_write(
                             shard_id,

@@ -142,6 +142,19 @@ class TestApi:
         assert all(assign(node) == shard for node, shard in table.items())
         assert assign("never-seen") == 0
 
+    def test_assignment_exposes_get(self):
+        # plan_from_assignment consumes the assignment via dict-style
+        # .get, where a missing reader must resolve to the *caller's*
+        # default ("leave it where it is"), not the callable's shard 0.
+        graph = random_graph(30, 120, seed=106)
+        query = build_query()
+        table = mincut_partition(graph, query, 3)
+        assign = mincut_assignment(graph, query, 3)
+        assert len(assign) == len(table)
+        assert all(assign.get(node, -1) == shard for node, shard in table.items())
+        assert assign.get("never-seen", 7) == 7
+        assert assign.get("never-seen") is None
+
     def test_predicate_limits_readers(self):
         graph = random_graph(30, 120, seed=107)
         keep = set(list(graph.nodes())[:10])

@@ -32,6 +32,7 @@ from repro.core.engine import EAGrEngine
 from repro.core.query import EgoQuery
 from repro.core.windows import TupleWindow
 from repro.graph.generators import community_graph, random_graph
+from repro.core.partition import mincut_assignment
 from repro.serve import EAGrServer, ReshardPlan, ServeError
 from repro.serve.reshard import plan_from_assignment, propose_rebalance, RebalancePolicy
 
@@ -494,6 +495,29 @@ class TestRebalancePolicy:
             load = self.load_rows(server, [0.9, 0.1, 0.1])
             assert propose_rebalance(server, policy=policy, load=load) is None
 
+    def test_oversized_first_closure_respects_balance(self):
+        # Same disconnected communities, hot side reversed, and a
+        # balance cap that leaves the destination one reader of
+        # headroom — less than *every* writer closure on the hot
+        # shard.  The policy must propose nothing: moving a closure
+        # anyway just because the plan is still empty would overfill
+        # the cold shard past policy.balance.
+        graph = community_graph(
+            num_communities=6, community_size=10, intra_probability=0.5,
+            inter_edges=0, seed=61,
+        )
+        query = EgoQuery(aggregate=Sum(), window=TupleWindow(1))
+        with make_server(graph, query, num_shards=2) as server:
+            load = self.load_rows(server, [0.05, 0.9])
+            sizes = server.shard_sizes()
+            total = len(server.reader_shard)
+            policy = RebalancePolicy(balance=0.8)
+            cap = max(1, int(policy.balance * total / server.num_shards))
+            # This seed partitions 23/37; the smallest hot closure has
+            # 7 readers, far over the single-reader headroom.
+            assert cap - sizes[0] == 1
+            assert propose_rebalance(server, policy=policy, load=load) is None
+
 
 class TestPlanFromAssignment:
     def test_diff_against_target(self):
@@ -514,3 +538,88 @@ class TestPlanFromAssignment:
         with make_server(graph, query) as server:
             plan = plan_from_assignment(server, dict(server.reader_shard))
             assert not plan
+
+    def test_accepts_mincut_assignment(self):
+        # The documented pairing: re-run the partitioner offline (here
+        # with write frequencies steering it away from the boot-time
+        # partition), feed its TableAssignment straight in.
+        graph, query = build_env(seed=66)
+        with make_server(graph, query) as server:
+            freq = {node: float(1 + (hash(node) % 5)) for node in graph.nodes()}
+            target = mincut_assignment(
+                graph, query, server.num_shards, write_freq=freq
+            )
+            plan = plan_from_assignment(server, target)
+            assert plan.kind == "assignment"
+            for node, dst in plan.moves.items():
+                assert target(node) == dst
+            if plan:
+                server.reshard(plan)
+                assert all(
+                    server.reader_shard[node] == target(node)
+                    for node in server.reader_shard
+                )
+
+    def test_accepts_plain_callable(self):
+        # community_assignment-style callables (no .get) work too: every
+        # current reader is mapped through the callable directly.
+        graph, query = build_env(seed=67)
+        with make_server(graph, query) as server:
+            plan = plan_from_assignment(server, lambda node: 0)
+            assert set(plan.moves) == {
+                node
+                for node, shard in server.reader_shard.items()
+                if shard != 0
+            }
+            assert set(plan.moves.values()) <= {0}
+
+
+class TestWriteRouteRace:
+    """A ``write_batch`` racing the swap must re-route under the lock.
+
+    The columnar path routes a packed batch *before* taking the route
+    lock.  If a whole migration completes in that window, the step-4
+    residue re-route has already run, so a push routed by the dead
+    table would be applied (and WAL-replayed) on shards the moved
+    readers just left and never reach their new home — a durably lost
+    notification.  ``write_batch`` re-verifies the partition snapshot by
+    dict identity under the lock and re-routes; this pins that.
+    """
+
+    def test_write_routed_across_swap_lands_on_new_home(self):
+        graph, query = build_env(seed=77)
+        nodes = sorted(graph.nodes())
+        oracle = EAGrEngine(graph, query, overlay_algorithm="identity",
+                            dataflow="all_push")
+        with make_server(graph, query) as server:
+            if server._route_table() is None:
+                pytest.skip("columnar routing needs numpy + binary frames")
+            moves = cross_shard_plan(server, movers=len(nodes))
+            orig = server._route_frame
+            fired = []
+
+            def racy(frame, writer_shards=None):
+                parts = orig(frame, writer_shards)
+                if not fired:
+                    # A full migration completes inside the window
+                    # between write_batch's routing and its push.
+                    fired.append(True)
+                    server.reshard(moves)
+                return parts
+
+            server._route_frame = racy
+            batch = [(node, 2.0, float(i + 1)) for i, node in enumerate(nodes)]
+            try:
+                assert server.write_batch(batch) == len(batch)
+            finally:
+                server._route_frame = orig
+            oracle.write_batch(batch)
+            assert fired and server.partition_epoch == 1
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
+            # Steady state after the race stays exact too.
+            for later in make_batches(nodes, 3, seed=78):
+                server.write_batch(later)
+                oracle.write_batch(later)
+            server.drain()
+            assert server.read_batch(nodes) == oracle.read_batch(nodes)
